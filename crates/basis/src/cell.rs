@@ -1,0 +1,132 @@
+//! Periodic simulation cells.
+//!
+//! The condensed-phase exact-exchange code path works in an orthorhombic
+//! periodic cell (as the paper's CPMD benchmarks do). The cell provides
+//! volume, wrapping, and the minimum-image convention used by both the
+//! screening pair lists and the classical MD.
+
+use liair_math::Vec3;
+
+/// An orthorhombic periodic cell with edge lengths in Bohr.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// Edge lengths `(a, b, c)` in Bohr.
+    pub lengths: Vec3,
+}
+
+impl Cell {
+    /// Cubic cell of edge `a` (Bohr).
+    pub fn cubic(a: f64) -> Self {
+        assert!(a > 0.0, "cell edge must be positive");
+        Self { lengths: Vec3::splat(a) }
+    }
+
+    /// Orthorhombic cell.
+    pub fn orthorhombic(a: f64, b: f64, c: f64) -> Self {
+        assert!(a > 0.0 && b > 0.0 && c > 0.0, "cell edges must be positive");
+        Self { lengths: Vec3::new(a, b, c) }
+    }
+
+    /// Cell volume in Bohr³.
+    pub fn volume(&self) -> f64 {
+        self.lengths.x * self.lengths.y * self.lengths.z
+    }
+
+    /// Wrap a point into the primary cell `[0, L)³`.
+    pub fn wrap(&self, p: Vec3) -> Vec3 {
+        let mut out = p;
+        for k in 0..3 {
+            let l = self.lengths[k];
+            out[k] = out[k].rem_euclid(l);
+        }
+        out
+    }
+
+    /// Minimum-image displacement from `a` to `b` (each component in
+    /// `[-L/2, L/2)`).
+    pub fn min_image(&self, a: Vec3, b: Vec3) -> Vec3 {
+        let mut d = b - a;
+        for k in 0..3 {
+            let l = self.lengths[k];
+            d[k] -= l * (d[k] / l).round();
+        }
+        d
+    }
+
+    /// Minimum-image distance.
+    pub fn distance(&self, a: Vec3, b: Vec3) -> f64 {
+        self.min_image(a, b).norm()
+    }
+
+    /// Shortest half-edge — the largest radius for which the minimum-image
+    /// convention is unambiguous.
+    pub fn min_half_edge(&self) -> f64 {
+        0.5 * self.lengths.x.min(self.lengths.y).min(self.lengths.z)
+    }
+
+    /// Reciprocal-lattice vector `G = 2π (n_x/a, n_y/b, n_z/c)` for integer
+    /// indices (used by the plane-wave Poisson solver).
+    pub fn g_vector(&self, n: (i64, i64, i64)) -> Vec3 {
+        let tau = 2.0 * std::f64::consts::PI;
+        Vec3::new(
+            tau * n.0 as f64 / self.lengths.x,
+            tau * n.1 as f64 / self.lengths.y,
+            tau * n.2 as f64 / self.lengths.z,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liair_math::approx_eq;
+
+    #[test]
+    fn volume_cubic() {
+        assert!(approx_eq(Cell::cubic(10.0).volume(), 1000.0, 1e-12));
+    }
+
+    #[test]
+    fn wrap_into_cell() {
+        let c = Cell::cubic(10.0);
+        let p = c.wrap(Vec3::new(12.5, -0.5, 30.0));
+        assert!(approx_eq(p.x, 2.5, 1e-12));
+        assert!(approx_eq(p.y, 9.5, 1e-12));
+        assert!(approx_eq(p.z, 0.0, 1e-12));
+    }
+
+    #[test]
+    fn min_image_prefers_near_side() {
+        let c = Cell::cubic(10.0);
+        let d = c.min_image(Vec3::new(1.0, 0.0, 0.0), Vec3::new(9.0, 0.0, 0.0));
+        // Across the boundary: 9 − 1 = 8, but the image at −1 is 2 away.
+        assert!(approx_eq(d.x, -2.0, 1e-12));
+        assert!(approx_eq(c.distance(Vec3::ZERO, Vec3::new(9.9, 0.0, 0.0)), 0.1, 1e-10));
+    }
+
+    #[test]
+    fn min_image_distance_bounded() {
+        let c = Cell::orthorhombic(8.0, 10.0, 12.0);
+        // No minimum-image distance can exceed half the box diagonal.
+        let max_d = 0.5 * (8.0f64.powi(2) + 10.0f64.powi(2) + 12.0f64.powi(2)).sqrt();
+        for i in 0..50 {
+            let p = Vec3::new(i as f64 * 1.7, i as f64 * 2.3, i as f64 * 0.9);
+            let d = c.distance(Vec3::ZERO, p);
+            assert!(d <= max_d + 1e-9);
+        }
+    }
+
+    #[test]
+    fn g_vector_scaling() {
+        let c = Cell::cubic(2.0 * std::f64::consts::PI);
+        let g = c.g_vector((1, 0, -2));
+        assert!(approx_eq(g.x, 1.0, 1e-12));
+        assert!(approx_eq(g.z, -2.0, 1e-12));
+    }
+
+    #[test]
+    fn min_half_edge() {
+        let c = Cell::orthorhombic(8.0, 10.0, 12.0);
+        assert!(approx_eq(c.min_half_edge(), 4.0, 1e-12));
+    }
+}

@@ -1,0 +1,161 @@
+//! XYZ-format parsing and writing for molecular geometries.
+//!
+//! The XYZ format: first line = atom count, second = free-form comment,
+//! then `Symbol x y z` rows in Å. Multi-frame files concatenate frames.
+
+use crate::element::Element;
+use crate::molecule::Molecule;
+use crate::ANGSTROM;
+use liair_math::Vec3;
+
+/// Parse errors for XYZ input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XyzError {
+    /// The header line is missing or not an integer.
+    BadHeader(String),
+    /// Fewer atom rows than the header promised.
+    Truncated { expected: usize, got: usize },
+    /// An atom row could not be parsed.
+    BadAtomLine(String),
+    /// An element symbol outside the supported set.
+    UnknownElement(String),
+}
+
+impl std::fmt::Display for XyzError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XyzError::BadHeader(l) => write!(f, "bad XYZ header line: {l:?}"),
+            XyzError::Truncated { expected, got } => {
+                write!(f, "truncated XYZ frame: expected {expected} atoms, got {got}")
+            }
+            XyzError::BadAtomLine(l) => write!(f, "bad XYZ atom line: {l:?}"),
+            XyzError::UnknownElement(s) => write!(f, "unknown element symbol {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for XyzError {}
+
+/// Parse one XYZ frame (returns the molecule and its comment line).
+pub fn parse_xyz(text: &str) -> Result<(Molecule, String), XyzError> {
+    let frames = parse_xyz_trajectory(text)?;
+    frames
+        .into_iter()
+        .next()
+        .ok_or_else(|| XyzError::BadHeader("empty input".into()))
+}
+
+/// Parse a concatenated multi-frame XYZ trajectory.
+pub fn parse_xyz_trajectory(text: &str) -> Result<Vec<(Molecule, String)>, XyzError> {
+    let mut lines = text.lines().peekable();
+    let mut frames = Vec::new();
+    loop {
+        // Skip blank separators between frames.
+        while matches!(lines.peek(), Some(l) if l.trim().is_empty()) {
+            lines.next();
+        }
+        let Some(header) = lines.next() else { break };
+        let natoms: usize = header
+            .trim()
+            .parse()
+            .map_err(|_| XyzError::BadHeader(header.to_string()))?;
+        let comment = lines.next().unwrap_or("").to_string();
+        let mut mol = Molecule::new();
+        for k in 0..natoms {
+            let Some(line) = lines.next() else {
+                return Err(XyzError::Truncated { expected: natoms, got: k });
+            };
+            let mut parts = line.split_whitespace();
+            let sym = parts
+                .next()
+                .ok_or_else(|| XyzError::BadAtomLine(line.to_string()))?;
+            let element = Element::from_symbol(sym)
+                .ok_or_else(|| XyzError::UnknownElement(sym.to_string()))?;
+            let coords: Vec<f64> = parts
+                .take(3)
+                .map(str::parse)
+                .collect::<Result<_, _>>()
+                .map_err(|_| XyzError::BadAtomLine(line.to_string()))?;
+            if coords.len() != 3 {
+                return Err(XyzError::BadAtomLine(line.to_string()));
+            }
+            mol.push(
+                element,
+                Vec3::new(coords[0], coords[1], coords[2]) * ANGSTROM,
+            );
+        }
+        frames.push((mol, comment));
+    }
+    Ok(frames)
+}
+
+/// Render a molecule as one XYZ frame (Å).
+pub fn write_xyz(mol: &Molecule, comment: &str) -> String {
+    let mut out = format!("{}\n{}\n", mol.natoms(), comment);
+    let to_a = 1.0 / ANGSTROM;
+    for a in &mol.atoms {
+        out.push_str(&format!(
+            "{:<2} {:>14.8} {:>14.8} {:>14.8}\n",
+            a.element.symbol(),
+            a.pos.x * to_a,
+            a.pos.y * to_a,
+            a.pos.z * to_a
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::systems;
+
+    #[test]
+    fn roundtrip_preserves_geometry() {
+        let mol = systems::propylene_carbonate();
+        let text = write_xyz(&mol, "PC");
+        let (back, comment) = parse_xyz(&text).unwrap();
+        assert_eq!(comment, "PC");
+        assert_eq!(back.natoms(), mol.natoms());
+        for (a, b) in mol.atoms.iter().zip(&back.atoms) {
+            assert_eq!(a.element, b.element);
+            assert!(a.pos.distance(b.pos) < 1e-7);
+        }
+    }
+
+    #[test]
+    fn parses_hand_written_frame() {
+        let text = "3\nwater in angstrom\nO 0.0 0.0 0.0\nH 0.9572 0 0\nH -0.24 0.9266 0.0\n";
+        let (mol, _) = parse_xyz(text).unwrap();
+        assert_eq!(mol.formula(), "H2O");
+        // Bohr conversion applied.
+        assert!((mol.atoms[1].pos.x - 0.9572 * ANGSTROM).abs() < 1e-10);
+    }
+
+    #[test]
+    fn parses_multi_frame_trajectory() {
+        let a = write_xyz(&systems::water(), "frame 1");
+        let b = write_xyz(&systems::h2(), "frame 2");
+        let frames = parse_xyz_trajectory(&format!("{a}\n{b}")).unwrap();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].0.formula(), "H2O");
+        assert_eq!(frames[1].0.formula(), "H2");
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(parse_xyz("abc\n"), Err(XyzError::BadHeader(_))));
+        assert!(matches!(
+            parse_xyz("2\nc\nH 0 0 0\n"),
+            Err(XyzError::Truncated { expected: 2, got: 1 })
+        ));
+        assert!(matches!(
+            parse_xyz("1\nc\nXq 0 0 0\n"),
+            Err(XyzError::UnknownElement(_))
+        ));
+        assert!(matches!(
+            parse_xyz("1\nc\nH 0 zero 0\n"),
+            Err(XyzError::BadAtomLine(_))
+        ));
+    }
+}

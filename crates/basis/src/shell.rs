@@ -1,0 +1,480 @@
+//! Contracted Cartesian Gaussian shells and the STO-3G minimal basis.
+//!
+//! A shell is a set of primitives `Σ_i c_i e^{-α_i r²}` sharing one center
+//! and one angular momentum `l`; it expands into `(l+1)(l+2)/2` Cartesian
+//! functions `x^{lx} y^{ly} z^{lz} · g(r)`. Each Cartesian component is
+//! individually normalized (the convention assumed by the
+//! McMurchie–Davidson integrals in `liair-integrals`).
+//!
+//! The STO-3G exponents/contractions for H–Cl are embedded below — the
+//! reproduction environment has no basis-set files or network access.
+
+use crate::element::Element;
+use crate::molecule::Molecule;
+use liair_math::special::double_factorial;
+use liair_math::Vec3;
+use std::f64::consts::PI;
+
+/// One primitive Gaussian: exponent and contraction coefficient
+/// (coefficient is in the "raw" tabulated convention, i.e. it multiplies a
+/// *normalized* primitive).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Primitive {
+    /// Gaussian exponent α (Bohr⁻²).
+    pub exp: f64,
+    /// Contraction coefficient.
+    pub coef: f64,
+}
+
+/// A contracted shell on one atom.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shell {
+    /// Angular momentum (0 = s, 1 = p, 2 = d, ...).
+    pub l: usize,
+    /// Index of the atom this shell sits on.
+    pub atom: usize,
+    /// Center (copied from the atom for fast access).
+    pub center: Vec3,
+    /// The primitives.
+    pub prims: Vec<Primitive>,
+}
+
+/// Enumerate Cartesian powers `(lx, ly, lz)` with `lx+ly+lz = l` in the
+/// canonical order `(l,0,0), (l-1,1,0), (l-1,0,1), …, (0,0,l)`.
+pub fn cart_components(l: usize) -> Vec<(usize, usize, usize)> {
+    let mut out = Vec::with_capacity((l + 1) * (l + 2) / 2);
+    for lx in (0..=l).rev() {
+        for ly in (0..=(l - lx)).rev() {
+            out.push((lx, ly, l - lx - ly));
+        }
+    }
+    out
+}
+
+/// Number of Cartesian components of a shell of angular momentum `l`.
+pub fn ncart(l: usize) -> usize {
+    (l + 1) * (l + 2) / 2
+}
+
+/// Normalization constant of a primitive Cartesian Gaussian
+/// `x^{lx} y^{ly} z^{lz} e^{-α r²}`.
+pub fn primitive_norm(alpha: f64, (lx, ly, lz): (usize, usize, usize)) -> f64 {
+    let l = lx + ly + lz;
+    let dfs = double_factorial(2 * lx as i64 - 1)
+        * double_factorial(2 * ly as i64 - 1)
+        * double_factorial(2 * lz as i64 - 1);
+    (2.0 * alpha / PI).powf(0.75) * (4.0 * alpha).powf(l as f64 / 2.0) / dfs.sqrt()
+}
+
+impl Shell {
+    /// Construct a shell; panics on an empty primitive list.
+    pub fn new(l: usize, atom: usize, center: Vec3, prims: Vec<Primitive>) -> Self {
+        assert!(!prims.is_empty(), "shell needs at least one primitive");
+        Self { l, atom, center, prims }
+    }
+
+    /// Fully-normalized contraction coefficients for the Cartesian
+    /// component `(lx, ly, lz)`: each returned value already includes the
+    /// primitive normalization *and* the overall rescaling that makes the
+    /// contracted function unit-normalized.
+    pub fn normalized_coefs(&self, powers: (usize, usize, usize)) -> Vec<f64> {
+        let (lx, ly, lz) = powers;
+        debug_assert_eq!(lx + ly + lz, self.l);
+        let with_norm: Vec<f64> = self
+            .prims
+            .iter()
+            .map(|p| p.coef * primitive_norm(p.exp, powers))
+            .collect();
+        // Self-overlap of the contracted function:
+        // S = Σ_ij c_i c_j (π/γ)^{3/2} Π_a (2l_a−1)!! / (2γ)^{l_a},  γ = α_i+α_j.
+        let dfs = double_factorial(2 * lx as i64 - 1)
+            * double_factorial(2 * ly as i64 - 1)
+            * double_factorial(2 * lz as i64 - 1);
+        let mut s = 0.0;
+        for (i, &ci) in with_norm.iter().enumerate() {
+            for (j, &cj) in with_norm.iter().enumerate() {
+                let gamma = self.prims[i].exp + self.prims[j].exp;
+                s += ci * cj * (PI / gamma).powf(1.5) * dfs
+                    / (2.0 * gamma).powi(self.l as i32);
+            }
+        }
+        let rescale = 1.0 / s.sqrt();
+        with_norm.into_iter().map(|c| c * rescale).collect()
+    }
+}
+
+/// Identifies one atomic orbital (a single Cartesian basis function).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AoInfo {
+    /// Owning shell index.
+    pub shell: usize,
+    /// Cartesian powers.
+    pub powers: (usize, usize, usize),
+}
+
+/// A basis set over a molecule: shells plus the derived AO bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Basis {
+    /// All shells.
+    pub shells: Vec<Shell>,
+    /// AO offset of each shell (parallel to `shells`).
+    pub shell_offsets: Vec<usize>,
+    /// Flattened AO descriptors.
+    pub aos: Vec<AoInfo>,
+}
+
+impl Basis {
+    /// Assemble from a shell list.
+    pub fn from_shells(shells: Vec<Shell>) -> Self {
+        let mut shell_offsets = Vec::with_capacity(shells.len());
+        let mut aos = Vec::new();
+        for (si, sh) in shells.iter().enumerate() {
+            shell_offsets.push(aos.len());
+            for powers in cart_components(sh.l) {
+                aos.push(AoInfo { shell: si, powers });
+            }
+        }
+        Self { shells, shell_offsets, aos }
+    }
+
+    /// Total number of atomic orbitals.
+    pub fn nao(&self) -> usize {
+        self.aos.len()
+    }
+
+    /// Build the STO-3G basis for a molecule. Panics on elements outside
+    /// the embedded table (H–Cl as listed in [`Element`]).
+    pub fn sto3g(mol: &Molecule) -> Basis {
+        let mut shells = Vec::new();
+        for (ai, atom) in mol.atoms.iter().enumerate() {
+            for (l, exps, coefs) in sto3g_shells(atom.element) {
+                let prims = exps
+                    .iter()
+                    .zip(coefs.iter())
+                    .map(|(&exp, &coef)| Primitive { exp, coef })
+                    .collect();
+                shells.push(Shell::new(l, ai, atom.pos, prims));
+            }
+        }
+        Basis::from_shells(shells)
+    }
+
+    /// Update shell centers after the molecule moved (MD steps); shell→atom
+    /// assignment is unchanged.
+    pub fn update_centers(&mut self, mol: &Molecule) {
+        for sh in &mut self.shells {
+            sh.center = mol.atoms[sh.atom].pos;
+        }
+    }
+
+    /// Build the 6-31G split-valence basis. Supported elements: H, C, N, O
+    /// (the organic-electrolyte set); panics for others.
+    pub fn b631g(mol: &Molecule) -> Basis {
+        let mut shells = Vec::new();
+        for (ai, atom) in mol.atoms.iter().enumerate() {
+            for (l, prims) in b631g_shells(atom.element) {
+                shells.push(Shell::new(l, ai, atom.pos, prims));
+            }
+        }
+        Basis::from_shells(shells)
+    }
+}
+
+/// 6-31G shell data: `(angular momentum, primitives)` per shell.
+#[allow(clippy::inconsistent_digit_grouping)] // grouped to mirror the published tables
+fn b631g_shells(e: Element) -> Vec<(usize, Vec<Primitive>)> {
+    let prim = |exp: f64, coef: f64| Primitive { exp, coef };
+    match e {
+        Element::H => vec![
+            (
+                0,
+                vec![
+                    prim(18.731_136_96, 0.033_494_604_34),
+                    prim(2.825_394_365, 0.234_726_953_5),
+                    prim(0.640_121_692_3, 0.813_757_326_1),
+                ],
+            ),
+            (0, vec![prim(0.161_277_758_8, 1.0)]),
+        ],
+        Element::C => {
+            let core = vec![
+                prim(3047.524_880, 0.001_834_737_132),
+                prim(457.369_518_0, 0.014_037_322_81),
+                prim(103.948_685_0, 0.068_842_622_26),
+                prim(29.210_155_30, 0.232_184_443_2),
+                prim(9.286_662_960, 0.467_941_348_4),
+                prim(3.163_926_960, 0.362_311_985_3),
+            ];
+            let inner = [7.868_272_350, 1.881_288_540, 0.544_249_258_0];
+            let s2 = [-0.119_332_419_8, -0.160_854_151_7, 1.143_456_438];
+            let p2 = [0.068_999_066_59, 0.316_423_961_0, 0.744_308_290_9];
+            split_valence(core, &inner, &s2, &p2, 0.168_714_478_2)
+        }
+        Element::N => {
+            let core = vec![
+                prim(4173.511_460, 0.001_834_772_160),
+                prim(627.457_911_0, 0.013_994_627_00),
+                prim(142.902_093_0, 0.068_586_551_81),
+                prim(40.234_329_30, 0.232_240_873_0),
+                prim(12.820_212_90, 0.469_069_948_1),
+                prim(4.390_437_010, 0.360_455_199_1),
+            ];
+            let inner = [11.626_361_86, 2.716_279_807, 0.772_218_396_6];
+            let s2 = [-0.114_961_181_7, -0.169_117_478_6, 1.145_851_947];
+            let p2 = [0.067_579_743_88, 0.323_907_295_9, 0.740_895_139_8];
+            split_valence(core, &inner, &s2, &p2, 0.212_031_497_5)
+        }
+        Element::O => {
+            let core = vec![
+                prim(5484.671_660, 0.001_831_074_430),
+                prim(825.234_946_0, 0.013_950_172_20),
+                prim(188.046_958_0, 0.068_445_078_10),
+                prim(52.964_500_00, 0.232_714_336_0),
+                prim(16.897_570_40, 0.470_192_898_0),
+                prim(5.799_635_340, 0.358_520_853_0),
+            ];
+            let inner = [15.539_616_25, 3.599_933_586, 1.013_761_750];
+            let s2 = [-0.110_777_549_5, -0.148_026_262_7, 1.130_767_015];
+            let p2 = [0.070_874_268_23, 0.339_752_839_1, 0.727_158_577_3];
+            split_valence(core, &inner, &s2, &p2, 0.270_005_822_6)
+        }
+        other => panic!("6-31G data embedded only for H/C/N/O (got {other})"),
+    }
+}
+
+/// Assemble the standard 6-31G pattern: 6-prim core s, 3-prim inner
+/// valence sp, and a single-prim outer valence sp.
+fn split_valence(
+    core: Vec<Primitive>,
+    inner_exps: &[f64; 3],
+    s2: &[f64; 3],
+    p2: &[f64; 3],
+    outer: f64,
+) -> Vec<(usize, Vec<Primitive>)> {
+    let mk = |coefs: &[f64; 3]| {
+        inner_exps
+            .iter()
+            .zip(coefs)
+            .map(|(&exp, &coef)| Primitive { exp, coef })
+            .collect::<Vec<_>>()
+    };
+    vec![
+        (0, core),
+        (0, mk(s2)),
+        (1, mk(p2)),
+        (0, vec![Primitive { exp: outer, coef: 1.0 }]),
+        (1, vec![Primitive { exp: outer, coef: 1.0 }]),
+    ]
+}
+
+// STO-3G universal contraction coefficients per shell slot.
+const S1: [f64; 3] = [0.1543289673, 0.5353281423, 0.4446345422];
+const S2: [f64; 3] = [-0.09996722919, 0.3995128261, 0.7001154689];
+const P2: [f64; 3] = [0.1559162750, 0.6076837186, 0.3919573931];
+const S3: [f64; 3] = [-0.2196203690, 0.2255954336, 0.9003984260];
+const P3: [f64; 3] = [0.01058760429, 0.5951670053, 0.4620010120];
+
+/// STO-3G shell descriptions for one element:
+/// `(angular momentum, exponents, contraction coefficients)`.
+fn sto3g_shells(e: Element) -> Vec<(usize, [f64; 3], [f64; 3])> {
+    // Exponent sets per principal shell.
+    let (e1, e2, e3): ([f64; 3], Option<[f64; 3]>, Option<[f64; 3]>) = match e {
+        Element::H => ([3.425250914, 0.6239137298, 0.1688554040], None, None),
+        Element::He => ([6.362421394, 1.158922999, 0.3136497915], None, None),
+        Element::Li => (
+            [16.11957475, 2.936200663, 0.7946504870],
+            Some([0.6362897469, 0.1478600533, 0.0480886784]),
+            None,
+        ),
+        Element::Be => (
+            [30.16787069, 5.495115306, 1.487192653],
+            Some([1.314833110, 0.3055389383, 0.0993707456]),
+            None,
+        ),
+        Element::B => (
+            [48.79111318, 8.887362172, 2.405267040],
+            Some([2.236956142, 0.5198204999, 0.1690617600]),
+            None,
+        ),
+        Element::C => (
+            [71.61683735, 13.04509632, 3.530512160],
+            Some([2.941249355, 0.6834830964, 0.2222899159]),
+            None,
+        ),
+        Element::N => (
+            [99.10616896, 18.05231239, 4.885660238],
+            Some([3.780455879, 0.8784966449, 0.2857143744]),
+            None,
+        ),
+        Element::O => (
+            [130.7093214, 23.80886605, 6.443608313],
+            Some([5.033151319, 1.169596125, 0.3803889600]),
+            None,
+        ),
+        Element::F => (
+            [166.6791340, 30.36081233, 8.216820672],
+            Some([6.464803249, 1.502281245, 0.4885884864]),
+            None,
+        ),
+        Element::Na => (
+            [250.7724300, 45.67851117, 12.36238776],
+            Some([12.04019274, 2.797881859, 0.9099580170]),
+            Some([1.478740622, 0.4125648801, 0.1614750979]),
+        ),
+        Element::P => (
+            [468.3656378, 85.31338559, 23.09131340],
+            Some([28.03263958, 6.514182577, 1.697905188]),
+            Some([1.743103231, 0.4863213771, 0.1903428909]),
+        ),
+        Element::S => (
+            [533.1257359, 97.10951830, 26.28162542],
+            Some([33.32975173, 7.745117521, 2.018815846]),
+            Some([2.029194274, 0.5661400518, 0.2215833792]),
+        ),
+        Element::Cl => (
+            [601.3456136, 109.5358542, 29.64467686],
+            Some([38.96041889, 9.053563477, 2.359972309]),
+            Some([2.129386495, 0.5940934274, 0.2325241410]),
+        ),
+    };
+    let mut shells = vec![(0, e1, S1)];
+    if let Some(exp2) = e2 {
+        shells.push((0, exp2, S2));
+        shells.push((1, exp2, P2));
+    }
+    if let Some(exp3) = e3 {
+        shells.push((0, exp3, S3));
+        shells.push((1, exp3, P3));
+    }
+    shells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liair_math::approx_eq;
+
+    #[test]
+    fn cartesian_component_counts() {
+        assert_eq!(cart_components(0), vec![(0, 0, 0)]);
+        assert_eq!(cart_components(1), vec![(1, 0, 0), (0, 1, 0), (0, 0, 1)]);
+        assert_eq!(cart_components(2).len(), 6);
+        assert_eq!(ncart(3), 10);
+        assert_eq!(cart_components(2)[0], (2, 0, 0));
+    }
+
+    #[test]
+    fn primitive_norm_s_gaussian() {
+        // ∫ N² e^{-2αr²} = N² (π/2α)^{3/2} = 1
+        let alpha = 0.7;
+        let n = primitive_norm(alpha, (0, 0, 0));
+        let self_overlap = n * n * (PI / (2.0 * alpha)).powf(1.5);
+        assert!(approx_eq(self_overlap, 1.0, 1e-13));
+    }
+
+    #[test]
+    fn primitive_norm_p_gaussian() {
+        // ∫ N² x² e^{-2αr²} = N² (1/(4α)) (π/2α)^{3/2} = 1
+        let alpha = 1.3;
+        let n = primitive_norm(alpha, (1, 0, 0));
+        let self_overlap = n * n / (4.0 * alpha) * (PI / (2.0 * alpha)).powf(1.5);
+        assert!(approx_eq(self_overlap, 1.0, 1e-13));
+    }
+
+    #[test]
+    fn contracted_function_is_unit_normalized() {
+        // Numerically integrate the contracted STO-3G H 1s on a radial grid.
+        let mol = {
+            let mut m = Molecule::new();
+            m.push(Element::H, Vec3::ZERO);
+            m
+        };
+        let basis = Basis::sto3g(&mol);
+        assert_eq!(basis.nao(), 1);
+        let sh = &basis.shells[0];
+        let coefs = sh.normalized_coefs((0, 0, 0));
+        // ⟨φ|φ⟩ = Σ_ij c_i c_j (π/(α_i+α_j))^{3/2}
+        let mut s = 0.0;
+        for (i, &ci) in coefs.iter().enumerate() {
+            for (j, &cj) in coefs.iter().enumerate() {
+                let g = sh.prims[i].exp + sh.prims[j].exp;
+                s += ci * cj * (PI / g).powf(1.5);
+            }
+        }
+        assert!(approx_eq(s, 1.0, 1e-12), "self overlap {s}");
+    }
+
+    #[test]
+    fn sto3g_shell_counts() {
+        let mut m = Molecule::new();
+        m.push(Element::O, Vec3::ZERO);
+        m.push(Element::H, Vec3::new(1.8, 0.0, 0.0));
+        m.push(Element::H, Vec3::new(-0.5, 1.7, 0.0));
+        let b = Basis::sto3g(&m);
+        // O: 1s + 2s + 2p = 2 s-shells + 1 p-shell = 5 AOs; H: 1 each.
+        assert_eq!(b.nao(), 7);
+        assert_eq!(b.shells.len(), 5);
+        // Li has 2s2p too.
+        let mut li = Molecule::new();
+        li.push(Element::Li, Vec3::ZERO);
+        assert_eq!(Basis::sto3g(&li).nao(), 5);
+        // S is a third-row atom: 1s 2s 2p 3s 3p = 9 AOs.
+        let mut s = Molecule::new();
+        s.push(Element::S, Vec3::ZERO);
+        assert_eq!(Basis::sto3g(&s).nao(), 9);
+    }
+
+    #[test]
+    fn ao_offsets_consistent() {
+        let mut m = Molecule::new();
+        m.push(Element::C, Vec3::ZERO);
+        let b = Basis::sto3g(&m);
+        // shells: 1s (1 AO), 2s (1), 2p (3) → offsets 0,1,2
+        assert_eq!(b.shell_offsets, vec![0, 1, 2]);
+        assert_eq!(b.aos[2].powers, (1, 0, 0));
+        assert_eq!(b.aos[4].powers, (0, 0, 1));
+    }
+
+    #[test]
+    fn b631g_shell_counts() {
+        let mut m = Molecule::new();
+        m.push(Element::H, Vec3::ZERO);
+        // H: 2 s shells → 2 AOs.
+        assert_eq!(Basis::b631g(&m).nao(), 2);
+        let mut o = Molecule::new();
+        o.push(Element::O, Vec3::ZERO);
+        // O: 1s + 2×(s) + 2×(p) = 3 s-AOs + 6 p-AOs = 9.
+        assert_eq!(Basis::b631g(&o).nao(), 9);
+    }
+
+    #[test]
+    fn b631g_is_normalized() {
+        let mut m = Molecule::new();
+        m.push(Element::O, Vec3::ZERO);
+        let b = Basis::b631g(&m);
+        for sh in &b.shells {
+            for powers in cart_components(sh.l) {
+                let coefs = sh.normalized_coefs(powers);
+                assert!(coefs.iter().all(|c| c.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn b631g_rejects_unsupported_elements() {
+        let mut m = Molecule::new();
+        m.push(Element::S, Vec3::ZERO);
+        let _ = Basis::b631g(&m);
+    }
+
+    #[test]
+    fn update_centers_follows_molecule() {
+        let mut m = Molecule::new();
+        m.push(Element::H, Vec3::ZERO);
+        let mut b = Basis::sto3g(&m);
+        m.atoms[0].pos = Vec3::new(1.0, 2.0, 3.0);
+        b.update_centers(&m);
+        assert_eq!(b.shells[0].center, Vec3::new(1.0, 2.0, 3.0));
+    }
+}

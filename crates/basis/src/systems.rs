@@ -1,0 +1,489 @@
+//! Programmatic builders for the benchmark systems of the paper.
+//!
+//! The IPDPS'14 evaluation runs condensed-phase water boxes (scalability
+//! study) and lithium/air electrolyte models: propylene carbonate (the
+//! standard electrolyte whose degradation by Li₂O₂ motivates the study)
+//! plus candidate replacement solvents. Geometries here are idealized
+//! (ring/pentagon constructions with textbook bond lengths) — adequate for
+//! workload construction, classical MD, and relative-stability single
+//! points; they are not experimental microwave structures.
+
+use crate::cell::Cell;
+use crate::element::Element;
+use crate::molecule::Molecule;
+use crate::ANGSTROM;
+use liair_math::rng::SplitMix64;
+use liair_math::Vec3;
+
+/// Convenience: build a molecule from `(element, x, y, z)` rows in Å.
+fn from_angstrom(rows: &[(Element, f64, f64, f64)]) -> Molecule {
+    let mut m = Molecule::new();
+    for &(e, x, y, z) in rows {
+        m.push(e, Vec3::new(x, y, z) * ANGSTROM);
+    }
+    m
+}
+
+/// H₂ at the STO-3G equilibrium separation (1.4 Bohr), the classic SCF
+/// validation system (Szabo & Ostlund give E = −1.1167 Ha).
+pub fn h2() -> Molecule {
+    let mut m = Molecule::new();
+    m.push(Element::H, Vec3::ZERO);
+    m.push(Element::H, Vec3::new(1.4, 0.0, 0.0));
+    m
+}
+
+/// LiH at ~1.60 Å — a tiny lithium-containing validation case.
+pub fn lih() -> Molecule {
+    from_angstrom(&[(Element::Li, 0.0, 0.0, 0.0), (Element::H, 1.60, 0.0, 0.0)])
+}
+
+/// A water monomer (r(OH) = 0.9572 Å, ∠HOH = 104.52°).
+pub fn water() -> Molecule {
+    from_angstrom(&[
+        (Element::O, 0.0, 0.0, 0.0),
+        (Element::H, 0.9572, 0.0, 0.0),
+        (Element::H, -0.239_987, 0.926_627, 0.0),
+    ])
+}
+
+/// Helium atom (single-center SCF check).
+pub fn helium() -> Molecule {
+    let mut m = Molecule::new();
+    m.push(Element::He, Vec3::ZERO);
+    m
+}
+
+/// Lithium peroxide Li₂O₂ as the planar rhombus cluster (the discharge
+/// product attacking the electrolyte in Li/air cells).
+pub fn li2o2() -> Molecule {
+    from_angstrom(&[
+        (Element::O, 0.0, 0.78, 0.0),
+        (Element::O, 0.0, -0.78, 0.0),
+        (Element::Li, 1.55, 0.0, 0.0),
+        (Element::Li, -1.55, 0.0, 0.0),
+    ])
+}
+
+/// Propylene carbonate (C₄H₆O₃) — the conventional Li/air electrolyte that
+/// the paper's simulations show degrading at the Li₂O₂ surface.
+pub fn propylene_carbonate() -> Molecule {
+    from_angstrom(&[
+        // five-membered ring
+        (Element::C, 0.0, 1.2, 0.0),       // carbonyl carbon
+        (Element::O, -1.141, 0.371, 0.0),  // ring O
+        (Element::C, -0.705, -0.971, 0.0), // CH2
+        (Element::C, 0.705, -0.971, 0.0),  // CH (bears methyl)
+        (Element::O, 1.141, 0.371, 0.0),   // ring O
+        (Element::O, 0.0, 2.38, 0.0),      // carbonyl O
+        // CH2 hydrogens
+        (Element::H, -1.05, -1.45, 0.90),
+        (Element::H, -1.05, -1.45, -0.90),
+        // CH hydrogen
+        (Element::H, 0.55, -1.35, -0.95),
+        // methyl group
+        (Element::C, 1.70, -2.05, 0.30),
+        (Element::H, 2.70, -1.85, 0.35),
+        (Element::H, 1.45, -2.85, 0.95),
+        (Element::H, 1.45, -2.45, -0.70),
+    ])
+}
+
+/// Ethylene carbonate (C₃H₄O₃), the smaller cyclic-carbonate cousin.
+pub fn ethylene_carbonate() -> Molecule {
+    from_angstrom(&[
+        (Element::C, 0.0, 1.2, 0.0),
+        (Element::O, -1.141, 0.371, 0.0),
+        (Element::C, -0.705, -0.971, 0.0),
+        (Element::C, 0.705, -0.971, 0.0),
+        (Element::O, 1.141, 0.371, 0.0),
+        (Element::O, 0.0, 2.38, 0.0),
+        (Element::H, -1.05, -1.45, 0.90),
+        (Element::H, -1.05, -1.45, -0.90),
+        (Element::H, 1.05, -1.45, 0.90),
+        (Element::H, 1.05, -1.45, -0.90),
+    ])
+}
+
+/// Dimethyl sulfoxide (CH₃)₂SO — a candidate replacement solvent with
+/// enhanced stability against peroxide attack.
+pub fn dmso() -> Molecule {
+    from_angstrom(&[
+        (Element::S, 0.0, 0.0, 0.0),
+        (Element::O, 0.0, 0.0, 1.50),
+        (Element::C, 1.55, 0.0, -0.91),
+        (Element::C, -1.55, 0.0, -0.91),
+        (Element::H, 2.20, 0.85, -0.60),
+        (Element::H, 2.20, -0.85, -0.60),
+        (Element::H, 1.35, 0.0, -1.98),
+        (Element::H, -2.20, 0.85, -0.60),
+        (Element::H, -2.20, -0.85, -0.60),
+        (Element::H, -1.35, 0.0, -1.98),
+    ])
+}
+
+/// 1,2-dimethoxyethane (glyme, C₄H₁₀O₂) — the ether-class candidate
+/// solvent.
+pub fn dme() -> Molecule {
+    from_angstrom(&[
+        (Element::C, -3.55, 0.45, 0.0),
+        (Element::O, -2.35, -0.30, 0.0),
+        (Element::C, -1.15, 0.45, 0.0),
+        (Element::C, 0.15, -0.35, 0.0),
+        (Element::O, 1.35, 0.40, 0.0),
+        (Element::C, 2.55, -0.35, 0.0),
+        (Element::H, -4.45, -0.15, 0.0),
+        (Element::H, -3.60, 1.10, 0.88),
+        (Element::H, -3.60, 1.10, -0.88),
+        (Element::H, -1.15, 1.10, 0.88),
+        (Element::H, -1.15, 1.10, -0.88),
+        (Element::H, 0.15, -1.00, 0.88),
+        (Element::H, 0.15, -1.00, -0.88),
+        (Element::H, 3.45, 0.25, 0.0),
+        (Element::H, 2.60, -1.00, 0.88),
+        (Element::H, 2.60, -1.00, -0.88),
+    ])
+}
+
+/// Rotate a molecule in place about its centroid by the rotation taking the
+/// z-axis to `axis` composed with a twist of `angle` — a cheap uniform-ish
+/// random orientation when fed random inputs.
+fn rotate_about_centroid(mol: &mut Molecule, axis: Vec3, angle: f64) {
+    let c = mol.centroid();
+    let k = if axis.norm() > 1e-12 { axis.normalized() } else { Vec3::new(0.0, 0.0, 1.0) };
+    let (s, cth) = angle.sin_cos();
+    for a in &mut mol.atoms {
+        let v = a.pos - c;
+        // Rodrigues rotation formula.
+        let rotated = v * cth + k.cross(v) * s + k * (k.dot(v) * (1.0 - cth));
+        a.pos = c + rotated;
+    }
+}
+
+/// A box of `n³` copies of `template` on a simple-cubic lattice with
+/// deterministic pseudo-random orientations. Returns the molecule and the
+/// periodic cell. `spacing` is the lattice constant in Bohr.
+pub fn molecular_lattice(template: &Molecule, n: usize, spacing: f64, seed: u64) -> (Molecule, Cell) {
+    assert!(n > 0 && spacing > 0.0);
+    let mut rng = SplitMix64::new(seed);
+    let mut all = Molecule::new();
+    for ix in 0..n {
+        for iy in 0..n {
+            for iz in 0..n {
+                let mut copy = template.clone();
+                let axis = Vec3::new(
+                    rng.next_f64() - 0.5,
+                    rng.next_f64() - 0.5,
+                    rng.next_f64() - 0.5,
+                );
+                rotate_about_centroid(&mut copy, axis, rng.next_f64() * std::f64::consts::TAU);
+                let target = Vec3::new(
+                    (ix as f64 + 0.5) * spacing,
+                    (iy as f64 + 0.5) * spacing,
+                    (iz as f64 + 0.5) * spacing,
+                );
+                copy.translate(target - copy.centroid());
+                all.merge(&copy);
+            }
+        }
+    }
+    (all, Cell::cubic(n as f64 * spacing))
+}
+
+/// A water box with `n³` molecules at roughly liquid density
+/// (3.107 Å lattice spacing ⇒ 0.997 g/cm³).
+pub fn water_box(n: usize, seed: u64) -> (Molecule, Cell) {
+    molecular_lattice(&water(), n, 3.107 * ANGSTROM, seed)
+}
+
+/// The candidate solvents of the battery study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Solvent {
+    /// Propylene carbonate — the degrading incumbent.
+    PropyleneCarbonate,
+    /// Ethylene carbonate.
+    EthyleneCarbonate,
+    /// Dimethyl sulfoxide.
+    Dmso,
+    /// 1,2-dimethoxyethane.
+    Dme,
+}
+
+impl Solvent {
+    /// Geometry template for this solvent.
+    pub fn molecule(self) -> Molecule {
+        match self {
+            Solvent::PropyleneCarbonate => propylene_carbonate(),
+            Solvent::EthyleneCarbonate => ethylene_carbonate(),
+            Solvent::Dmso => dmso(),
+            Solvent::Dme => dme(),
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Solvent::PropyleneCarbonate => "PC",
+            Solvent::EthyleneCarbonate => "EC",
+            Solvent::Dmso => "DMSO",
+            Solvent::Dme => "DME",
+        }
+    }
+
+    /// All candidates, incumbent first.
+    pub fn all() -> [Solvent; 4] {
+        [
+            Solvent::PropyleneCarbonate,
+            Solvent::EthyleneCarbonate,
+            Solvent::Dmso,
+            Solvent::Dme,
+        ]
+    }
+}
+
+/// A solvent·Li₂O₂ contact complex: the peroxide cluster is placed with one
+/// lithium `li_o_dist` Bohr beyond the solvent's most exposed oxygen, along
+/// the outward direction — the attack geometry of the degradation study.
+pub fn li2o2_complex(solvent: Solvent, li_o_dist: f64) -> Molecule {
+    let mol = solvent.molecule();
+    let centroid = mol.centroid();
+    // Most exposed oxygen: farthest O from the centroid.
+    let (o_idx, _) = mol
+        .atoms
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.element == Element::O)
+        .map(|(i, a)| (i, a.pos.distance(centroid)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .expect("solvent has no oxygen");
+    let o_pos = mol.atoms[o_idx].pos;
+    let u = (o_pos - centroid).normalized();
+    // Orient the cluster's Li–Li axis (x) along u, then translate so the
+    // near lithium sits at o_pos + u·li_o_dist.
+    let mut cluster = li2o2();
+    let x_axis = Vec3::new(1.0, 0.0, 0.0);
+    let axis = x_axis.cross(u);
+    let angle = x_axis.dot(u).clamp(-1.0, 1.0).acos();
+    if axis.norm() > 1e-9 {
+        rotate_about_centroid(&mut cluster, axis, angle);
+    } else if angle > 1.0 {
+        // u ≈ −x: flip about z.
+        rotate_about_centroid(&mut cluster, Vec3::new(0.0, 0.0, 1.0), std::f64::consts::PI);
+    }
+    // The lithium pointing toward −u after orientation is the "near" one.
+    let near_li = cluster
+        .atoms
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.element == Element::Li)
+        .min_by(|a, b| {
+            a.1.pos.dot(u).partial_cmp(&b.1.pos.dot(u)).unwrap()
+        })
+        .map(|(i, _)| i)
+        .unwrap();
+    let shift = o_pos + u * li_o_dist - cluster.atoms[near_li].pos;
+    cluster.translate(shift);
+    // Resolve steric clashes (possible when the exposed oxygen sits in a
+    // pocket, e.g. DME's ether oxygens): push the cluster outward along u
+    // until every inter-fragment contact exceeds 2.4 Bohr.
+    for _ in 0..40 {
+        let clash = mol.atoms.iter().any(|a| {
+            cluster.atoms.iter().any(|b| a.pos.distance(b.pos) < 2.4)
+        });
+        if !clash {
+            break;
+        }
+        cluster.translate(u * 0.25);
+    }
+    let mut complex = mol;
+    complex.merge(&cluster);
+    complex
+}
+
+/// An electrolyte box: `n³ − 1` solvent molecules plus one Li₂O₂ cluster at
+/// the center lattice site — the model of the electrolyte in contact with
+/// the discharge product.
+pub fn electrolyte_box(solvent: Solvent, n: usize, seed: u64) -> (Molecule, Cell) {
+    assert!(n >= 1);
+    let spacing = 5.6 * ANGSTROM; // organic-solvent scale lattice constant
+    let (mut all, cell) = molecular_lattice(&solvent.molecule(), n, spacing, seed);
+    // Swap the molecule nearest the box center for Li₂O₂.
+    let per = solvent.molecule().natoms();
+    let center = Vec3::splat(0.5 * n as f64 * spacing);
+    let nmol = all.atoms.len() / per;
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for m in 0..nmol {
+        let c = all.atoms[m * per..(m + 1) * per]
+            .iter()
+            .fold(Vec3::ZERO, |acc, a| acc + a.pos)
+            / per as f64;
+        let d = c.distance(center);
+        if d < best_d {
+            best_d = d;
+            best = m;
+        }
+    }
+    let mut cluster = li2o2();
+    cluster.translate(center - cluster.centroid());
+    let mut rebuilt = Molecule::new();
+    for m in 0..nmol {
+        if m == best {
+            rebuilt.merge(&cluster);
+        } else {
+            for a in &all.atoms[m * per..(m + 1) * per] {
+                rebuilt.push(a.element, a.pos);
+            }
+        }
+    }
+    rebuilt.charge = all.charge;
+    all = rebuilt;
+    (all, cell)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formulas_are_correct() {
+        assert_eq!(water().formula(), "H2O");
+        assert_eq!(propylene_carbonate().formula(), "C4H6O3");
+        assert_eq!(ethylene_carbonate().formula(), "C3H4O3");
+        assert_eq!(dmso().formula(), "C2H6OS");
+        assert_eq!(dme().formula(), "C4H10O2");
+        assert_eq!(li2o2().formula(), "Li2O2");
+    }
+
+    #[test]
+    fn closed_shell_electron_counts() {
+        for m in [
+            water(),
+            propylene_carbonate(),
+            ethylene_carbonate(),
+            dmso(),
+            dme(),
+            li2o2(),
+            h2(),
+            lih(),
+        ] {
+            assert_eq!(m.nelectrons() % 2, 0, "{} not closed shell", m.formula());
+        }
+    }
+
+    /// Every atom should be bonded to something: nearest-neighbour distance
+    /// below 1.3× the sum of covalent radii.
+    #[test]
+    fn geometries_are_chemically_connected() {
+        for m in [water(), propylene_carbonate(), ethylene_carbonate(), dmso(), dme(), li2o2()] {
+            for (i, a) in m.atoms.iter().enumerate() {
+                let mut bonded = false;
+                for (j, b) in m.atoms.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    let cutoff = 1.3 * (a.element.covalent_radius() + b.element.covalent_radius());
+                    if a.pos.distance(b.pos) < cutoff {
+                        bonded = true;
+                        break;
+                    }
+                }
+                assert!(bonded, "{}: atom {i} ({}) is unbonded", m.formula(), a.element);
+            }
+        }
+    }
+
+    #[test]
+    fn no_atom_overlaps() {
+        for m in [propylene_carbonate(), dmso(), dme(), li2o2()] {
+            for i in 0..m.natoms() {
+                for j in (i + 1)..m.natoms() {
+                    let d = m.atoms[i].pos.distance(m.atoms[j].pos);
+                    assert!(d > 0.8 * ANGSTROM, "{}: atoms {i},{j} at {d}", m.formula());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn water_box_counts_and_cell() {
+        let (mol, cell) = water_box(2, 1);
+        assert_eq!(mol.natoms(), 8 * 3);
+        assert!(cell.volume() > 0.0);
+        // All atoms inside (or very near) the cell after wrapping.
+        for a in &mol.atoms {
+            let w = cell.wrap(a.pos);
+            assert!(w.x >= 0.0 && w.x < cell.lengths.x);
+        }
+    }
+
+    #[test]
+    fn water_box_is_deterministic() {
+        let (a, _) = water_box(2, 9);
+        let (b, _) = water_box(2, 9);
+        assert_eq!(a, b);
+        let (c, _) = water_box(2, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn electrolyte_box_swaps_center_molecule() {
+        let (mol, _) = electrolyte_box(Solvent::PropyleneCarbonate, 2, 3);
+        // 7 PC molecules (13 atoms each) + Li2O2 (4 atoms)
+        assert_eq!(mol.natoms(), 7 * 13 + 4);
+        let n_li = mol.atoms.iter().filter(|a| a.element == Element::Li).count();
+        assert_eq!(n_li, 2);
+    }
+
+    #[test]
+    fn complex_geometry_is_sane() {
+        for s in Solvent::all() {
+            let d = 3.6;
+            let complex = li2o2_complex(s, d * crate::ANGSTROM / crate::ANGSTROM);
+            let n_solvent = s.molecule().natoms();
+            assert_eq!(complex.natoms(), n_solvent + 4, "{}", s.name());
+            // No atoms collide.
+            for (i, a) in complex.atoms.iter().enumerate() {
+                for (j, b) in complex.atoms.iter().enumerate().skip(i + 1) {
+                    let r = a.pos.distance(b.pos);
+                    assert!(r > 1.0, "{}: atoms {i},{j} collide at {r}", s.name());
+                }
+            }
+            // The nearest cluster-Li to solvent-O contact is close to the
+            // requested distance.
+            let mut min_li_o = f64::INFINITY;
+            for li in complex.atoms[n_solvent..].iter().filter(|a| a.element == Element::Li) {
+                for o in complex.atoms[..n_solvent].iter().filter(|a| a.element == Element::O) {
+                    min_li_o = min_li_o.min(li.pos.distance(o.pos));
+                }
+            }
+            assert!(
+                min_li_o < 2.5 * d,
+                "{}: closest Li-O {min_li_o}",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_internal_distances() {
+        let m0 = propylene_carbonate();
+        let mut m1 = m0.clone();
+        rotate_about_centroid(&mut m1, Vec3::new(1.0, 2.0, 0.5), 1.1);
+        for i in 0..m0.natoms() {
+            for j in (i + 1)..m0.natoms() {
+                let d0 = m0.atoms[i].pos.distance(m0.atoms[j].pos);
+                let d1 = m1.atoms[i].pos.distance(m1.atoms[j].pos);
+                assert!((d0 - d1).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn solvent_enum_roundtrip() {
+        for s in Solvent::all() {
+            assert!(!s.name().is_empty());
+            assert!(s.molecule().natoms() >= 10);
+        }
+    }
+}

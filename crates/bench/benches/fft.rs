@@ -1,0 +1,48 @@
+//! Criterion bench: the 3-D FFT — the inner kernel of every exchange pair
+//! (two transforms per pair). Calibrates the cost model's flop pricing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use liair_math::fft3::{fft3, ifft3};
+use liair_math::rng::SplitMix64;
+use liair_math::{Array3, Complex64};
+
+fn random_grid(n: usize, seed: u64) -> Array3<Complex64> {
+    let mut rng = SplitMix64::new(seed);
+    let data = (0..n * n * n)
+        .map(|_| Complex64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+        .collect();
+    Array3::from_vec((n, n, n), data)
+}
+
+fn bench_fft3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft3");
+    for &n in &[16usize, 32, 48, 64] {
+        let base = random_grid(n, 7);
+        group.throughput(Throughput::Elements((n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut g| fft3(&mut g),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("roundtrip", n), &n, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut g| {
+                    fft3(&mut g);
+                    ifft3(&mut g);
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fft3
+}
+criterion_main!(benches);

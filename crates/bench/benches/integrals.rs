@@ -1,0 +1,68 @@
+//! Criterion bench: the Gaussian integral substrate — ERI shell quartets
+//! and the full direct Fock build (the analytic exchange reference path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use liair_basis::{systems, Basis};
+use liair_integrals::eri::{EriEngine, EriScratch};
+use liair_integrals::JkBuilder;
+use liair_math::Mat;
+
+fn bench_quartets(c: &mut Criterion) {
+    let mol = systems::water();
+    let basis = Basis::sto3g(&mol);
+    let engine = EriEngine::new(&basis);
+    let nsh = basis.shells.len();
+    let mut group = c.benchmark_group("eri");
+    group.bench_function("all_shell_quartets_water", |b| {
+        let mut scratch = EriScratch::default();
+        let mut out = Vec::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for sa in 0..nsh {
+                for sb in 0..nsh {
+                    for sc in 0..nsh {
+                        for sd in 0..nsh {
+                            engine.shell_quartet_into(sa, sb, sc, sd, &mut scratch, &mut out);
+                            acc += out[0];
+                        }
+                    }
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fock_build");
+    group.sample_size(10);
+    for (name, mol) in [
+        ("water", systems::water()),
+        ("li2o2", systems::li2o2()),
+    ] {
+        let basis = Basis::sto3g(&mol);
+        let builder = JkBuilder::new(&basis);
+        let n = basis.nao();
+        let mut d = Mat::zeros(n, n);
+        let mut rng = liair_math::rng::SplitMix64::new(2);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = rng.next_f64() - 0.5;
+                d[(i, j)] = v;
+                d[(j, i)] = v;
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("jk", name), &d, |b, d| {
+            b.iter(|| std::hint::black_box(builder.build(d, 1e-11)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_quartets, bench_fock
+}
+criterion_main!(benches);

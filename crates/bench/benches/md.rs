@@ -1,0 +1,46 @@
+//! Criterion bench: the MD substrate — force-field evaluation and full
+//! velocity-Verlet steps on condensed boxes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use liair_basis::systems;
+use liair_md::{ForceField, MdOptions, MdState, Thermostat};
+use rand::SeedableRng;
+
+fn bench_forces(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forcefield");
+    for &n_side in &[2usize, 3] {
+        let (mol, cell) = systems::water_box(n_side, 1);
+        let ff = ForceField::from_molecule(&mol, Some(&cell));
+        group.bench_with_input(
+            BenchmarkId::new("energy_forces", mol.natoms()),
+            &mol,
+            |b, mol| b.iter(|| std::hint::black_box(ff.energy_forces(mol, Some(&cell)))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_md_step(c: &mut Criterion) {
+    let (mol, cell) = systems::water_box(2, 3);
+    let ff = ForceField::from_molecule(&mol, Some(&cell));
+    let mut state = MdState::new(mol, Some(cell), &ff);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+    state.thermalize(300.0, &mut rng);
+    let opts = MdOptions {
+        dt: 15.0,
+        thermostat: Thermostat::Berendsen { t_target: 300.0, tau: 300.0 },
+    };
+    c.bench_function("md_step_8_waters", |b| {
+        b.iter(|| {
+            state.step(&ff, &opts);
+            std::hint::black_box(state.potential)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_forces, bench_md_step
+}
+criterion_main!(benches);

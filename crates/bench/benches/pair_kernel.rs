@@ -1,0 +1,106 @@
+//! Criterion bench: the full exchange-pair work unit — pair density,
+//! Poisson solve, energy contraction. The per-pair wall time measured here
+//! is the physical anchor of `fig-strong-scaling`'s cost model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use liair_basis::Cell;
+use liair_grid::{PoissonSolver, RealGrid};
+use liair_math::rng::SplitMix64;
+
+fn bench_pair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exchange_pair");
+    for &n in &[24usize, 32, 48] {
+        let grid = RealGrid::cubic(Cell::cubic(20.0), n);
+        let solver = PoissonSolver::isolated(grid);
+        let mut rng = SplitMix64::new(1);
+        let phi_i: Vec<f64> = (0..grid.len()).map(|_| rng.next_f64() - 0.5).collect();
+        let phi_j: Vec<f64> = (0..grid.len()).map(|_| rng.next_f64() - 0.5).collect();
+        group.bench_with_input(BenchmarkId::new("pair", n), &n, |b, _| {
+            b.iter(|| {
+                let rho: Vec<f64> =
+                    phi_i.iter().zip(&phi_j).map(|(a, b)| a * b).collect();
+                std::hint::black_box(solver.exchange_pair(&rho).0)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The paper's >10× mechanism measured for real: one exchange pair on the
+/// full cell grid vs on its pair-local patch.
+fn bench_patch_vs_full(c: &mut Criterion) {
+    use liair_grid::patch::patch_pair_energy;
+    use liair_math::Vec3;
+    let l = 24.0;
+    let parent = RealGrid::cubic(Cell::cubic(l), 64);
+    let c1 = Vec3::new(l / 2.0 - 1.0, l / 2.0, l / 2.0);
+    let c2 = Vec3::new(l / 2.0 + 1.0, l / 2.0, l / 2.0);
+    let alpha = 1.1;
+    let field = |center: Vec3| -> Vec<f64> {
+        let norm = (2.0 * alpha / std::f64::consts::PI).powf(0.75);
+        (0..parent.len())
+            .map(|i| {
+                let d = parent.cell.min_image(center, parent.point_flat(i));
+                norm * (-alpha * d.norm_sqr()).exp()
+            })
+            .collect()
+    };
+    let phi_i = field(c1);
+    let phi_j = field(c2);
+    let solver = PoissonSolver::isolated(parent);
+    let mut group = c.benchmark_group("compact_representation");
+    group.bench_function("full_cell_64", |b| {
+        b.iter(|| {
+            let rho: Vec<f64> = phi_i.iter().zip(&phi_j).map(|(a, b)| a * b).collect();
+            std::hint::black_box(solver.exchange_pair(&rho).0)
+        })
+    });
+    group.bench_function("pair_patch_32", |b| {
+        b.iter(|| {
+            std::hint::black_box(patch_pair_energy(
+                &parent,
+                &phi_i,
+                &phi_j,
+                (c1 + c2) * 0.5,
+                24,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_screening(c: &mut Criterion) {
+    use liair_core::Workload;
+    let mut group = c.benchmark_group("pair_list");
+    for &norb in &[256usize, 1024] {
+        group.bench_with_input(BenchmarkId::new("build+screen", norb), &norb, |b, &n| {
+            b.iter(|| {
+                std::hint::black_box(Workload::condensed(
+                    "bench", n, 30.0, 1.5, 1e-6, 48, 128, 3,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_balance(c: &mut Criterion) {
+    use liair_core::{assign_pairs, BalanceStrategy, Workload};
+    let w = Workload::condensed("bench", 1024, 30.0, 1.5, 1e-6, 48, 128, 3);
+    let mut group = c.benchmark_group("load_balance");
+    for strat in [BalanceStrategy::RoundRobin, BalanceStrategy::GreedyLpt] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("{strat:?}"), w.pairs.len()),
+            &w,
+            |b, w| b.iter(|| std::hint::black_box(assign_pairs(&w.pairs, 4096, strat))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pair, bench_patch_vs_full, bench_screening, bench_balance
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench: SCF convergence and analytic gradients — the per-step
+//! cost drivers of Born–Oppenheimer MD.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use liair_basis::{systems, Basis};
+use liair_integrals::rhf_gradient;
+use liair_scf::{rhf, ScfOptions};
+
+fn bench_scf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scf");
+    for (name, mol) in [("h2", systems::h2()), ("water", systems::water())] {
+        group.bench_with_input(BenchmarkId::new("rhf", name), &mol, |b, mol| {
+            let basis = Basis::sto3g(mol);
+            b.iter(|| std::hint::black_box(rhf(mol, &basis, &ScfOptions::default())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gradient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gradient");
+    group.sample_size(10);
+    for (name, mol) in [("h2", systems::h2()), ("water", systems::water())] {
+        let basis = Basis::sto3g(&mol);
+        let scf = rhf(&mol, &basis, &ScfOptions::default());
+        group.bench_with_input(BenchmarkId::new("analytic", name), &mol, |b, mol| {
+            b.iter(|| {
+                std::hint::black_box(rhf_gradient(
+                    mol,
+                    &basis,
+                    &scf.c,
+                    &scf.orbital_energies,
+                    &scf.density,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ewald(c: &mut Criterion) {
+    use liair_md::ewald::{ewald_energy_forces, rock_salt_cell, EwaldParams};
+    let (pos, chg, cell) = rock_salt_cell(9.0, 1.0);
+    let params = EwaldParams::auto(&cell);
+    c.bench_function("ewald_rock_salt_cell", |b| {
+        b.iter(|| std::hint::black_box(ewald_energy_forces(&cell, &pos, &chg, &params)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scf, bench_gradient, bench_ewald
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench: the machine-model evaluation itself — one modelled
+//! exchange build per scheme and partition (this is what the repro harness
+//! sweeps; it must stay cheap enough to evaluate thousands of times).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use liair_bgq::collectives::CollectiveAlgo;
+use liair_bgq::MachineConfig;
+use liair_core::{simulate_hfx_build, Scheme, Workload};
+
+fn bench_simulate(c: &mut Criterion) {
+    let w = Workload::paper_water_box();
+    let mut group = c.benchmark_group("simulate_build");
+    for &racks in &[1usize, 96] {
+        let m = MachineConfig::bgq_racks(racks);
+        for (label, scheme) in [
+            ("ours", Scheme::ours()),
+            ("full-grid", Scheme::FullGridPairs),
+            ("pw", Scheme::PwDistributed),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, racks),
+                &m,
+                |b, m| {
+                    b.iter(|| {
+                        std::hint::black_box(simulate_hfx_build(
+                            &w,
+                            m,
+                            scheme,
+                            CollectiveAlgo::TorusPipelined,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulate
+}
+criterion_main!(benches);

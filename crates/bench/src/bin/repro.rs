@@ -1,0 +1,52 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [--fast] [--markdown] <experiment-id>... | all | list
+//! ```
+//!
+//! * `--fast` trims the heaviest sweeps (minutes instead of tens of
+//!   minutes);
+//! * `--markdown` emits GitHub tables (used to fill EXPERIMENTS.md);
+//! * `list` prints the available ids.
+
+use liair_bench::experiments::{run, ALL_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+
+    if ids.iter().any(|a| a == "list") || ids.is_empty() {
+        eprintln!("usage: repro [--fast] [--markdown] <id>... | all");
+        eprintln!("experiments:");
+        for id in ALL_IDS {
+            eprintln!("  {id}");
+        }
+        return;
+    }
+
+    let selected: Vec<&str> = if ids.iter().any(|a| a == "all") {
+        ALL_IDS.to_vec()
+    } else {
+        ids.iter().map(|s| s.as_str()).collect()
+    };
+
+    for id in selected {
+        eprintln!(">>> running {id}{}", if fast { " (fast)" } else { "" });
+        let t0 = std::time::Instant::now();
+        let tables = run(id, fast);
+        for t in &tables {
+            if markdown {
+                println!("{}", t.to_markdown());
+            } else {
+                println!("{}", t.to_text());
+            }
+        }
+        eprintln!("<<< {id} done in {:.1?}\n", t0.elapsed());
+    }
+}

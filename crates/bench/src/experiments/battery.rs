@@ -1,0 +1,177 @@
+//! The application experiments.
+//!
+//! * `tab-battery` — the lithium/air chemistry result: interaction
+//!   energies of each candidate solvent with the Li₂O₂ discharge product
+//!   (RHF + PBE0, real SCF) and degradation events in hot reactive-MD
+//!   trajectories. Propylene carbonate (the incumbent) should bind
+//!   strongest and break bonds; the replacement candidates survive.
+//! * `fig-md-water` — the MD substrate check: NVE conservation and the
+//!   liquid structure of a periodic water box.
+
+use crate::Table;
+use liair_basis::{systems, Basis, Element};
+use liair_md::analysis::{drift_per_step, BondEvents, RdfAccumulator};
+use liair_md::{ForceField, MdOptions, MdState, Thermostat};
+use liair_scf::{functional_energy, rhf, ScfOptions};
+use liair_xc::Functional;
+use rand::SeedableRng;
+
+fn scf_opts() -> ScfOptions {
+    ScfOptions { energy_tol: 1e-7, max_iter: 150, ..Default::default() }
+}
+
+/// Hot-trajectory degradation count for one solvent's Li₂O₂ complex:
+/// distinct solvent-internal bonds broken (stretch > 1.5·r₀, where the
+/// Morse bonds are > 95 % dissociated) in `steps` Berendsen-thermostatted
+/// steps at `t_target` K, summed over three independent seeds
+/// (accelerated-aging protocol — see DESIGN.md on the activation-energy
+/// calibration of the labile carbonate linkages).
+pub fn degradation_events(solvent: systems::Solvent, t_target: f64, steps: usize) -> usize {
+    let mut total = 0;
+    for seed in 0..3u64 {
+        let complex = systems::li2o2_complex(solvent, 3.6);
+        let n_solvent = solvent.molecule().natoms();
+        let ff = ForceField::from_molecule(&complex, None);
+        let mut state = MdState::new(complex, None, &ff);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2014 + seed);
+        state.thermalize(t_target, &mut rng);
+        let opts = MdOptions {
+            dt: 15.0,
+            thermostat: Thermostat::Berendsen { t_target, tau: 500.0 },
+        };
+        let mut events = BondEvents::default();
+        for _ in 0..steps {
+            state.step(&ff, &opts);
+            let broken: Vec<usize> = ff
+                .broken_bonds(&state.mol, None, 1.5)
+                .into_iter()
+                .filter(|&b| ff.bonds[b].i < n_solvent && ff.bonds[b].j < n_solvent)
+                .collect();
+            events.record(&broken);
+        }
+        total += events.count();
+    }
+    total
+}
+
+/// Run the battery table.
+pub fn tab_battery(fast: bool) -> Vec<Table> {
+    let solvents: Vec<systems::Solvent> = if fast {
+        vec![systems::Solvent::PropyleneCarbonate, systems::Solvent::Dme]
+    } else {
+        systems::Solvent::all().to_vec()
+    };
+    let opts = scf_opts();
+
+    let cluster = systems::li2o2();
+    let basis_cl = Basis::sto3g(&cluster);
+    let scf_cl = rhf(&cluster, &basis_cl, &opts);
+    assert!(scf_cl.converged, "Li2O2 SCF failed");
+    let pbe0_cl = functional_energy(&cluster, &basis_cl, &scf_cl, Functional::Pbe0, &opts);
+
+    let mut t = Table::new(
+        "tab-battery — solvent stability against Li2O2 (STO-3G)",
+        &[
+            "solvent",
+            "E_int RHF [mHa]",
+            "E_int PBE0 [mHa]",
+            "bonds broken (1200K MD)",
+            "verdict",
+        ],
+    );
+    for s in solvents {
+        let solvent = s.molecule();
+        let complex = systems::li2o2_complex(s, 3.6);
+        let basis_s = Basis::sto3g(&solvent);
+        let scf_s = rhf(&solvent, &basis_s, &opts);
+        let basis_c = Basis::sto3g(&complex);
+        let scf_c = rhf(&complex, &basis_c, &opts);
+        assert!(scf_s.converged && scf_c.converged, "{} SCF failed", s.name());
+        let e_int_rhf = scf_c.energy - scf_s.energy - scf_cl.energy;
+        let pbe0_s = functional_energy(&solvent, &basis_s, &scf_s, Functional::Pbe0, &opts);
+        let pbe0_c = functional_energy(&complex, &basis_c, &scf_c, Functional::Pbe0, &opts);
+        let e_int_pbe0 = pbe0_c - pbe0_s - pbe0_cl;
+        let broken = degradation_events(s, 1200.0, if fast { 4000 } else { 6000 });
+        let verdict = if broken > 0 { "DEGRADES" } else { "stable" };
+        t.row(vec![
+            s.name().into(),
+            format!("{:.1}", e_int_rhf * 1e3),
+            format!("{:.1}", e_int_pbe0 * 1e3),
+            format!("{broken}"),
+            verdict.into(),
+        ]);
+    }
+    t.note = "paper conclusion: PC degrades at the peroxide; alternative solvents show enhanced stability".into();
+    vec![t]
+}
+
+/// Run the water-MD figure.
+pub fn fig_md_water(fast: bool) -> Vec<Table> {
+    let n_side = if fast { 2 } else { 3 };
+    let (mol, cell) = systems::water_box(n_side, 42);
+    let ff = ForceField::from_molecule(&mol, Some(&cell));
+    let mut state = MdState::new(mol, Some(cell), &ff);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+    state.thermalize(300.0, &mut rng);
+    let eq = MdOptions {
+        dt: 15.0,
+        thermostat: Thermostat::Berendsen { t_target: 300.0, tau: 300.0 },
+    };
+    state.run(&ff, &eq, if fast { 500 } else { 1500 });
+    let nve = MdOptions { dt: 15.0, thermostat: Thermostat::None };
+    let mut rdf = RdfAccumulator::new(Element::O, Element::O, 12.0, 48);
+    let mut energies = Vec::new();
+    let prod = if fast { 800 } else { 2000 };
+    for step in 0..prod {
+        state.step(&ff, &nve);
+        energies.push(state.total_energy());
+        if step % 20 == 0 {
+            rdf.add_frame(&state.mol, &state.cell.unwrap());
+        }
+    }
+    let drift = drift_per_step(&energies);
+    let g = rdf.finish(&state.mol, &state.cell.unwrap());
+    let (r_peak, g_peak) = g
+        .iter()
+        .copied()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+
+    let mut t = Table::new(
+        &format!("fig-md-water — {} H2O periodic box", n_side * n_side * n_side),
+        &["quantity", "value"],
+    );
+    t.row(vec!["NVE steps".into(), format!("{prod}")]);
+    t.row(vec!["energy drift / step".into(), format!("{:.2e} Ha", drift)]);
+    t.row(vec!["final T".into(), format!("{:.0} K", state.temperature())]);
+    t.row(vec!["g_OO first peak".into(), format!("{:.2} at r = {:.2} Bohr", g_peak, r_peak)]);
+    t.note = "the condensed-phase substrate the exchange workload samples from".into();
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_degrades_and_dme_survives() {
+        // The core chemistry claim at reduced step count.
+        let pc = degradation_events(systems::Solvent::PropyleneCarbonate, 1200.0, 4000);
+        let dme = degradation_events(systems::Solvent::Dme, 1200.0, 4000);
+        assert!(pc > dme, "PC broke {pc} bonds vs DME {dme}");
+        assert!(pc >= 1, "PC should degrade in the hot trajectory");
+    }
+
+    #[test]
+    fn md_water_figure_is_stable() {
+        let t = &fig_md_water(true)[0];
+        let drift_row = &t.rows[1];
+        let drift: f64 = drift_row[1]
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(drift.abs() < 1e-5, "NVE drift {drift}");
+    }
+}

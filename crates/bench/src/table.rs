@@ -1,0 +1,121 @@
+//! Minimal table rendering for experiment output (console + markdown).
+
+/// A titled table of string cells.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Heading shown above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (ragged rows are padded on print).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form note printed under the table.
+    pub note: String,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            note: String::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Column widths for aligned printing.
+    fn widths(&self) -> Vec<usize> {
+        let ncol = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let mut w = vec![0usize; ncol];
+        for (i, h) in self.headers.iter().enumerate() {
+            w[i] = w[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.chars().count());
+            }
+        }
+        w
+    }
+
+    /// Render aligned plain text.
+    pub fn to_text(&self) -> String {
+        let w = self.widths();
+        let mut out = format!("## {}\n", self.title);
+        let fmt_row = |cells: &[String], w: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = w[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &w));
+        out.push('\n');
+        out.push_str(&"-".repeat(w.iter().sum::<usize>() + 2 * w.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &w));
+            out.push('\n');
+        }
+        if !self.note.is_empty() {
+            out.push_str(&format!("note: {}\n", self.note));
+        }
+        out
+    }
+
+    /// Render GitHub markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            "---|".repeat(self.headers.len())
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        if !self.note.is_empty() {
+            out.push_str(&format!("\n*{}*\n", self.note));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        t.note = "hello".into();
+        t
+    }
+
+    #[test]
+    fn text_rendering_is_aligned() {
+        let txt = sample().to_text();
+        assert!(txt.contains("## demo"));
+        assert!(txt.contains("333"));
+        assert!(txt.contains("note: hello"));
+    }
+
+    #[test]
+    fn markdown_has_separator() {
+        let md = sample().to_markdown();
+        assert!(md.contains("| a | bb |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 333 | 4 |"));
+    }
+}

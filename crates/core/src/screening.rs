@@ -1,0 +1,377 @@
+//! Controllable-accuracy pair screening.
+//!
+//! For localized orbitals `i`, `j` with centers `c_i`, `c_j` and spreads
+//! `σ_i`, `σ_j`, the pair density magnitude is bounded by the Gaussian
+//! overlap estimate
+//!
+//! `B_ij = exp(−d²/(2(σ_i² + σ_j²)))`, `d = |c_i − c_j|` (minimum image in
+//! periodic cells).
+//!
+//! Since `(ij|ij)` is quadratic in the pair density, dropping pairs with
+//! `B_ij < ε` discards exchange contributions of order `ε²·(ii|ii)` —
+//! the error is controlled *monotonically* by the single knob ε, which is
+//! the paper's "highly controllable manner". ε = 0 disables screening.
+
+use liair_basis::Cell;
+use liair_math::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// What screening needs to know about one localized occupied orbital.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OrbitalInfo {
+    /// Localization center (Bohr).
+    #[serde(with = "vec3_serde")]
+    pub center: Vec3,
+    /// Spread σ (Bohr).
+    pub spread: f64,
+}
+
+mod vec3_serde {
+    use liair_math::Vec3;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(v: &Vec3, s: S) -> Result<S::Ok, S::Error> {
+        [v.x, v.y, v.z].serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec3, D::Error> {
+        let a = <[f64; 3]>::deserialize(d)?;
+        Ok(Vec3::new(a[0], a[1], a[2]))
+    }
+}
+
+/// One surviving exchange task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pair {
+    /// First orbital index (`i ≤ j`).
+    pub i: u32,
+    /// Second orbital index.
+    pub j: u32,
+    /// Multiplicity in the exchange sum: 1 for diagonal, 2 for off-diagonal
+    /// (E_x = −Σ_{i≤j} w_ij (ij|ij) for a closed shell).
+    pub weight: f64,
+    /// The screening bound the pair survived with (1.0 for diagonal).
+    pub bound: f64,
+}
+
+/// The task list after screening.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairList {
+    /// Surviving pairs, `i ≤ j`.
+    pub pairs: Vec<Pair>,
+    /// Total candidate count `N(N+1)/2`.
+    pub n_candidates: usize,
+    /// The ε used.
+    pub eps: f64,
+}
+
+impl PairList {
+    /// Number of surviving pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether nothing survived (only possible for pathological ε > 1).
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Fraction of candidates kept.
+    pub fn survival(&self) -> f64 {
+        if self.n_candidates == 0 {
+            return 1.0;
+        }
+        self.pairs.len() as f64 / self.n_candidates as f64
+    }
+}
+
+/// The Gaussian-overlap screening bound for one orbital pair.
+pub fn pair_bound(a: &OrbitalInfo, b: &OrbitalInfo, cell: Option<&Cell>) -> f64 {
+    let d = match cell {
+        Some(c) => c.distance(a.center, b.center),
+        None => a.center.distance(b.center),
+    };
+    let denom = 2.0 * (a.spread * a.spread + b.spread * b.spread);
+    assert!(denom > 0.0, "orbital spreads must be positive");
+    (-d * d / denom).exp()
+}
+
+/// Distance beyond which a pair of spread-σ orbitals drops below ε.
+pub fn cutoff_radius(sigma_a: f64, sigma_b: f64, eps: f64) -> f64 {
+    assert!(eps > 0.0 && eps <= 1.0);
+    (2.0 * (sigma_a * sigma_a + sigma_b * sigma_b) * (1.0 / eps).ln()).sqrt()
+}
+
+/// Build the screened pair list over `orbitals` with threshold `eps`
+/// (`eps = 0` keeps everything); distances use the minimum image if a
+/// periodic cell is given.
+pub fn build_pair_list(orbitals: &[OrbitalInfo], eps: f64, cell: Option<&Cell>) -> PairList {
+    let n = orbitals.len();
+    let mut pairs = Vec::new();
+    for i in 0..n {
+        pairs.push(Pair { i: i as u32, j: i as u32, weight: 1.0, bound: 1.0 });
+        for j in (i + 1)..n {
+            let b = pair_bound(&orbitals[i], &orbitals[j], cell);
+            if b >= eps {
+                pairs.push(Pair { i: i as u32, j: j as u32, weight: 2.0, bound: b });
+            }
+        }
+    }
+    PairList { pairs, n_candidates: n * (n + 1) / 2, eps }
+}
+
+/// Linear-scaling pair-list construction for large condensed systems:
+/// orbitals are binned into cells of the screening cutoff radius, and only
+/// neighbouring bins are searched — O(N·partners) instead of O(N²).
+/// Requires `eps > 0` (a finite cutoff radius) and a periodic cell; the
+/// result is identical to [`build_pair_list`].
+pub fn build_pair_list_celllist(
+    orbitals: &[OrbitalInfo],
+    eps: f64,
+    cell: &Cell,
+) -> PairList {
+    assert!(eps > 0.0, "cell-list construction needs a finite eps");
+    let n = orbitals.len();
+    let sigma_max = orbitals.iter().map(|o| o.spread).fold(0.0f64, f64::max);
+    let rc = cutoff_radius(sigma_max, sigma_max, eps);
+    // Bin size ≥ rc so neighbours live in the 27 surrounding bins.
+    let nbins = |l: f64| ((l / rc).floor() as usize).max(1);
+    let (bx, by, bz) = (
+        nbins(cell.lengths.x),
+        nbins(cell.lengths.y),
+        nbins(cell.lengths.z),
+    );
+    let bin_of = |p: liair_math::Vec3| -> (usize, usize, usize) {
+        let w = cell.wrap(p);
+        (
+            ((w.x / cell.lengths.x * bx as f64) as usize).min(bx - 1),
+            ((w.y / cell.lengths.y * by as f64) as usize).min(by - 1),
+            ((w.z / cell.lengths.z * bz as f64) as usize).min(bz - 1),
+        )
+    };
+    let mut bins: Vec<Vec<u32>> = vec![Vec::new(); bx * by * bz];
+    for (i, o) in orbitals.iter().enumerate() {
+        let (ix, iy, iz) = bin_of(o.center);
+        bins[(ix * by + iy) * bz + iz].push(i as u32);
+    }
+    let mut pairs = Vec::new();
+    for i in 0..n {
+        pairs.push(Pair { i: i as u32, j: i as u32, weight: 1.0, bound: 1.0 });
+    }
+    let shifts: Vec<i64> = vec![-1, 0, 1];
+    for ix in 0..bx {
+        for iy in 0..by {
+            for iz in 0..bz {
+                let here = &bins[(ix * by + iy) * bz + iz];
+                for &dx in &shifts {
+                    for &dy in &shifts {
+                        for &dz in &shifts {
+                            let jx = (ix as i64 + dx).rem_euclid(bx as i64) as usize;
+                            let jy = (iy as i64 + dy).rem_euclid(by as i64) as usize;
+                            let jz = (iz as i64 + dz).rem_euclid(bz as i64) as usize;
+                            let there = &bins[(jx * by + jy) * bz + jz];
+                            for &a in here {
+                                for &b in there {
+                                    if b <= a {
+                                        continue;
+                                    }
+                                    let bound = pair_bound(
+                                        &orbitals[a as usize],
+                                        &orbitals[b as usize],
+                                        Some(cell),
+                                    );
+                                    if bound >= eps {
+                                        pairs.push(Pair {
+                                            i: a,
+                                            j: b,
+                                            weight: 2.0,
+                                            bound,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Duplicates are possible when few bins exist per axis (the same
+    // neighbour bin visited via two wraps); deduplicate.
+    pairs.sort_by_key(|p| (p.i, p.j));
+    pairs.dedup_by_key(|p| (p.i, p.j));
+    PairList { pairs, n_candidates: n * (n + 1) / 2, eps }
+}
+
+/// An ε schedule over SCF iterations: early iterations run with loose
+/// screening (cheap, approximate exchange), tightening geometrically to
+/// `eps_final` as the density converges — the standard trick the
+/// controllable-accuracy knob enables (final energies are unaffected
+/// because the last iterations run at full accuracy).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpsSchedule {
+    /// Screening threshold for the first iteration.
+    pub eps_start: f64,
+    /// Threshold from `tighten_over` iterations onward.
+    pub eps_final: f64,
+    /// Number of iterations over which to tighten.
+    pub tighten_over: usize,
+}
+
+impl EpsSchedule {
+    /// A fixed (non-adaptive) schedule.
+    pub fn fixed(eps: f64) -> Self {
+        Self { eps_start: eps, eps_final: eps, tighten_over: 1 }
+    }
+
+    /// Geometric interpolation between start and final thresholds.
+    pub fn eps_for(&self, iteration: usize) -> f64 {
+        if iteration + 1 >= self.tighten_over || self.eps_start == self.eps_final {
+            return self.eps_final;
+        }
+        let t = iteration as f64 / (self.tighten_over.max(2) - 1) as f64;
+        // Geometric path handles eps_final = 0 by switching at the end.
+        if self.eps_final <= 0.0 {
+            if iteration + 1 >= self.tighten_over {
+                0.0
+            } else {
+                self.eps_start * (1e-6f64).powf(t)
+            }
+        } else {
+            self.eps_start * (self.eps_final / self.eps_start).powf(t)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liair_math::approx_eq;
+
+    fn orb(x: f64, s: f64) -> OrbitalInfo {
+        OrbitalInfo { center: Vec3::new(x, 0.0, 0.0), spread: s }
+    }
+
+    #[test]
+    fn diagonal_pairs_always_kept() {
+        let orbs = vec![orb(0.0, 1.0), orb(100.0, 1.0)];
+        let pl = build_pair_list(&orbs, 0.9999, None);
+        // Both diagonals survive; the distant off-diagonal does not.
+        assert_eq!(pl.len(), 2);
+        assert!(pl.pairs.iter().all(|p| p.i == p.j));
+    }
+
+    #[test]
+    fn eps_zero_keeps_everything() {
+        let orbs: Vec<_> = (0..10).map(|k| orb(3.0 * k as f64, 1.2)).collect();
+        let pl = build_pair_list(&orbs, 0.0, None);
+        assert_eq!(pl.len(), pl.n_candidates);
+        assert_eq!(pl.n_candidates, 55);
+        assert!(approx_eq(pl.survival(), 1.0, 1e-15));
+    }
+
+    #[test]
+    fn survivors_monotone_in_eps() {
+        let orbs: Vec<_> = (0..20).map(|k| orb(1.5 * k as f64, 1.0)).collect();
+        let mut prev = usize::MAX;
+        for eps in [0.0, 1e-12, 1e-8, 1e-4, 1e-2, 0.5] {
+            let pl = build_pair_list(&orbs, eps, None);
+            assert!(pl.len() <= prev, "eps = {eps}");
+            prev = pl.len();
+        }
+    }
+
+    #[test]
+    fn bound_matches_cutoff_radius() {
+        let (sa, sb, eps) = (1.3, 0.9, 1e-6);
+        let rc = cutoff_radius(sa, sb, eps);
+        let just_inside = pair_bound(
+            &orb(0.0, sa),
+            &OrbitalInfo { center: Vec3::new(rc - 1e-9, 0.0, 0.0), spread: sb },
+            None,
+        );
+        let just_outside = pair_bound(
+            &orb(0.0, sa),
+            &OrbitalInfo { center: Vec3::new(rc + 1e-9, 0.0, 0.0), spread: sb },
+            None,
+        );
+        assert!(just_inside >= eps);
+        assert!(just_outside < eps);
+    }
+
+    #[test]
+    fn periodic_screening_wraps() {
+        // Two orbitals near opposite faces of the cell are *close* through
+        // the boundary.
+        let cell = Cell::cubic(20.0);
+        let a = orb(0.5, 1.0);
+        let b = orb(19.5, 1.0);
+        let with_cell = pair_bound(&a, &b, Some(&cell));
+        let without = pair_bound(&a, &b, None);
+        assert!(with_cell > 0.5); // distance 1.0
+        assert!(without < 1e-30); // distance 19.0
+    }
+
+    #[test]
+    fn weights_encode_multiplicity() {
+        let orbs = vec![orb(0.0, 1.0), orb(0.5, 1.0)];
+        let pl = build_pair_list(&orbs, 1e-10, None);
+        assert_eq!(pl.len(), 3);
+        let total_weight: f64 = pl.pairs.iter().map(|p| p.weight).sum();
+        // N² ordered pairs = Σ weights = 4.
+        assert!(approx_eq(total_weight, 4.0, 1e-15));
+    }
+
+    #[test]
+    fn celllist_matches_brute_force() {
+        use liair_math::rng::SplitMix64;
+        let cell = Cell::cubic(28.0);
+        let mut rng = SplitMix64::new(13);
+        let orbitals: Vec<OrbitalInfo> = (0..300)
+            .map(|_| OrbitalInfo {
+                center: Vec3::new(
+                    rng.range_f64(0.0, 28.0),
+                    rng.range_f64(0.0, 28.0),
+                    rng.range_f64(0.0, 28.0),
+                ),
+                spread: 1.5,
+            })
+            .collect();
+        for eps in [1e-2, 1e-6] {
+            let brute = build_pair_list(&orbitals, eps, Some(&cell));
+            let fast = build_pair_list_celllist(&orbitals, eps, &cell);
+            let key = |pl: &PairList| {
+                let mut v: Vec<(u32, u32)> =
+                    pl.pairs.iter().map(|p| (p.i, p.j)).collect();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(key(&brute), key(&fast), "eps = {eps}");
+        }
+    }
+
+    #[test]
+    fn eps_schedule_tightens_monotonically() {
+        let s = EpsSchedule { eps_start: 1e-2, eps_final: 1e-8, tighten_over: 6 };
+        let mut prev = f64::INFINITY;
+        for it in 0..10 {
+            let e = s.eps_for(it);
+            assert!(e <= prev + 1e-18, "iteration {it}: {e} > {prev}");
+            prev = e;
+        }
+        assert!(approx_eq(s.eps_for(0), 1e-2, 1e-12));
+        assert!(approx_eq(s.eps_for(9), 1e-8, 1e-12));
+        // Fixed schedules are constant.
+        let f = EpsSchedule::fixed(1e-6);
+        assert_eq!(f.eps_for(0), 1e-6);
+        assert_eq!(f.eps_for(50), 1e-6);
+    }
+
+    #[test]
+    fn bound_is_symmetric_and_unit_at_zero() {
+        let a = orb(0.0, 0.8);
+        let b = orb(2.5, 1.7);
+        assert!(approx_eq(pair_bound(&a, &b, None), pair_bound(&b, &a, None), 1e-15));
+        assert!(approx_eq(pair_bound(&a, &a, None), 1.0, 1e-15));
+    }
+}

@@ -1,0 +1,29 @@
+//! # liair-grid
+//!
+//! The real-space / plane-wave machinery of the condensed-phase exact
+//! exchange path (the code path the paper parallelizes):
+//!
+//! * [`grid`] — uniform grids over periodic cells;
+//! * [`orbital`] — evaluation of Gaussian AOs/MOs on grids;
+//! * [`poisson`] — FFT-based Poisson solvers with periodic and
+//!   spherical-cutoff (isolated) Coulomb kernels; every orbital-pair
+//!   exchange term is one `solve` on this type;
+//! * [`localize`] — Foster–Boys orbital localization (Jacobi sweeps over
+//!   MO dipole matrices), producing the Wannier-like centers and spreads
+//!   that drive the paper's distance screening.
+
+#![allow(clippy::needless_range_loop)] // index loops are the clearer idiom in this numeric code
+
+pub mod grid;
+pub mod molgrid;
+pub mod localize;
+pub mod orbital;
+pub mod patch;
+pub mod poisson;
+
+pub use grid::RealGrid;
+pub use localize::{foster_boys, Localization};
+pub use molgrid::MolGrid;
+pub use orbital::{ao_values, ao_values_at_points, density_from_dm_at_points, orbitals_on_grid};
+pub use patch::{patch_pair_energy, Patch};
+pub use poisson::{CoulombKernel, PoissonSolver};

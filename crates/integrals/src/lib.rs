@@ -1,0 +1,38 @@
+//! # liair-integrals
+//!
+//! Analytic Gaussian integrals over contracted Cartesian shells, via the
+//! McMurchie–Davidson scheme (Hermite expansion of Gaussian products plus
+//! Boys-function auxiliaries):
+//!
+//! * [`hermite`] — the `E_t^{ij}` expansion coefficients and the
+//!   `R_{tuv}` Coulomb auxiliary integrals;
+//! * [`one_electron`] — overlap, kinetic, nuclear-attraction and dipole
+//!   matrices;
+//! * [`eri`] — two-electron repulsion integrals `(ab|cd)`, the full tensor
+//!   for small systems, and the Schwarz screening bounds;
+//! * [`fock`] — integral-direct Coulomb/exchange builds with Schwarz
+//!   screening (the *molecular* exact-exchange reference that validates the
+//!   condensed-phase grid pair-Poisson path in `liair-grid`).
+//!
+//! No integral library exists for Rust (`repro_why`), so this crate is the
+//! from-scratch substrate. It is validated against the classic H₂/STO-3G
+//! tables of Szabo & Ostlund in the unit tests.
+
+#![allow(clippy::needless_range_loop)] // index loops are the clearer idiom in this numeric code
+
+pub mod eri;
+pub mod gradients;
+pub mod fock;
+pub mod hermite;
+pub mod one_electron;
+
+/// Internal shim so `hermite` can fill Boys values into a resized buffer
+/// without re-importing across module privacy.
+pub(crate) fn boys_into_shim(out: &mut [f64], x: f64) {
+    liair_math::special::boys_into(out, x);
+}
+
+pub use eri::{eri_shell_quartet, eri_tensor, schwarz_matrix, EriTensor};
+pub use fock::{build_jk, JkBuilder};
+pub use gradients::rhf_gradient;
+pub use one_electron::{dipole_matrices, kinetic_matrix, nuclear_matrix, overlap_matrix, second_moment_matrices};

@@ -1,0 +1,163 @@
+//! Physical invariance properties of the integral engine.
+
+use liair_basis::{systems, Basis, Element, Molecule};
+use liair_integrals::{
+    eri_tensor, kinetic_matrix, nuclear_matrix, overlap_matrix,
+};
+use liair_math::Vec3;
+use proptest::prelude::*;
+
+fn translated(mol: &Molecule, shift: Vec3) -> Molecule {
+    let mut m = mol.clone();
+    m.translate(shift);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every integral matrix is invariant under rigid translation of the
+    /// whole molecule.
+    #[test]
+    fn translation_invariance(
+        sx in -5.0f64..5.0,
+        sy in -5.0f64..5.0,
+        sz in -5.0f64..5.0,
+    ) {
+        let mol = systems::water();
+        let shift = Vec3::new(sx, sy, sz);
+        let mol2 = translated(&mol, shift);
+        let (b1, b2) = (Basis::sto3g(&mol), Basis::sto3g(&mol2));
+
+        let s_err = overlap_matrix(&b1).sub(&overlap_matrix(&b2)).fro_norm();
+        prop_assert!(s_err < 1e-11, "overlap changed by {s_err}");
+
+        let t_err = kinetic_matrix(&b1).sub(&kinetic_matrix(&b2)).fro_norm();
+        prop_assert!(t_err < 1e-11, "kinetic changed by {t_err}");
+
+        let v_err = nuclear_matrix(&b1, &mol)
+            .sub(&nuclear_matrix(&b2, &mol2))
+            .fro_norm();
+        prop_assert!(v_err < 1e-10, "nuclear changed by {v_err}");
+    }
+
+    /// ERIs over two H atoms depend only on the interatomic distance, not
+    /// on the orientation of the bond axis.
+    #[test]
+    fn eri_rotation_invariance_s_functions(theta in 0.0f64..std::f64::consts::PI, r in 0.8f64..4.0) {
+        let make = |dir: Vec3| {
+            let mut m = Molecule::new();
+            m.push(Element::H, Vec3::ZERO);
+            m.push(Element::H, dir * r);
+            Basis::sto3g(&m)
+        };
+        let along_x = make(Vec3::new(1.0, 0.0, 0.0));
+        let rotated = make(Vec3::new(theta.cos(), theta.sin(), 0.0));
+        let e1 = eri_tensor(&along_x);
+        let e2 = eri_tensor(&rotated);
+        for i in 0..2 {
+            for j in 0..2 {
+                for k in 0..2 {
+                    for l in 0..2 {
+                        prop_assert!(
+                            (e1.get(i, j, k, l) - e2.get(i, j, k, l)).abs() < 1e-11,
+                            "({i}{j}|{k}{l}) differs"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The Schwarz inequality holds for arbitrary H3 geometries
+    /// (p-function-free stress of the bound).
+    #[test]
+    fn schwarz_holds_for_random_geometry(
+        x1 in 0.8f64..4.0, y2 in 0.8f64..4.0, z3 in 0.8f64..4.0,
+    ) {
+        let mut m = Molecule::new();
+        m.push(Element::H, Vec3::ZERO);
+        m.push(Element::H, Vec3::new(x1, 0.0, 0.0));
+        m.push(Element::H, Vec3::new(0.0, y2, z3));
+        m.charge = 1; // H3+ closed shell (irrelevant for integrals)
+        let basis = Basis::sto3g(&m);
+        let q = liair_integrals::schwarz_matrix(&basis);
+        let eri = eri_tensor(&basis);
+        for a in 0..3usize {
+            for b in 0..3usize {
+                for c in 0..3usize {
+                    for d in 0..3usize {
+                        let bound = q[(a, b)] * q[(c, d)] + 1e-10;
+                        prop_assert!(
+                            eri.get(a, b, c, d).abs() <= bound,
+                            "({a}{b}|{c}{d}) = {} > {bound}",
+                            eri.get(a, b, c, d)
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Rotating water by 90° about z permutes the p functions; the RHF energy
+/// built from the rotated integrals must be identical.
+#[test]
+fn scf_energy_rotation_invariant() {
+    use liair_math::linalg::{eigh, sym_inv_sqrt};
+    use liair_math::Mat;
+
+    let energy_of = |mol: &Molecule| -> f64 {
+        let basis = Basis::sto3g(mol);
+        let n = basis.nao();
+        let nocc = mol.nocc();
+        let s = overlap_matrix(&basis);
+        let h = kinetic_matrix(&basis).add(&nuclear_matrix(&basis, mol));
+        let x = sym_inv_sqrt(&s);
+        let density_of = |c: &Mat| {
+            let mut d = Mat::zeros(n, n);
+            for mu in 0..n {
+                for nu in 0..n {
+                    let mut acc = 0.0;
+                    for k in 0..nocc {
+                        acc += c[(mu, k)] * c[(nu, k)];
+                    }
+                    d[(mu, nu)] = 2.0 * acc;
+                }
+            }
+            d
+        };
+        let fp0 = x.transpose().matmul(&h).matmul(&x);
+        let (_, cp) = eigh(&fp0);
+        let mut density = density_of(&x.matmul(&cp));
+        let mut e = 0.0;
+        for _ in 0..60 {
+            let (j, k) = liair_integrals::build_jk(&basis, &density, 1e-12);
+            let mut f = h.clone();
+            f.axpy(1.0, &j);
+            f.axpy(-0.5, &k);
+            let e_new = density.trace_product(&h)
+                + 0.5 * density.trace_product(&j)
+                - 0.25 * density.trace_product(&k)
+                + mol.nuclear_repulsion();
+            let fp = x.transpose().matmul(&f).matmul(&x);
+            let (_, cpn) = eigh(&fp);
+            density = density_of(&x.matmul(&cpn));
+            if (e_new - e).abs() < 1e-10 {
+                return e_new;
+            }
+            e = e_new;
+        }
+        e
+    };
+
+    let mol = systems::water();
+    let mut rotated = mol.clone();
+    for a in &mut rotated.atoms {
+        let p = a.pos;
+        a.pos = Vec3::new(-p.y, p.x, p.z); // 90° about z
+    }
+    let e1 = energy_of(&mol);
+    let e2 = energy_of(&rotated);
+    assert!((e1 - e2).abs() < 1e-9, "{e1} vs {e2}");
+}

@@ -1,0 +1,127 @@
+//! A dense 3-D array stored contiguously in row-major (`x`-major) order.
+//!
+//! Used for real-space grids: element `(ix, iy, iz)` lives at
+//! `ix * ny * nz + iy * nz + iz`, so the `z` axis is contiguous — the FFT and
+//! stencil loops exploit this layout.
+
+/// Dense 3-D array of `T`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Array3<T> {
+    dims: (usize, usize, usize),
+    data: Vec<T>,
+}
+
+impl<T: Clone + Default> Array3<T> {
+    /// A new array of the given dimensions, default-filled.
+    pub fn zeros(dims: (usize, usize, usize)) -> Self {
+        let n = dims.0 * dims.1 * dims.2;
+        Self { dims, data: vec![T::default(); n] }
+    }
+}
+
+impl<T> Array3<T> {
+    /// Wrap an existing flat buffer. Panics if the length mismatches.
+    pub fn from_vec(dims: (usize, usize, usize), data: Vec<T>) -> Self {
+        assert_eq!(data.len(), dims.0 * dims.1 * dims.2, "Array3 size mismatch");
+        Self { dims, data }
+    }
+
+    /// Dimensions `(nx, ny, nz)`.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize, usize) {
+        self.dims
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the array is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat index of `(ix, iy, iz)`.
+    #[inline]
+    pub fn idx(&self, ix: usize, iy: usize, iz: usize) -> usize {
+        debug_assert!(ix < self.dims.0 && iy < self.dims.1 && iz < self.dims.2);
+        (ix * self.dims.1 + iy) * self.dims.2 + iz
+    }
+
+    /// Immutable flat view.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable flat view.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume into the flat buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, ix: usize, iy: usize, iz: usize) -> &T {
+        &self.data[self.idx(ix, iy, iz)]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn get_mut(&mut self, ix: usize, iy: usize, iz: usize) -> &mut T {
+        let i = self.idx(ix, iy, iz);
+        &mut self.data[i]
+    }
+}
+
+impl<T> std::ops::Index<(usize, usize, usize)> for Array3<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (ix, iy, iz): (usize, usize, usize)) -> &T {
+        self.get(ix, iy, iz)
+    }
+}
+
+impl<T> std::ops::IndexMut<(usize, usize, usize)> for Array3<T> {
+    #[inline]
+    fn index_mut(&mut self, (ix, iy, iz): (usize, usize, usize)) -> &mut T {
+        self.get_mut(ix, iy, iz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_z_contiguous() {
+        let a: Array3<f64> = Array3::zeros((2, 3, 4));
+        assert_eq!(a.idx(0, 0, 0), 0);
+        assert_eq!(a.idx(0, 0, 1), 1);
+        assert_eq!(a.idx(0, 1, 0), 4);
+        assert_eq!(a.idx(1, 0, 0), 12);
+        assert_eq!(a.len(), 24);
+    }
+
+    #[test]
+    fn index_write_read() {
+        let mut a: Array3<i32> = Array3::zeros((3, 3, 3));
+        a[(1, 2, 0)] = 42;
+        assert_eq!(a[(1, 2, 0)], 42);
+        assert_eq!(a.as_slice().iter().sum::<i32>(), 42);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_rejects_wrong_length() {
+        let _ = Array3::from_vec((2, 2, 2), vec![0.0f64; 7]);
+    }
+}

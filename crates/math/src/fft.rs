@@ -1,0 +1,219 @@
+//! 1-D complex FFTs.
+//!
+//! * Power-of-two lengths use an iterative radix-2 Cooley–Tukey transform
+//!   with a precomputed twiddle table.
+//! * Every other length falls back to Bluestein's chirp-z algorithm (which
+//!   reduces an arbitrary-length DFT to a power-of-two cyclic convolution),
+//!   so any grid size is supported, at roughly 4× the cost.
+//!
+//! Convention: [`fft`] is unnormalized, [`ifft`] applies the `1/n` factor,
+//! so `ifft(fft(x)) == x`.
+
+use crate::complex::Complex64;
+
+/// In-place forward DFT: `X_k = Σ_j x_j e^{-2πijk/n}`.
+pub fn fft(data: &mut [Complex64]) {
+    transform(data, false);
+}
+
+/// In-place inverse DFT with `1/n` normalization.
+pub fn ifft(data: &mut [Complex64]) {
+    transform(data, true);
+    let inv_n = 1.0 / data.len() as f64;
+    for z in data.iter_mut() {
+        *z = z.scale(inv_n);
+    }
+}
+
+/// Dispatch on length; `inverse` selects the exponent sign (no scaling).
+fn transform(data: &mut [Complex64], inverse: bool) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    if n.is_power_of_two() {
+        fft_pow2(data, inverse);
+    } else {
+        fft_bluestein(data, inverse);
+    }
+}
+
+/// Precompute `w_k = e^{sign·2πik/n}` for `k < n/2`.
+fn twiddles(n: usize, inverse: bool) -> Vec<Complex64> {
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let step = sign * 2.0 * std::f64::consts::PI / n as f64;
+    (0..n / 2).map(|k| Complex64::cis(step * k as f64)).collect()
+}
+
+/// Iterative radix-2 Cooley–Tukey (n must be a power of two).
+fn fft_pow2(data: &mut [Complex64], inverse: bool) {
+    let n = data.len();
+    debug_assert!(n.is_power_of_two());
+    // Bit-reversal permutation.
+    let shift = usize::BITS - n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> shift;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    let tw = twiddles(n, inverse);
+    let mut len = 2;
+    while len <= n {
+        let half = len / 2;
+        let step = n / len;
+        for block in data.chunks_exact_mut(len) {
+            let (lo, hi) = block.split_at_mut(half);
+            for j in 0..half {
+                let w = tw[j * step];
+                let u = lo[j];
+                let v = hi[j] * w;
+                lo[j] = u + v;
+                hi[j] = u - v;
+            }
+        }
+        len *= 2;
+    }
+}
+
+/// Bluestein chirp-z transform for arbitrary n.
+///
+/// `X_k = conj(b_k) · (a ⊛ b)_k` with `a_j = x_j · conj(b_j)` and the chirp
+/// `b_j = e^{sign·iπ j²/n}`; the cyclic convolution runs at the next
+/// power-of-two length `m ≥ 2n−1`.
+fn fft_bluestein(data: &mut [Complex64], inverse: bool) {
+    let n = data.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    // Chirp with the quadratic phase reduced mod 2n to preserve precision for
+    // large indices.
+    let chirp: Vec<Complex64> = (0..n)
+        .map(|j| {
+            let jsq = (j as u128 * j as u128 % (2 * n as u128)) as f64;
+            Complex64::cis(sign * std::f64::consts::PI * jsq / n as f64)
+        })
+        .collect();
+
+    let m = (2 * n - 1).next_power_of_two();
+    let mut a = vec![Complex64::ZERO; m];
+    let mut b = vec![Complex64::ZERO; m];
+    for j in 0..n {
+        a[j] = data[j] * chirp[j];
+        b[j] = chirp[j].conj();
+    }
+    for j in 1..n {
+        b[m - j] = chirp[j].conj();
+    }
+    fft_pow2(&mut a, false);
+    fft_pow2(&mut b, false);
+    for (x, y) in a.iter_mut().zip(&b) {
+        *x *= *y;
+    }
+    fft_pow2(&mut a, true);
+    let inv_m = 1.0 / m as f64;
+    for k in 0..n {
+        data[k] = a[k].scale(inv_m) * chirp[k];
+    }
+}
+
+/// Out-of-place naive DFT — O(n²), used as the oracle in tests and for tiny
+/// transforms where set-up cost dominates.
+pub fn dft_reference(input: &[Complex64], inverse: bool) -> Vec<Complex64> {
+    let n = input.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex64::ZERO;
+            for (j, &x) in input.iter().enumerate() {
+                let ang = sign * 2.0 * std::f64::consts::PI * (j * k % n) as f64 / n as f64;
+                acc += x * Complex64::cis(ang);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    fn random_signal(n: usize, seed: u64) -> Vec<Complex64> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| Complex64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+            .collect()
+    }
+
+    fn max_err(a: &[Complex64], b: &[Complex64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn matches_reference_pow2() {
+        for &n in &[1usize, 2, 4, 8, 64, 256] {
+            let x = random_signal(n, n as u64);
+            let want = dft_reference(&x, false);
+            let mut got = x.clone();
+            fft(&mut got);
+            assert!(max_err(&got, &want) < 1e-9 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_arbitrary() {
+        for &n in &[3usize, 5, 6, 7, 12, 15, 30, 100, 125] {
+            let x = random_signal(n, 31 + n as u64);
+            let want = dft_reference(&x, false);
+            let mut got = x.clone();
+            fft(&mut got);
+            assert!(max_err(&got, &want) < 1e-8 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        for &n in &[16usize, 60, 128, 81] {
+            let x = random_signal(n, 7 + n as u64);
+            let mut y = x.clone();
+            fft(&mut y);
+            ifft(&mut y);
+            assert!(max_err(&y, &x) < 1e-10, "n={n}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 128;
+        let x = random_signal(n, 99);
+        let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let mut y = x.clone();
+        fft(&mut y);
+        let freq_energy: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-10 * time_energy);
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut x = vec![Complex64::ZERO; 32];
+        x[0] = Complex64::ONE;
+        fft(&mut x);
+        for z in &x {
+            assert!((z.re - 1.0).abs() < 1e-12 && z.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pure_tone_has_single_bin() {
+        // x_j = e^{2πi·3j/32} should transform to n·δ_{k,3} (with the e^{-..}
+        // convention the +3 tone lands in bin 3).
+        let n = 32;
+        let mut x: Vec<Complex64> = (0..n)
+            .map(|j| Complex64::cis(2.0 * std::f64::consts::PI * 3.0 * j as f64 / n as f64))
+            .collect();
+        fft(&mut x);
+        for (k, z) in x.iter().enumerate() {
+            let expect = if k == 3 { n as f64 } else { 0.0 };
+            assert!((z.re - expect).abs() < 1e-9 && z.im.abs() < 1e-9, "bin {k}");
+        }
+    }
+}

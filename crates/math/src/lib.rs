@@ -1,0 +1,59 @@
+//! # liair-math
+//!
+//! Self-contained numerical kernels used throughout the `liair` workspace:
+//!
+//! * [`Complex64`] — a minimal complex number type (no external dependency).
+//! * [`fft`] — 1-D complex FFTs (iterative radix-2 plus a Bluestein fallback
+//!   for arbitrary lengths) and [`fft3`] — threaded 3-D transforms used by the
+//!   pair-Poisson exact-exchange kernel.
+//! * [`linalg`] — dense real linear algebra: symmetric Jacobi eigensolver,
+//!   LU solves, and matrix products sized for quantum-chemistry workloads.
+//! * [`special`] — the Boys function (the workhorse of Gaussian integral
+//!   evaluation), `erf`, incomplete gamma functions and factorial tables.
+//! * [`quadrature`] — Gauss–Legendre nodes/weights.
+//! * [`stats`] — small statistics helpers used by the benchmark harness.
+//! * [`rng`] — a deterministic SplitMix64 generator for reproducible
+//!   workload construction.
+//!
+//! Everything here is written from scratch (the reproduction environment has
+//! no quantum-chemistry or FFT libraries available) and validated against
+//! closed forms in the unit/property tests.
+
+#![allow(clippy::needless_range_loop)] // index loops are the clearer idiom in this numeric code
+
+pub mod array3;
+pub mod complex;
+pub mod fft;
+pub mod fft3;
+pub mod linalg;
+pub mod quadrature;
+pub mod rng;
+pub mod special;
+pub mod stats;
+pub mod vec3;
+
+pub use array3::Array3;
+pub use complex::Complex64;
+pub use linalg::Mat;
+pub use vec3::Vec3;
+
+/// Machine-tolerance helper: `true` when `a` and `b` agree to `tol`
+/// absolutely or relatively (whichever is looser).
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let diff = (a - b).abs();
+    diff <= tol || diff <= tol * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute_and_relative() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-10));
+        assert!(approx_eq(1e12, 1e12 + 1.0, 1e-10));
+        assert!(!approx_eq(1.0, 1.1, 1e-3));
+        assert!(approx_eq(0.0, 0.0, 1e-15));
+    }
+}

@@ -1,0 +1,108 @@
+//! Gauss–Legendre quadrature nodes and weights on `[-1, 1]`.
+//!
+//! Nodes are roots of the Legendre polynomial `P_n`, found by Newton
+//! iteration from the Chebyshev initial guess; weights follow from
+//! `w_i = 2 / ((1 - x_i²) P_n'(x_i)²)`.
+
+use std::f64::consts::PI;
+
+/// Return `(nodes, weights)` of the `n`-point rule on `[-1, 1]`.
+pub fn gauss_legendre(n: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(n >= 1);
+    let mut nodes = vec![0.0; n];
+    let mut weights = vec![0.0; n];
+    let m = n.div_ceil(2);
+    for i in 0..m {
+        // Chebyshev-like initial guess for the i-th root.
+        let mut x = (PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+        let mut dp = 0.0;
+        for _ in 0..100 {
+            // Evaluate P_n(x) and P_n'(x) by the three-term recurrence.
+            let mut p0 = 1.0;
+            let mut p1 = x;
+            for k in 2..=n {
+                let p2 = ((2 * k - 1) as f64 * x * p1 - (k - 1) as f64 * p0)
+                    / k as f64;
+                p0 = p1;
+                p1 = p2;
+            }
+            let p = if n == 1 { x } else { p1 };
+            dp = n as f64 * (x * p - p0) / (x * x - 1.0);
+            let dx = p / dp;
+            x -= dx;
+            if dx.abs() < 1e-15 {
+                break;
+            }
+        }
+        nodes[i] = -x;
+        nodes[n - 1 - i] = x;
+        let w = 2.0 / ((1.0 - x * x) * dp * dp);
+        weights[i] = w;
+        weights[n - 1 - i] = w;
+    }
+    if n % 2 == 1 {
+        nodes[n / 2] = 0.0;
+    }
+    (nodes, weights)
+}
+
+/// Integrate `f` over `[a, b]` with the `n`-point rule.
+pub fn integrate<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
+    let (nodes, weights) = gauss_legendre(n);
+    let mid = 0.5 * (a + b);
+    let half = 0.5 * (b - a);
+    nodes
+        .iter()
+        .zip(&weights)
+        .map(|(&x, &w)| w * f(mid + half * x))
+        .sum::<f64>()
+        * half
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn weights_sum_to_two() {
+        for n in [1, 2, 5, 16, 33, 64] {
+            let (_, w) = gauss_legendre(n);
+            let s: f64 = w.iter().sum();
+            assert!(approx_eq(s, 2.0, 1e-13), "n={n}: {s}");
+        }
+    }
+
+    #[test]
+    fn exact_for_polynomials() {
+        // n-point rule is exact for degree ≤ 2n−1.
+        let (x, w) = gauss_legendre(4);
+        // ∫_{-1}^{1} t^6 dt = 2/7
+        let s: f64 = x.iter().zip(&w).map(|(&t, &wi)| wi * t.powi(6)).sum();
+        assert!(approx_eq(s, 2.0 / 7.0, 1e-13));
+        // degree 7 (odd) integrates to 0
+        let s7: f64 = x.iter().zip(&w).map(|(&t, &wi)| wi * t.powi(7)).sum();
+        assert!(s7.abs() < 1e-14);
+    }
+
+    #[test]
+    fn integrates_transcendental() {
+        // ∫₀^π sin = 2
+        let v = integrate(f64::sin, 0.0, PI, 24);
+        assert!(approx_eq(v, 2.0, 1e-12));
+        // ∫₀^1 e^x = e − 1
+        let v = integrate(f64::exp, 0.0, 1.0, 16);
+        assert!(approx_eq(v, std::f64::consts::E - 1.0, 1e-13));
+    }
+
+    #[test]
+    fn nodes_are_sorted_and_symmetric() {
+        let (x, _) = gauss_legendre(10);
+        for i in 1..x.len() {
+            assert!(x[i] > x[i - 1]);
+        }
+        for i in 0..x.len() {
+            assert!(approx_eq(x[i], -x[x.len() - 1 - i], 1e-13));
+        }
+    }
+}

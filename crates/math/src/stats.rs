@@ -1,0 +1,126 @@
+//! Small statistics helpers used by the benchmark harness and the MD
+//! analysis code: summaries, linear fits, and histograms.
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n−1 denominator; 0 for fewer than 2 points).
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Minimum (NaN-free input assumed; 0 for empty).
+pub fn min(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Maximum (0 for empty).
+pub fn max(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Least-squares line `y = a + b·x`; returns `(a, b)`.
+/// Panics with fewer than 2 points or a degenerate x-range.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> (f64, f64) {
+    assert_eq!(x.len(), y.len());
+    assert!(x.len() >= 2, "linear_fit needs at least 2 points");
+    let n = x.len() as f64;
+    let sx: f64 = x.iter().sum();
+    let sy: f64 = y.iter().sum();
+    let sxx: f64 = x.iter().map(|v| v * v).sum();
+    let sxy: f64 = x.iter().zip(y).map(|(a, b)| a * b).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-300, "linear_fit: degenerate x range");
+    let b = (n * sxy - sx * sy) / denom;
+    let a = (sy - b * sx) / n;
+    (a, b)
+}
+
+/// Fixed-width histogram over `[lo, hi)` with `bins` buckets; out-of-range
+/// samples are clamped into the first/last bucket.
+pub fn histogram(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+    assert!(bins > 0 && hi > lo);
+    let mut h = vec![0usize; bins];
+    let w = (hi - lo) / bins as f64;
+    for &x in xs {
+        let idx = (((x - lo) / w).floor() as isize).clamp(0, bins as isize - 1);
+        h[idx as usize] += 1;
+    }
+    h
+}
+
+/// Relative imbalance of a load vector: `max/mean` (1.0 = perfectly
+/// balanced). Returns 1.0 for an empty or all-zero input.
+pub fn imbalance(loads: &[f64]) -> f64 {
+    let m = mean(loads);
+    if m <= 0.0 {
+        return 1.0;
+    }
+    max(loads) / m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn summary_stats() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!(approx_eq(mean(&xs), 5.0, 1e-15));
+        // Sample stddev of that classic set is sqrt(32/7).
+        assert!(approx_eq(stddev(&xs), (32.0f64 / 7.0).sqrt(), 1e-12));
+        assert_eq!(min(&xs), 2.0);
+        assert_eq!(max(&xs), 9.0);
+    }
+
+    #[test]
+    fn fit_recovers_line() {
+        let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 - 0.5 * v).collect();
+        let (a, b) = linear_fit(&x, &y);
+        assert!(approx_eq(a, 3.0, 1e-12));
+        assert!(approx_eq(b, -0.5, 1e-12));
+    }
+
+    #[test]
+    fn histogram_counts_and_clamps() {
+        let xs = [-1.0, 0.1, 0.5, 0.9, 2.0];
+        let h = histogram(&xs, 0.0, 1.0, 2);
+        assert_eq!(h, vec![2, 3]); // -1.0 clamps low, 2.0 clamps high
+        assert_eq!(h.iter().sum::<usize>(), xs.len());
+    }
+
+    #[test]
+    fn imbalance_metric() {
+        assert!(approx_eq(imbalance(&[1.0, 1.0, 1.0]), 1.0, 1e-15));
+        assert!(approx_eq(imbalance(&[2.0, 1.0, 0.0]), 2.0, 1e-15));
+        assert_eq!(imbalance(&[]), 1.0);
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(stddev(&[1.0]), 0.0);
+        assert_eq!(min(&[]), 0.0);
+        assert_eq!(max(&[]), 0.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests of the numerical kernels.
+
+use liair_math::fft::{dft_reference, fft, ifft};
+use liair_math::linalg::{eigh, try_solve, Mat};
+use liair_math::rng::SplitMix64;
+use liair_math::special::{boys, erf};
+use liair_math::Complex64;
+use proptest::prelude::*;
+
+fn random_signal(n: usize, seed: u64) -> Vec<Complex64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| Complex64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// FFT round-trip is the identity for any length (radix-2 and
+    /// Bluestein paths both covered).
+    #[test]
+    fn fft_roundtrip_any_length(n in 1usize..200, seed in 0u64..1000) {
+        let x = random_signal(n, seed);
+        let mut y = x.clone();
+        fft(&mut y);
+        ifft(&mut y);
+        let err = x.iter().zip(&y).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+        prop_assert!(err < 1e-9, "n={n}: err {err}");
+    }
+
+    /// Parseval's theorem for arbitrary length.
+    #[test]
+    fn fft_parseval(n in 2usize..128, seed in 0u64..1000) {
+        let x = random_signal(n, seed);
+        let te: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let mut y = x.clone();
+        fft(&mut y);
+        let fe: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((te - fe).abs() < 1e-8 * te.max(1.0));
+    }
+
+    /// FFT matches the O(n²) reference DFT on awkward (prime) lengths.
+    #[test]
+    fn fft_matches_reference_on_primes(pick in 0usize..8, seed in 0u64..500) {
+        let primes = [3usize, 7, 11, 13, 17, 19, 23, 29];
+        let n = primes[pick];
+        let x = random_signal(n, seed);
+        let want = dft_reference(&x, false);
+        let mut got = x;
+        fft(&mut got);
+        let err = got.iter().zip(&want).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+        prop_assert!(err < 1e-9, "n={n}: err {err}");
+    }
+
+    /// The Jacobi eigensolver reconstructs any symmetric matrix.
+    #[test]
+    fn eigh_reconstruction(n in 1usize..12, seed in 0u64..500) {
+        let mut rng = SplitMix64::new(seed);
+        let mut a = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = rng.next_f64() * 2.0 - 1.0;
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        let (vals, vecs) = eigh(&a);
+        let mut lam = Mat::zeros(n, n);
+        for i in 0..n {
+            lam[(i, i)] = vals[i];
+        }
+        let rec = vecs.matmul(&lam).matmul(&vecs.transpose());
+        prop_assert!(rec.sub(&a).fro_norm() < 1e-9 * (1.0 + a.fro_norm()));
+        // Eigenvalues ascending.
+        for w in vals.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-12);
+        }
+    }
+
+    /// LU solve inverts any well-conditioned random system.
+    #[test]
+    fn solve_recovers_solution(n in 1usize..15, seed in 0u64..500) {
+        let mut rng = SplitMix64::new(seed);
+        let mut a = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = rng.next_f64() - 0.5;
+            }
+            a[(i, i)] += 3.0; // diagonal dominance → well-conditioned
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 2.0).collect();
+        let b = a.matvec(&x_true);
+        let x = try_solve(&a, &b).expect("well-conditioned");
+        for (g, w) in x.iter().zip(&x_true) {
+            prop_assert!((g - w).abs() < 1e-8);
+        }
+    }
+
+    /// Boys values are positive, decreasing in m, and satisfy the
+    /// downward recursion everywhere.
+    #[test]
+    fn boys_recursion_everywhere(x in 0.0f64..200.0) {
+        let f = boys(8, x);
+        for m in 0..8 {
+            prop_assert!(f[m] > 0.0);
+            prop_assert!(f[m + 1] <= f[m] + 1e-15);
+            if x > 1e-10 {
+                let rhs = ((2 * m + 1) as f64 * f[m] - (-x).exp()) / (2.0 * x);
+                prop_assert!((f[m + 1] - rhs).abs() < 1e-8 * (1.0 + f[m]), "m={m} x={x}");
+            }
+        }
+    }
+
+    /// erf is odd, bounded, and monotone.
+    #[test]
+    fn erf_properties(x in -6.0f64..6.0, dx in 1e-6f64..0.5) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-13);
+        prop_assert!(erf(x).abs() <= 1.0);
+        prop_assert!(erf(x + dx) >= erf(x));
+    }
+}

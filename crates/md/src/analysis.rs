@@ -1,0 +1,379 @@
+//! Trajectory analysis: radial distribution functions, bond-event
+//! tracking, and drift diagnostics.
+
+use liair_basis::{Cell, Element, Molecule};
+
+/// Accumulates a radial distribution function g(r) between two element
+/// species over trajectory frames.
+#[derive(Debug, Clone)]
+pub struct RdfAccumulator {
+    /// Species of the first atom.
+    pub a: Element,
+    /// Species of the second atom.
+    pub b: Element,
+    /// Maximum radius (Bohr).
+    pub r_max: f64,
+    /// Histogram bins.
+    pub bins: Vec<f64>,
+    frames: usize,
+}
+
+impl RdfAccumulator {
+    /// New accumulator with `nbins` up to `r_max`.
+    pub fn new(a: Element, b: Element, r_max: f64, nbins: usize) -> Self {
+        assert!(nbins > 0 && r_max > 0.0);
+        Self { a, b, r_max, bins: vec![0.0; nbins], frames: 0 }
+    }
+
+    /// Add one frame.
+    pub fn add_frame(&mut self, mol: &Molecule, cell: &Cell) {
+        let dr = self.r_max / self.bins.len() as f64;
+        let idx_a: Vec<usize> = (0..mol.natoms())
+            .filter(|&i| mol.atoms[i].element == self.a)
+            .collect();
+        let idx_b: Vec<usize> = (0..mol.natoms())
+            .filter(|&i| mol.atoms[i].element == self.b)
+            .collect();
+        for &i in &idx_a {
+            for &j in &idx_b {
+                if i == j {
+                    continue;
+                }
+                let r = cell.distance(mol.atoms[i].pos, mol.atoms[j].pos);
+                if r < self.r_max {
+                    self.bins[(r / dr) as usize] += 1.0;
+                }
+            }
+        }
+        self.frames += 1;
+    }
+
+    /// Normalized g(r) samples: `(r_mid, g)` per bin. Requires a cell to
+    /// define the ideal-gas normalization.
+    pub fn finish(&self, mol: &Molecule, cell: &Cell) -> Vec<(f64, f64)> {
+        let n_a = mol.atoms.iter().filter(|at| at.element == self.a).count() as f64;
+        let n_b = mol.atoms.iter().filter(|at| at.element == self.b).count() as f64;
+        let pair_count = if self.a == self.b { n_a * (n_a - 1.0) } else { n_a * n_b };
+        let dr = self.r_max / self.bins.len() as f64;
+        let rho_pairs = pair_count / cell.volume();
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(k, &count)| {
+                let r_lo = k as f64 * dr;
+                let r_hi = r_lo + dr;
+                let shell = 4.0 / 3.0 * std::f64::consts::PI
+                    * (r_hi.powi(3) - r_lo.powi(3));
+                let ideal = rho_pairs * shell * self.frames.max(1) as f64;
+                let g = if ideal > 0.0 { count / ideal } else { 0.0 };
+                (0.5 * (r_lo + r_hi), g)
+            })
+            .collect()
+    }
+}
+
+/// Bond scission bookkeeping over a trajectory: which of the initially
+/// detected bonds ever exceeded the stretch criterion.
+#[derive(Debug, Clone, Default)]
+pub struct BondEvents {
+    /// Bond indices that broke, in first-broken order.
+    pub broken: Vec<usize>,
+}
+
+impl BondEvents {
+    /// Record newly broken bonds from a frame's detector output.
+    pub fn record(&mut self, broken_now: &[usize]) {
+        for &b in broken_now {
+            if !self.broken.contains(&b) {
+                self.broken.push(b);
+            }
+        }
+    }
+
+    /// Number of distinct bonds broken so far.
+    pub fn count(&self) -> usize {
+        self.broken.len()
+    }
+}
+
+/// Mean-squared displacement tracker: record frames, query MSD relative to
+/// the first frame (unwrapped positions assumed — callers integrating in a
+/// periodic cell should pass unwrapped coordinates, which `MdState` keeps).
+#[derive(Debug, Clone, Default)]
+pub struct MsdTracker {
+    reference: Vec<liair_math::Vec3>,
+    /// `(step, msd)` samples.
+    pub samples: Vec<(usize, f64)>,
+}
+
+impl MsdTracker {
+    /// Start tracking from this frame.
+    pub fn start(mol: &Molecule) -> Self {
+        Self {
+            reference: mol.atoms.iter().map(|a| a.pos).collect(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Record the MSD of the current frame.
+    pub fn record(&mut self, step: usize, mol: &Molecule) {
+        assert_eq!(mol.natoms(), self.reference.len());
+        let msd = mol
+            .atoms
+            .iter()
+            .zip(&self.reference)
+            .map(|(a, &r)| (a.pos - r).norm_sqr())
+            .sum::<f64>()
+            / mol.natoms() as f64;
+        self.samples.push((step, msd));
+    }
+
+    /// Diffusion-style slope of MSD vs step (least squares; Bohr²/step).
+    pub fn slope(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let x: Vec<f64> = self.samples.iter().map(|&(s, _)| s as f64).collect();
+        let y: Vec<f64> = self.samples.iter().map(|&(_, m)| m).collect();
+        liair_math::stats::linear_fit(&x, &y).1
+    }
+}
+
+/// Render a geometry as an XYZ-format frame (Å), with an arbitrary comment
+/// line — concatenate frames for a trajectory file.
+pub fn to_xyz(mol: &Molecule, comment: &str) -> String {
+    let mut out = format!("{}\n{}\n", mol.natoms(), comment);
+    let bohr_to_angstrom = 1.0 / liair_basis::ANGSTROM;
+    for a in &mol.atoms {
+        out.push_str(&format!(
+            "{:<2} {:>14.8} {:>14.8} {:>14.8}\n",
+            a.element.symbol(),
+            a.pos.x * bohr_to_angstrom,
+            a.pos.y * bohr_to_angstrom,
+            a.pos.z * bohr_to_angstrom
+        ));
+    }
+    out
+}
+
+/// Velocity autocorrelation accumulator: record velocity frames, then
+/// compute `C(t) = ⟨v(0)·v(t)⟩` (single time origin, averaged over atoms)
+/// and its power spectrum — the classical vibrational density of states.
+#[derive(Debug, Clone, Default)]
+pub struct VacfAccumulator {
+    frames: Vec<Vec<liair_math::Vec3>>,
+}
+
+impl VacfAccumulator {
+    /// Record one velocity frame.
+    pub fn record(&mut self, velocities: &[liair_math::Vec3]) {
+        self.frames.push(velocities.to_vec());
+    }
+
+    /// Number of recorded frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The normalized autocorrelation `C(t)/C(0)`.
+    pub fn correlation(&self) -> Vec<f64> {
+        assert!(!self.frames.is_empty(), "no frames recorded");
+        let v0 = &self.frames[0];
+        let c0: f64 = v0.iter().map(|v| v.norm_sqr()).sum();
+        assert!(c0 > 0.0, "zero initial velocities");
+        self.frames
+            .iter()
+            .map(|vt| {
+                let ct: f64 = v0.iter().zip(vt).map(|(a, b)| a.dot(*b)).sum();
+                ct / c0
+            })
+            .collect()
+    }
+
+    /// Power spectrum of the VACF: `(frequency in cycles per a.t.u.,
+    /// |FFT|²)` pairs up to the Nyquist frequency. `dt` is the sampling
+    /// interval in atomic time units.
+    pub fn power_spectrum(&self, dt: f64) -> Vec<(f64, f64)> {
+        use liair_math::fft::fft;
+        use liair_math::Complex64;
+        let c = self.correlation();
+        let n = c.len();
+        let mut z: Vec<Complex64> = c.iter().map(|&x| Complex64::real(x)).collect();
+        fft(&mut z);
+        (0..n / 2)
+            .map(|k| (k as f64 / (n as f64 * dt), z[k].norm_sqr()))
+            .collect()
+    }
+
+    /// Frequency (cycles/a.t.u.) of the strongest non-DC spectral peak.
+    pub fn dominant_frequency(&self, dt: f64) -> f64 {
+        let spec = self.power_spectrum(dt);
+        spec.iter()
+            .skip(1)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .map(|&(f, _)| f)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Linear drift per step of a scalar series (least squares slope).
+pub fn drift_per_step(series: &[f64]) -> f64 {
+    if series.len() < 2 {
+        return 0.0;
+    }
+    let x: Vec<f64> = (0..series.len()).map(|i| i as f64).collect();
+    let (_, slope) = liair_math::stats::linear_fit(&x, series);
+    slope
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liair_basis::systems;
+    use liair_math::rng::SplitMix64;
+    use liair_math::Vec3;
+
+    #[test]
+    fn ideal_gas_rdf_is_flat() {
+        // Random uniform points: g(r) ≈ 1 away from r = 0.
+        let cell = Cell::cubic(20.0);
+        let mut rng = SplitMix64::new(6);
+        let mut mol = Molecule::new();
+        for _ in 0..400 {
+            mol.push(
+                Element::O,
+                Vec3::new(
+                    rng.range_f64(0.0, 20.0),
+                    rng.range_f64(0.0, 20.0),
+                    rng.range_f64(0.0, 20.0),
+                ),
+            );
+        }
+        let mut rdf = RdfAccumulator::new(Element::O, Element::O, 8.0, 16);
+        for _ in 0..5 {
+            rdf.add_frame(&mol, &cell);
+        }
+        let g = rdf.finish(&mol, &cell);
+        for &(r, gv) in g.iter().skip(2) {
+            assert!((gv - 1.0).abs() < 0.35, "g({r}) = {gv}");
+        }
+    }
+
+    #[test]
+    fn water_box_oo_rdf_has_structure() {
+        // The lattice-constructed water box has a sharp first O–O shell
+        // near its lattice constant — structure, unlike an ideal gas.
+        let (mol, cell) = systems::water_box(3, 2);
+        let mut rdf = RdfAccumulator::new(Element::O, Element::O, 10.0, 40);
+        rdf.add_frame(&mol, &cell);
+        let g = rdf.finish(&mol, &cell);
+        let peak = g.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+        assert!(peak > 2.0, "max g(r) = {peak}");
+        // Core exclusion: no O–O contacts below 3 Bohr.
+        assert!(g.iter().take_while(|&&(r, _)| r < 3.0).all(|&(_, v)| v < 0.2));
+    }
+
+    #[test]
+    fn bond_events_deduplicate() {
+        let mut ev = BondEvents::default();
+        ev.record(&[3, 5]);
+        ev.record(&[5, 7]);
+        ev.record(&[]);
+        assert_eq!(ev.count(), 3);
+        assert_eq!(ev.broken, vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn msd_tracks_uniform_translation() {
+        let mut mol = systems::water();
+        let mut tracker = MsdTracker::start(&mol);
+        tracker.record(0, &mol);
+        // Translate everything by (1,0,0) per "step": MSD = step².
+        for step in 1..=5 {
+            mol.translate(Vec3::new(1.0, 0.0, 0.0));
+            tracker.record(step, &mol);
+        }
+        for &(s, m) in &tracker.samples {
+            assert!((m - (s * s) as f64).abs() < 1e-10, "step {s}: {m}");
+        }
+        assert!(tracker.slope() > 0.0);
+    }
+
+    #[test]
+    fn xyz_format_roundtrips_atom_count() {
+        let mol = systems::propylene_carbonate();
+        let xyz = to_xyz(&mol, "frame 0");
+        let mut lines = xyz.lines();
+        assert_eq!(lines.next().unwrap(), "13");
+        assert_eq!(lines.next().unwrap(), "frame 0");
+        assert_eq!(xyz.lines().count(), 2 + mol.natoms());
+        // First atom line starts with the element symbol.
+        assert!(xyz.lines().nth(2).unwrap().starts_with('C'));
+    }
+
+    #[test]
+    fn vacf_of_pure_cosine_motion() {
+        // Synthetic oscillation v(t) = cos(ωt)·x̂: the VACF is cos(ωt) and
+        // the spectrum peaks at ω/2π.
+        let omega = 0.02; // rad / a.t.u.
+        let dt = 5.0;
+        let mut acc = VacfAccumulator::default();
+        for step in 0..1024 {
+            let t = step as f64 * dt;
+            acc.record(&[Vec3::new((omega * t).cos(), 0.0, 0.0)]);
+        }
+        let c = acc.correlation();
+        assert!((c[0] - 1.0).abs() < 1e-12);
+        let peak = acc.dominant_frequency(dt);
+        let want = omega / (2.0 * std::f64::consts::PI);
+        assert!(
+            (peak - want).abs() < 0.1 * want + 2.0 / (1024.0 * dt),
+            "peak {peak} vs {want}"
+        );
+    }
+
+    #[test]
+    fn md_vibration_shows_up_in_spectrum() {
+        // A vibrating water monomer: the OH-stretch band appears at the
+        // force field's harmonic frequency ω = √(k/μ).
+        use crate::forcefield::ForceField;
+        use crate::integrator::{MdOptions, MdState, Thermostat};
+        let mol = systems::water();
+        let ff = ForceField::from_molecule(&mol, None);
+        let mut state = MdState::new(mol, None, &ff);
+        // Kick the stretch directly: displace one H along the bond.
+        let bond_dir = (state.mol.atoms[1].pos - state.mol.atoms[0].pos).normalized();
+        state.mol.atoms[1].pos += bond_dir * 0.05;
+        let dt = 5.0;
+        let opts = MdOptions { dt, thermostat: Thermostat::None };
+        let mut acc = VacfAccumulator::default();
+        // One step first so velocities are nonzero at the recording origin.
+        state.step(&ff, &opts);
+        for _ in 0..2048 {
+            state.step(&ff, &opts);
+            acc.record(&state.velocities);
+        }
+        let peak = acc.dominant_frequency(dt);
+        // Expected OH stretch: k = 0.35 Ha/Bohr², μ(OH) reduced mass.
+        let m_o = liair_basis::Element::O.mass_au();
+        let m_h = liair_basis::Element::H.mass_au();
+        let mu = m_o * m_h / (m_o + m_h);
+        let want = (0.35f64 / mu).sqrt() / (2.0 * std::f64::consts::PI);
+        assert!(
+            (peak - want).abs() < 0.25 * want,
+            "peak {peak} vs harmonic estimate {want}"
+        );
+    }
+
+    #[test]
+    fn drift_of_constant_is_zero() {
+        assert_eq!(drift_per_step(&[2.0; 50]), 0.0);
+        let rising: Vec<f64> = (0..50).map(|i| 0.5 * i as f64).collect();
+        assert!((drift_per_step(&rising) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,248 @@
+//! Ewald summation for periodic point-charge electrostatics.
+//!
+//! The exact lattice sum, split as usual:
+//!
+//! * real space: `½ Σ_{i≠j} q_i q_j erfc(α r_ij)/r_ij` over minimum
+//!   images within `r_cut ≤ L/2`;
+//! * reciprocal space: `(2π/V) Σ_{k≠0} e^{−k²/4α²}/k² |S(k)|²` with the
+//!   structure factor `S(k) = Σ_i q_i e^{i k·r_i}`;
+//! * self-energy: `−α/√π Σ_i q_i²`.
+//!
+//! The default damped-shifted-force model in [`crate::forcefield`] is the
+//! fast approximation; Ewald is the exact reference (validated against the
+//! NaCl Madelung constant in the tests) and the right tool for strongly
+//! ionic configurations like Li⁺-rich electrolytes.
+
+use liair_basis::Cell;
+use liair_math::special::erfc;
+use liair_math::Vec3;
+use std::f64::consts::PI;
+
+/// Ewald parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EwaldParams {
+    /// Splitting parameter α (Bohr⁻¹).
+    pub alpha: f64,
+    /// Real-space cutoff (Bohr, ≤ min half-edge).
+    pub r_cut: f64,
+    /// Reciprocal-space shell limit per axis.
+    pub k_max: i64,
+}
+
+impl EwaldParams {
+    /// A conservative automatic choice for a cubic-ish cell: α = 5/L_min,
+    /// r_cut = L_min/2, k_max = 8.
+    pub fn auto(cell: &Cell) -> Self {
+        let lmin = 2.0 * cell.min_half_edge();
+        Self { alpha: 5.0 / lmin, r_cut: lmin / 2.0, k_max: 8 }
+    }
+}
+
+/// Total electrostatic energy and per-particle forces of a neutral
+/// point-charge set in a periodic cell.
+pub fn ewald_energy_forces(
+    cell: &Cell,
+    positions: &[Vec3],
+    charges: &[f64],
+    params: &EwaldParams,
+) -> (f64, Vec<Vec3>) {
+    assert_eq!(positions.len(), charges.len());
+    let n = positions.len();
+    let net: f64 = charges.iter().sum();
+    assert!(
+        net.abs() < 1e-8,
+        "Ewald here requires a neutral cell (net charge {net})"
+    );
+    assert!(
+        params.r_cut <= cell.min_half_edge() + 1e-9,
+        "r_cut beyond the minimum-image radius"
+    );
+    let alpha = params.alpha;
+    let mut energy = 0.0;
+    let mut forces = vec![Vec3::ZERO; n];
+
+    // --- real space ---
+    let two_a_pi = 2.0 * alpha / PI.sqrt();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = cell.min_image(positions[i], positions[j]);
+            let r = d.norm();
+            if r >= params.r_cut {
+                continue;
+            }
+            let qq = charges[i] * charges[j];
+            energy += qq * erfc(alpha * r) / r;
+            let f_mag = qq
+                * (erfc(alpha * r) / (r * r)
+                    + two_a_pi * (-alpha * alpha * r * r).exp() / r);
+            // d points i→j: the pair force pushes like charges apart.
+            let f = d * (f_mag / r);
+            forces[i] -= f;
+            forces[j] += f;
+        }
+    }
+
+    // --- reciprocal space ---
+    let volume = cell.volume();
+    let km = params.k_max;
+    for nx in -km..=km {
+        for ny in -km..=km {
+            for nz in -km..=km {
+                if nx == 0 && ny == 0 && nz == 0 {
+                    continue;
+                }
+                let k = cell.g_vector((nx, ny, nz));
+                let k2 = k.norm_sqr();
+                let a_k = (-k2 / (4.0 * alpha * alpha)).exp() / k2;
+                // Structure factor.
+                let mut s_re = 0.0;
+                let mut s_im = 0.0;
+                for i in 0..n {
+                    let phase = k.dot(positions[i]);
+                    s_re += charges[i] * phase.cos();
+                    s_im += charges[i] * phase.sin();
+                }
+                energy += 2.0 * PI / volume * a_k * (s_re * s_re + s_im * s_im);
+                for i in 0..n {
+                    let phase = k.dot(positions[i]);
+                    // Im[conj(S)·e^{ikr}] = S_re sin − S_im cos
+                    let im = s_re * phase.sin() - s_im * phase.cos();
+                    forces[i] += k * (4.0 * PI / volume * a_k * charges[i] * im);
+                }
+            }
+        }
+    }
+
+    // --- self term ---
+    let self_e: f64 = charges.iter().map(|q| q * q).sum::<f64>() * alpha / PI.sqrt();
+    energy -= self_e;
+
+    (energy, forces)
+}
+
+/// The rock-salt conventional cell: 4 cation/anion pairs on an FCC pair
+/// of sublattices; `l` is the cubic lattice constant (nearest-neighbour
+/// distance `l/2`). Returns `(positions, charges ±q)`.
+pub fn rock_salt_cell(l: f64, q: f64) -> (Vec<Vec3>, Vec<f64>, Cell) {
+    let h = l / 2.0;
+    let cations = [
+        Vec3::new(0.0, 0.0, 0.0),
+        Vec3::new(h, h, 0.0),
+        Vec3::new(h, 0.0, h),
+        Vec3::new(0.0, h, h),
+    ];
+    let anions = [
+        Vec3::new(h, 0.0, 0.0),
+        Vec3::new(0.0, h, 0.0),
+        Vec3::new(0.0, 0.0, h),
+        Vec3::new(h, h, h),
+    ];
+    let mut pos = Vec::new();
+    let mut chg = Vec::new();
+    for &p in &cations {
+        pos.push(p);
+        chg.push(q);
+    }
+    for &p in &anions {
+        pos.push(p);
+        chg.push(-q);
+    }
+    (pos, chg, Cell::cubic(l))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liair_math::approx_eq;
+
+    /// Madelung constant of the rock-salt structure.
+    const MADELUNG_NACL: f64 = 1.747_564_594_633;
+
+    #[test]
+    fn nacl_madelung_constant() {
+        let l = 10.0;
+        let (pos, chg, cell) = rock_salt_cell(l, 1.0);
+        let params = EwaldParams { alpha: 0.9, r_cut: l / 2.0, k_max: 10 };
+        let (e, _) = ewald_energy_forces(&cell, &pos, &chg, &params);
+        // E per ion pair = −M/(nearest-neighbour distance); 4 pairs/cell.
+        let per_pair = e / 4.0;
+        let want = -MADELUNG_NACL / (l / 2.0);
+        assert!(
+            approx_eq(per_pair, want, 1e-6),
+            "{per_pair} vs {want} (Madelung {})",
+            -per_pair * (l / 2.0)
+        );
+    }
+
+    #[test]
+    fn energy_is_alpha_independent() {
+        let (pos, chg, cell) = rock_salt_cell(8.0, 0.7);
+        let mut energies = Vec::new();
+        // α must be large enough that erfc(α·r_cut) is negligible, and
+        // k_max large enough for e^{−k²/4α²} to decay; this window is
+        // converged on both sides.
+        for alpha in [1.0, 1.2, 1.4] {
+            let params = EwaldParams { alpha, r_cut: 4.0, k_max: 16 };
+            energies.push(ewald_energy_forces(&cell, &pos, &chg, &params).0);
+        }
+        for w in energies.windows(2) {
+            assert!(approx_eq(w[0], w[1], 1e-6), "{:?}", energies);
+        }
+    }
+
+    #[test]
+    fn forces_vanish_at_perfect_lattice() {
+        let (pos, chg, cell) = rock_salt_cell(9.0, 1.0);
+        let params = EwaldParams::auto(&cell);
+        let (_, forces) = ewald_energy_forces(&cell, &pos, &chg, &params);
+        for f in &forces {
+            assert!(f.norm() < 1e-8, "residual force {}", f.norm());
+        }
+    }
+
+    #[test]
+    fn forces_match_finite_difference_off_lattice() {
+        let (mut pos, chg, cell) = rock_salt_cell(9.0, 1.0);
+        // Perturb one ion to create nonzero forces.
+        pos[0] += Vec3::new(0.3, -0.2, 0.1);
+        let params = EwaldParams { alpha: 0.8, r_cut: 4.5, k_max: 10 };
+        let (_, forces) = ewald_energy_forces(&cell, &pos, &chg, &params);
+        let h = 1e-5;
+        for axis in 0..3 {
+            let mut pp = pos.clone();
+            pp[0][axis] += h;
+            let mut pm = pos.clone();
+            pm[0][axis] -= h;
+            let ep = ewald_energy_forces(&cell, &pp, &chg, &params).0;
+            let em = ewald_energy_forces(&cell, &pm, &chg, &params).0;
+            let fd = -(ep - em) / (2.0 * h);
+            assert!(
+                approx_eq(forces[0][axis], fd, 1e-5),
+                "axis {axis}: {} vs {fd}",
+                forces[0][axis]
+            );
+        }
+    }
+
+    #[test]
+    fn scales_with_charge_squared() {
+        let (pos, chg1, cell) = rock_salt_cell(8.0, 1.0);
+        let chg2: Vec<f64> = chg1.iter().map(|q| 2.0 * q).collect();
+        let params = EwaldParams::auto(&cell);
+        let e1 = ewald_energy_forces(&cell, &pos, &chg1, &params).0;
+        let e2 = ewald_energy_forces(&cell, &pos, &chg2, &params).0;
+        assert!(approx_eq(e2, 4.0 * e1, 1e-9));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_charged_cell() {
+        let cell = Cell::cubic(10.0);
+        let _ = ewald_energy_forces(
+            &cell,
+            &[Vec3::ZERO],
+            &[1.0],
+            &EwaldParams::auto(&cell),
+        );
+    }
+}

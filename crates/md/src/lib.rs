@@ -1,0 +1,28 @@
+//! # liair-md
+//!
+//! Molecular dynamics for the lithium/air-battery application study:
+//!
+//! * [`forcefield`] — a reactive-flavoured classical force field (Morse
+//!   bonds that *can* dissociate, harmonic angles, Lennard-Jones, damped
+//!   shifted-force Coulomb). The carbonate-ester C–O weakening encodes the
+//!   known ring-opening degradation channel of cyclic carbonates under
+//!   peroxide attack — the synthetic substitute for the paper's 96-rack
+//!   PBE0 trajectories (see DESIGN.md);
+//! * [`integrator`] — velocity-Verlet with Berendsen thermostatting and
+//!   Maxwell–Boltzmann initialization;
+//! * [`analysis`] — radial distribution functions, bond-event tracking
+//!   (the degradation metric), and energy-drift diagnostics;
+//! * [`qmforce`] — finite-difference forces from any quantum energy
+//!   function, for small-molecule Born–Oppenheimer trajectories with the
+//!   real SCF.
+
+#![allow(clippy::needless_range_loop)] // index loops are the clearer idiom in this numeric code
+
+pub mod analysis;
+pub mod ewald;
+pub mod forcefield;
+pub mod integrator;
+pub mod qmforce;
+
+pub use forcefield::ForceField;
+pub use integrator::{ForceProvider, MdOptions, MdState, Thermostat};

@@ -1,0 +1,439 @@
+//! SPMD communicator over OS threads.
+//!
+//! Collectives use simple root-based algorithms (gather-to-0 + broadcast):
+//! the local backend exists to prove algorithmic correctness, not to be
+//! fast — scalable collective *cost* is modelled in `liair-bgq`.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+
+/// A tagged message payload.
+type Message = (u64, Vec<f64>);
+
+/// Communication interface available to every rank of an SPMD region.
+pub trait Comm {
+    /// This rank's id in `0..size()`.
+    fn rank(&self) -> usize;
+    /// Number of ranks.
+    fn size(&self) -> usize;
+    /// Send `data` to rank `to` with a `tag` (non-blocking, buffered).
+    fn send(&self, to: usize, tag: u64, data: Vec<f64>);
+    /// Receive the message with exactly `tag` from rank `from` (blocking;
+    /// out-of-order arrivals are buffered).
+    fn recv(&self, from: usize, tag: u64) -> Vec<f64>;
+
+    /// Element-wise global sum, result replicated on all ranks.
+    fn allreduce_sum(&self, data: &mut [f64]) {
+        let me = self.rank();
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        const TAG_GATHER: u64 = u64::MAX - 1;
+        const TAG_BCAST: u64 = u64::MAX - 2;
+        if me == 0 {
+            for from in 1..p {
+                let part = self.recv(from, TAG_GATHER);
+                assert_eq!(part.len(), data.len(), "allreduce length mismatch");
+                for (d, x) in data.iter_mut().zip(part) {
+                    *d += x;
+                }
+            }
+            for to in 1..p {
+                self.send(to, TAG_BCAST, data.to_vec());
+            }
+        } else {
+            self.send(0, TAG_GATHER, data.to_vec());
+            let result = self.recv(0, TAG_BCAST);
+            data.copy_from_slice(&result);
+        }
+    }
+
+    /// Broadcast `data` from `root` to every rank.
+    fn broadcast(&self, root: usize, data: &mut Vec<f64>) {
+        let me = self.rank();
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        const TAG: u64 = u64::MAX - 3;
+        if me == root {
+            for to in 0..p {
+                if to != root {
+                    self.send(to, TAG, data.clone());
+                }
+            }
+        } else {
+            *data = self.recv(root, TAG);
+        }
+    }
+
+    /// Gather per-rank vectors on `root`; returns `Some(parts)` on the
+    /// root (indexed by rank) and `None` elsewhere.
+    fn gather(&self, root: usize, data: Vec<f64>) -> Option<Vec<Vec<f64>>> {
+        let me = self.rank();
+        let p = self.size();
+        const TAG: u64 = u64::MAX - 4;
+        if me == root {
+            let mut parts = vec![Vec::new(); p];
+            parts[root] = data;
+            for from in 0..p {
+                if from != root {
+                    parts[from] = self.recv(from, TAG);
+                }
+            }
+            Some(parts)
+        } else {
+            self.send(root, TAG, data);
+            None
+        }
+    }
+
+    /// Synchronize all ranks.
+    fn barrier(&self) {
+        let mut token = [0.0f64];
+        self.allreduce_sum(&mut token);
+    }
+
+    /// Every rank contributes `data`; every rank receives the
+    /// concatenation ordered by rank.
+    fn allgather(&self, data: Vec<f64>) -> Vec<Vec<f64>> {
+        let me = self.rank();
+        let p = self.size();
+        if p == 1 {
+            return vec![data];
+        }
+        const TAG_IN: u64 = u64::MAX - 5;
+        const TAG_OUT: u64 = u64::MAX - 6;
+        if me == 0 {
+            let mut parts = vec![Vec::new(); p];
+            parts[0] = data;
+            for from in 1..p {
+                parts[from] = self.recv(from, TAG_IN);
+            }
+            // Flatten with a length prefix per rank for the broadcast.
+            let mut flat = Vec::new();
+            for part in &parts {
+                flat.push(part.len() as f64);
+                flat.extend_from_slice(part);
+            }
+            for to in 1..p {
+                self.send(to, TAG_OUT, flat.clone());
+            }
+            parts
+        } else {
+            self.send(0, TAG_IN, data);
+            let flat = self.recv(0, TAG_OUT);
+            let mut parts = Vec::with_capacity(p);
+            let mut pos = 0;
+            for _ in 0..p {
+                let len = flat[pos] as usize;
+                pos += 1;
+                parts.push(flat[pos..pos + len].to_vec());
+                pos += len;
+            }
+            parts
+        }
+    }
+
+    /// Global element-wise sum of a vector whose length is `P × chunk`;
+    /// rank `r` receives summed chunk `r` (reduce-scatter with equal
+    /// blocks).
+    fn reduce_scatter_block(&self, data: &[f64]) -> Vec<f64> {
+        let p = self.size();
+        assert_eq!(data.len() % p, 0, "reduce_scatter: length not divisible");
+        let chunk = data.len() / p;
+        let mut full = data.to_vec();
+        self.allreduce_sum(&mut full);
+        full[self.rank() * chunk..(self.rank() + 1) * chunk].to_vec()
+    }
+
+    /// Personalized all-to-all: `outgoing[d]` is this rank's message for
+    /// rank `d`; returns the messages received, indexed by source.
+    fn alltoall(&self, outgoing: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        let me = self.rank();
+        let p = self.size();
+        assert_eq!(outgoing.len(), p, "alltoall needs one message per rank");
+        const TAG: u64 = u64::MAX - 7;
+        let mut incoming = vec![Vec::new(); p];
+        // Self-message moves locally.
+        incoming[me] = outgoing[me].clone();
+        for (d, msg) in outgoing.into_iter().enumerate() {
+            if d != me {
+                self.send(d, TAG, msg);
+            }
+        }
+        for s in 0..p {
+            if s != me {
+                incoming[s] = self.recv(s, TAG);
+            }
+        }
+        incoming
+    }
+}
+
+/// Thread-backed communicator.
+pub struct LocalComm {
+    rank: usize,
+    size: usize,
+    /// `senders[to]` delivers into `to`'s inbox slot for this rank.
+    senders: Vec<Sender<Message>>,
+    /// `inboxes[from]` receives messages sent by `from`.
+    inboxes: Vec<Receiver<Message>>,
+    /// Out-of-order buffer: per source, tag → queue.
+    stash: Mutex<Vec<HashMap<u64, VecDeque<Vec<f64>>>>>,
+}
+
+impl Comm for LocalComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send(&self, to: usize, tag: u64, data: Vec<f64>) {
+        assert!(to < self.size, "send to out-of-range rank {to}");
+        assert_ne!(to, self.rank, "self-send not supported");
+        self.senders[to].send((tag, data)).expect("receiver dropped");
+    }
+
+    fn recv(&self, from: usize, tag: u64) -> Vec<f64> {
+        assert!(from < self.size, "recv from out-of-range rank {from}");
+        assert_ne!(from, self.rank, "self-recv not supported");
+        // Check stash first.
+        {
+            let mut stash = self.stash.lock();
+            if let Some(q) = stash[from].get_mut(&tag) {
+                if let Some(msg) = q.pop_front() {
+                    return msg;
+                }
+            }
+        }
+        // Drain the channel until the wanted tag arrives.
+        loop {
+            let (t, data) = self.inboxes[from].recv().expect("sender dropped");
+            if t == tag {
+                return data;
+            }
+            self.stash.lock()[from].entry(t).or_default().push_back(data);
+        }
+    }
+}
+
+/// Run `body` as an SPMD region over `nranks` virtual ranks (one OS thread
+/// each) and collect each rank's return value, indexed by rank.
+pub fn run_spmd<T, F>(nranks: usize, body: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&LocalComm) -> T + Sync,
+{
+    assert!(nranks >= 1);
+    // Channel mesh: tx[from][to].
+    let mut txs: Vec<Vec<Option<Sender<Message>>>> = (0..nranks)
+        .map(|_| (0..nranks).map(|_| None).collect())
+        .collect();
+    let mut rxs: Vec<Vec<Option<Receiver<Message>>>> = (0..nranks)
+        .map(|_| (0..nranks).map(|_| None).collect())
+        .collect();
+    for from in 0..nranks {
+        for to in 0..nranks {
+            if from == to {
+                continue;
+            }
+            let (tx, rx) = unbounded();
+            txs[from][to] = Some(tx);
+            rxs[to][from] = Some(rx);
+        }
+    }
+    // Assemble per-rank comms.
+    let mut comms: Vec<LocalComm> = Vec::with_capacity(nranks);
+    for (rank, rx_row) in rxs.into_iter().enumerate() {
+        let senders: Vec<Sender<Message>> = (0..nranks)
+            .map(|to| {
+                if to == rank {
+                    // placeholder channel, never used (self-send asserts)
+                    unbounded().0
+                } else {
+                    txs[rank][to].take().unwrap()
+                }
+            })
+            .collect();
+        let inboxes: Vec<Receiver<Message>> = rx_row
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|| unbounded().1))
+            .collect();
+        comms.push(LocalComm {
+            rank,
+            size: nranks,
+            senders,
+            inboxes,
+            stash: Mutex::new(vec![HashMap::new(); nranks]),
+        });
+    }
+
+    let mut out: Vec<Option<T>> = (0..nranks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .iter()
+            .map(|comm| scope.spawn(|| body(comm)))
+            .collect();
+        for (slot, h) in out.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("rank panicked"));
+        }
+    });
+    out.into_iter().map(|o| o.unwrap()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allreduce_sums_over_ranks() {
+        let results = run_spmd(5, |comm| {
+            let mut v = vec![comm.rank() as f64, 1.0];
+            comm.allreduce_sum(&mut v);
+            v
+        });
+        // Σ ranks = 10, Σ ones = 5, replicated everywhere.
+        for r in results {
+            assert_eq!(r, vec![10.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn broadcast_replicates_root_data() {
+        let results = run_spmd(4, |comm| {
+            let mut v = if comm.rank() == 2 { vec![7.0, 8.0, 9.0] } else { Vec::new() };
+            comm.broadcast(2, &mut v);
+            v
+        });
+        for r in results {
+            assert_eq!(r, vec![7.0, 8.0, 9.0]);
+        }
+    }
+
+    #[test]
+    fn ring_pass_accumulates() {
+        // Each rank sends its value around the ring once.
+        let n = 6;
+        let results = run_spmd(n, |comm| {
+            let me = comm.rank();
+            let next = (me + 1) % n;
+            let prev = (me + n - 1) % n;
+            let mut acc = me as f64;
+            let mut token = me as f64;
+            for step in 0..(n - 1) {
+                comm.send(next, step as u64, vec![token]);
+                token = comm.recv(prev, step as u64)[0];
+                acc += token;
+            }
+            acc
+        });
+        let want: f64 = (0..n).map(|r| r as f64).sum();
+        for r in results {
+            assert_eq!(r, want);
+        }
+    }
+
+    #[test]
+    fn gather_collects_by_rank() {
+        let results = run_spmd(3, |comm| {
+            comm.gather(0, vec![comm.rank() as f64 * 10.0])
+        });
+        assert_eq!(
+            results[0],
+            Some(vec![vec![0.0], vec![10.0], vec![20.0]])
+        );
+        assert_eq!(results[1], None);
+        assert_eq!(results[2], None);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_stashed() {
+        let results = run_spmd(2, |comm| {
+            if comm.rank() == 0 {
+                // Send tag 2 first, then tag 1.
+                comm.send(1, 2, vec![2.0]);
+                comm.send(1, 1, vec![1.0]);
+                0.0
+            } else {
+                // Receive in the opposite order.
+                let a = comm.recv(0, 1)[0];
+                let b = comm.recv(0, 2)[0];
+                a * 10.0 + b
+            }
+        });
+        assert_eq!(results[1], 12.0);
+    }
+
+    #[test]
+    fn allgather_orders_by_rank() {
+        let results = run_spmd(4, |comm| {
+            let mine = vec![comm.rank() as f64; comm.rank() + 1];
+            comm.allgather(mine)
+        });
+        for parts in results {
+            assert_eq!(parts.len(), 4);
+            for (r, part) in parts.iter().enumerate() {
+                assert_eq!(part.len(), r + 1);
+                assert!(part.iter().all(|&x| x == r as f64));
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_sums_and_scatters() {
+        let results = run_spmd(3, |comm| {
+            // Every rank contributes [rank, rank, rank, rank, rank, rank];
+            // the summed vector is [3,3,3,3,3,3] and rank r gets chunk r.
+            let data = vec![comm.rank() as f64 + 1.0; 6];
+            comm.reduce_scatter_block(&data)
+        });
+        // Σ (r+1) = 6 for each element.
+        for chunk in results {
+            assert_eq!(chunk, vec![6.0, 6.0]);
+        }
+    }
+
+    #[test]
+    fn alltoall_transposes_messages() {
+        let results = run_spmd(3, |comm| {
+            // Message to rank d: [10·me + d].
+            let out: Vec<Vec<f64>> = (0..3)
+                .map(|d| vec![(10 * comm.rank() + d) as f64])
+                .collect();
+            comm.alltoall(out)
+        });
+        for (me, incoming) in results.into_iter().enumerate() {
+            for (s, msg) in incoming.into_iter().enumerate() {
+                assert_eq!(msg, vec![(10 * s + me) as f64], "rank {me} from {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_collectives_are_noops() {
+        let results = run_spmd(1, |comm| {
+            let mut v = vec![3.0];
+            comm.allreduce_sum(&mut v);
+            comm.barrier();
+            v[0]
+        });
+        assert_eq!(results[0], 3.0);
+    }
+
+    #[test]
+    fn barrier_completes_for_many_ranks() {
+        let results = run_spmd(8, |comm| {
+            for _ in 0..10 {
+                comm.barrier();
+            }
+            comm.rank()
+        });
+        assert_eq!(results.len(), 8);
+    }
+}

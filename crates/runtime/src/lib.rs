@@ -1,0 +1,19 @@
+//! # liair-runtime
+//!
+//! A virtual-rank SPMD runtime — the stand-in for MPI (Rust MPI bindings
+//! are too thin for this reproduction, per the calibration notes).
+//!
+//! [`Comm`] exposes the point-to-point and collective surface the parallel
+//! exact-exchange scheme needs. The one real implementation,
+//! [`LocalComm`] under [`run_spmd`], executes every rank as an OS thread
+//! with crossbeam channels for transport — it proves the *correctness* of
+//! the distributed algorithm (partial-pair sums, orbital replication,
+//! reductions) at laptop scale. *Performance* at BG/Q scale is priced by
+//! `liair-bgq`'s models instead; the two are connected by `liair-core`,
+//! which drives the same task lists through both.
+
+#![allow(clippy::needless_range_loop)] // index loops are the clearer idiom in this numeric code
+
+pub mod comm;
+
+pub use comm::{run_spmd, Comm, LocalComm};

@@ -1,0 +1,457 @@
+//! RHF / RKS(LDA) SCF drivers and post-SCF functional energies.
+
+use crate::diis::Diis;
+use liair_basis::{Basis, Molecule};
+use liair_grid::orbital::density_from_dm_at_points;
+use liair_grid::MolGrid;
+use liair_integrals::{build_jk, kinetic_matrix, nuclear_matrix, overlap_matrix, JkBuilder};
+use liair_math::linalg::{eigh, sym_inv_sqrt};
+use liair_math::Mat;
+use liair_xc::lda::lda_exc;
+use liair_xc::{functional::Functional, lda};
+
+/// Which self-consistent method to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Restricted Hartree–Fock (100 % exact exchange).
+    Rhf,
+    /// Restricted Kohn–Sham with the LDA potential.
+    RksLda,
+}
+
+/// SCF controls.
+#[derive(Debug, Clone, Copy)]
+pub struct ScfOptions {
+    /// Maximum iterations before declaring non-convergence.
+    pub max_iter: usize,
+    /// Energy convergence threshold (Hartree).
+    pub energy_tol: f64,
+    /// DIIS error (∞-norm of FDS−SDF) threshold.
+    pub error_tol: f64,
+    /// DIIS history depth.
+    pub diis_depth: usize,
+    /// Schwarz screening threshold for the integral-direct build.
+    pub schwarz_tol: f64,
+    /// Radial points of the Becke XC grid (RKS only).
+    pub grid_radial: usize,
+    /// θ points of the angular product grid (φ uses 2×this).
+    pub grid_theta: usize,
+}
+
+impl Default for ScfOptions {
+    fn default() -> Self {
+        Self {
+            max_iter: 100,
+            energy_tol: 1e-9,
+            error_tol: 1e-6,
+            diis_depth: 8,
+            schwarz_tol: 1e-11,
+            grid_radial: 40,
+            grid_theta: 8,
+        }
+    }
+}
+
+/// Energy decomposition of a converged calculation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnergyBreakdown {
+    /// Nuclear–nuclear repulsion.
+    pub e_nuc: f64,
+    /// One-electron (kinetic + nuclear attraction) energy `Tr(D·H)`.
+    pub e_core: f64,
+    /// Classical Coulomb `½ Tr(D·J)`.
+    pub e_coulomb: f64,
+    /// Exact-exchange contribution actually included in the total
+    /// (`−c_x·¼ Tr(D·K)`).
+    pub e_exchange: f64,
+    /// DFT exchange–correlation energy included in the total.
+    pub e_xc: f64,
+}
+
+/// Converged SCF state.
+#[derive(Debug, Clone)]
+pub struct ScfResult {
+    /// Total energy (Hartree).
+    pub energy: f64,
+    /// Orbital energies, ascending.
+    pub orbital_energies: Vec<f64>,
+    /// MO coefficients (AO × MO), columns ordered with the energies.
+    pub c: Mat,
+    /// Closed-shell density matrix `D = 2 C_occ C_occᵀ`.
+    pub density: Mat,
+    /// Number of doubly-occupied orbitals.
+    pub nocc: usize,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Whether both convergence criteria were met.
+    pub converged: bool,
+    /// Energy components.
+    pub breakdown: EnergyBreakdown,
+    /// Which method produced it.
+    pub method: Method,
+}
+
+/// Run restricted Hartree–Fock.
+pub fn rhf(mol: &Molecule, basis: &Basis, opts: &ScfOptions) -> ScfResult {
+    scf(mol, basis, opts, Method::Rhf)
+}
+
+/// Run restricted Kohn–Sham LDA.
+pub fn rks_lda(mol: &Molecule, basis: &Basis, opts: &ScfOptions) -> ScfResult {
+    scf(mol, basis, opts, Method::RksLda)
+}
+
+fn scf(mol: &Molecule, basis: &Basis, opts: &ScfOptions, method: Method) -> ScfResult {
+    let n = basis.nao();
+    let nocc = mol.nocc();
+    assert!(nocc >= 1, "no electrons to converge");
+    assert!(nocc <= n, "basis too small: {nocc} occupied orbitals, {n} AOs");
+    let s = overlap_matrix(basis);
+    let h = kinetic_matrix(basis).add(&nuclear_matrix(basis, mol));
+    let x = sym_inv_sqrt(&s);
+    let e_nuc = mol.nuclear_repulsion();
+
+    // XC quadrature for RKS.
+    let molgrid = if method == Method::RksLda {
+        Some(MolGrid::becke(mol, opts.grid_radial, opts.grid_theta))
+    } else {
+        None
+    };
+    let ao_at_pts = molgrid
+        .as_ref()
+        .map(|g| liair_grid::ao_values_at_points(basis, &g.points));
+
+    // Integral engine + Schwarz bounds, built once for all iterations.
+    let jk_builder = JkBuilder::new(basis);
+
+    // Initial guess: core Hamiltonian.
+    let mut density = density_from_fock(&h, &x, nocc);
+    let mut diis = Diis::new(opts.diis_depth);
+    let mut energy = 0.0;
+    let mut breakdown = EnergyBreakdown { e_nuc, ..Default::default() };
+    let mut c_final = Mat::zeros(n, n);
+    let mut eps_final = vec![0.0; n];
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for it in 1..=opts.max_iter {
+        iterations = it;
+        let (j, k) = jk_builder.build(&density, opts.schwarz_tol);
+        let (fock, e_elec, bd) = match method {
+            Method::Rhf => {
+                let mut f = h.clone();
+                f.axpy(1.0, &j);
+                f.axpy(-0.5, &k);
+                let e_core = density.trace_product(&h);
+                let e_coul = 0.5 * density.trace_product(&j);
+                let e_exch = -0.25 * density.trace_product(&k);
+                (
+                    f,
+                    e_core + e_coul + e_exch,
+                    EnergyBreakdown {
+                        e_nuc,
+                        e_core,
+                        e_coulomb: e_coul,
+                        e_exchange: e_exch,
+                        e_xc: 0.0,
+                    },
+                )
+            }
+            Method::RksLda => {
+                let grid = molgrid.as_ref().unwrap();
+                let aos = ao_at_pts.as_ref().unwrap();
+                let (nvals, _) = density_from_dm_at_points(basis, &density, &grid.points);
+                // V_xc matrix: Σ_p w_p v_xc(n_p) χ_μ(p) χ_ν(p).
+                let vxc_pts: Vec<f64> =
+                    nvals.iter().map(|&d| lda::lda_vxc(d)).collect();
+                let mut vxc = Mat::zeros(n, n);
+                for mu in 0..n {
+                    for nu in 0..=mu {
+                        let mut acc = 0.0;
+                        for p in 0..grid.len() {
+                            acc += grid.weights[p] * vxc_pts[p] * aos[mu][p] * aos[nu][p];
+                        }
+                        vxc[(mu, nu)] = acc;
+                        vxc[(nu, mu)] = acc;
+                    }
+                }
+                let e_xc: f64 = nvals
+                    .iter()
+                    .zip(&grid.weights)
+                    .map(|(&d, &w)| w * d * lda_exc(d))
+                    .sum();
+                let mut f = h.clone();
+                f.axpy(1.0, &j);
+                f.axpy(1.0, &vxc);
+                let e_core = density.trace_product(&h);
+                let e_coul = 0.5 * density.trace_product(&j);
+                (
+                    f,
+                    e_core + e_coul + e_xc,
+                    EnergyBreakdown {
+                        e_nuc,
+                        e_core,
+                        e_coulomb: e_coul,
+                        e_exchange: 0.0,
+                        e_xc,
+                    },
+                )
+            }
+        };
+
+        let new_energy = e_elec + e_nuc;
+        // DIIS error FDS − SDF.
+        let fds = fock.matmul(&density).matmul(&s);
+        let err = fds.sub(&fds.transpose());
+        let fock_x = diis.extrapolate(fock, err);
+        let diis_err = diis.latest_error();
+
+        // New density.
+        let (eps, c) = orbitals_from_fock(&fock_x, &x);
+        density = assemble_density(&c, nocc);
+        let de = (new_energy - energy).abs();
+        energy = new_energy;
+        breakdown = bd;
+        c_final = c;
+        eps_final = eps;
+        if it > 1 && de < opts.energy_tol && diis_err < opts.error_tol {
+            converged = true;
+            break;
+        }
+    }
+
+    ScfResult {
+        energy,
+        orbital_energies: eps_final,
+        c: c_final,
+        density,
+        nocc,
+        iterations,
+        converged,
+        breakdown,
+        method,
+    }
+}
+
+/// Diagonalize a Fock matrix in the orthonormal basis; return
+/// `(ε, C)` in the original AO basis.
+fn orbitals_from_fock(f: &Mat, x: &Mat) -> (Vec<f64>, Mat) {
+    let fp = x.transpose().matmul(f).matmul(x);
+    let (eps, cp) = eigh(&fp);
+    (eps, x.matmul(&cp))
+}
+
+fn assemble_density(c: &Mat, nocc: usize) -> Mat {
+    let n = c.nrows();
+    let mut d = Mat::zeros(n, n);
+    for mu in 0..n {
+        for nu in 0..n {
+            let mut acc = 0.0;
+            for k in 0..nocc {
+                acc += c[(mu, k)] * c[(nu, k)];
+            }
+            d[(mu, nu)] = 2.0 * acc;
+        }
+    }
+    d
+}
+
+fn density_from_fock(f: &Mat, x: &Mat, nocc: usize) -> Mat {
+    let (_, c) = orbitals_from_fock(f, x);
+    assemble_density(&c, nocc)
+}
+
+/// Post-SCF total energy of `functional` on a converged density:
+/// `E = E_nn + Tr(DH) + ½Tr(DJ) + c_x·(−¼Tr(DK)) + E_xc^{DFT}[n]`,
+/// with the DFT part integrated on a Becke grid. For `Functional::Hf`
+/// this reproduces the RHF energy expression exactly.
+pub fn functional_energy(
+    mol: &Molecule,
+    basis: &Basis,
+    res: &ScfResult,
+    functional: Functional,
+    opts: &ScfOptions,
+) -> f64 {
+    let h = kinetic_matrix(basis).add(&nuclear_matrix(basis, mol));
+    let (j, k) = build_jk(basis, &res.density, opts.schwarz_tol);
+    let e_core = res.density.trace_product(&h);
+    let e_coul = 0.5 * res.density.trace_product(&j);
+    let e_hfx = -0.25 * res.density.trace_product(&k);
+    let e_dft = if functional == Functional::Hf {
+        0.0
+    } else {
+        let grid = MolGrid::becke(mol, opts.grid_radial, opts.grid_theta);
+        let (nvals, grads) = density_from_dm_at_points(basis, &res.density, &grid.points);
+        match functional {
+            Functional::Lda => nvals
+                .iter()
+                .zip(&grid.weights)
+                .map(|(&d, &w)| w * d * lda_exc(d))
+                .sum(),
+            Functional::Pbe => nvals
+                .iter()
+                .zip(&grads)
+                .zip(&grid.weights)
+                .map(|((&d, &g), &w)| w * d * liair_xc::pbe::pbe_exc(d, g))
+                .sum(),
+            Functional::Pbe0 => nvals
+                .iter()
+                .zip(&grads)
+                .zip(&grid.weights)
+                .map(|((&d, &g), &w)| {
+                    w * d * (0.75 * liair_xc::pbe::pbe_ex(d, g)
+                        + liair_xc::pbe::pbe_ec(d, g))
+                })
+                .sum(),
+            Functional::Hf => unreachable!(),
+        }
+    };
+    mol.nuclear_repulsion() + e_core + e_coul + functional.hfx_fraction() * e_hfx + e_dft
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liair_basis::systems;
+    use liair_math::approx_eq;
+
+    fn run_rhf(mol: &Molecule) -> (Basis, ScfResult) {
+        let basis = Basis::sto3g(mol);
+        let res = rhf(mol, &basis, &ScfOptions::default());
+        assert!(res.converged, "RHF did not converge for {}", mol.formula());
+        (basis, res)
+    }
+
+    #[test]
+    fn h2_sto3g_energy() {
+        // Szabo & Ostlund: E(H2/STO-3G, R = 1.4) = −1.1167 Ha.
+        let (_, res) = run_rhf(&systems::h2());
+        assert!(approx_eq(res.energy, -1.1167, 2e-4), "E = {}", res.energy);
+        // One doubly-occupied orbital at ε ≈ −0.578.
+        assert!(approx_eq(res.orbital_energies[0], -0.578, 5e-3));
+    }
+
+    #[test]
+    fn helium_sto3g_energy() {
+        // HF/STO-3G He: −2.8078 Ha.
+        let (_, res) = run_rhf(&systems::helium());
+        assert!(approx_eq(res.energy, -2.8078, 1e-3), "E = {}", res.energy);
+    }
+
+    #[test]
+    fn water_sto3g_energy() {
+        // HF/STO-3G water near experimental geometry: ≈ −74.96 Ha.
+        let (_, res) = run_rhf(&systems::water());
+        assert!(res.energy < -74.90 && res.energy > -75.05, "E = {}", res.energy);
+        assert_eq!(res.nocc, 5);
+    }
+
+    #[test]
+    fn lih_sto3g_energy() {
+        // HF/STO-3G LiH: ≈ −7.86 Ha.
+        let (_, res) = run_rhf(&systems::lih());
+        assert!(res.energy < -7.7 && res.energy > -8.0, "E = {}", res.energy);
+    }
+
+    #[test]
+    fn h2_and_water_631g_energies() {
+        // Split-valence basis: H2/6-31G ~ -1.1268 Ha; H2O/6-31G ~ -75.98 Ha.
+        let mol = systems::h2();
+        let basis = Basis::b631g(&mol);
+        let res = rhf(&mol, &basis, &ScfOptions::default());
+        assert!(res.converged);
+        assert!(approx_eq(res.energy, -1.1268, 2e-3), "H2/6-31G E = {}", res.energy);
+        // 6-31G lies below STO-3G (variational improvement).
+        let sto = rhf(&mol, &Basis::sto3g(&mol), &ScfOptions::default());
+        assert!(res.energy < sto.energy);
+
+        let water = systems::water();
+        let b = Basis::b631g(&water);
+        assert_eq!(b.nao(), 13);
+        let wres = rhf(&water, &b, &ScfOptions::default());
+        assert!(wres.converged);
+        assert!(
+            wres.energy < -75.90 && wres.energy > -76.05,
+            "H2O/6-31G E = {}",
+            wres.energy
+        );
+    }
+
+    #[test]
+    fn virial_ratio_near_two() {
+        // |V/T| ≈ 2 at convergence (loose: finite basis, non-equilibrium).
+        let mol = systems::water();
+        let basis = Basis::sto3g(&mol);
+        let res = rhf(&mol, &basis, &ScfOptions::default());
+        let t = kinetic_matrix(&basis);
+        let e_kin = res.density.trace_product(&t);
+        let e_pot = res.energy - e_kin;
+        let ratio = -e_pot / e_kin;
+        assert!((ratio - 2.0).abs() < 0.1, "virial ratio {ratio}");
+    }
+
+    #[test]
+    fn energy_breakdown_sums_to_total() {
+        let (_, res) = run_rhf(&systems::water());
+        let b = res.breakdown;
+        let total = b.e_nuc + b.e_core + b.e_coulomb + b.e_exchange + b.e_xc;
+        assert!(approx_eq(total, res.energy, 1e-8));
+        assert!(b.e_exchange < 0.0);
+        assert!(b.e_coulomb > 0.0);
+    }
+
+    #[test]
+    fn density_is_idempotent() {
+        // DSD = 2D for a converged closed-shell density.
+        let mol = systems::h2();
+        let basis = Basis::sto3g(&mol);
+        let res = rhf(&mol, &basis, &ScfOptions::default());
+        let s = overlap_matrix(&basis);
+        let dsd = res.density.matmul(&s).matmul(&res.density);
+        let err = dsd.sub(&res.density.scale(2.0)).fro_norm();
+        assert!(err < 1e-6, "idempotency error {err}");
+    }
+
+    #[test]
+    fn hf_functional_energy_reproduces_rhf() {
+        let mol = systems::h2();
+        let basis = Basis::sto3g(&mol);
+        let opts = ScfOptions::default();
+        let res = rhf(&mol, &basis, &opts);
+        let e = functional_energy(&mol, &basis, &res, Functional::Hf, &opts);
+        assert!(approx_eq(e, res.energy, 1e-8));
+    }
+
+    #[test]
+    fn pbe0_lowers_h2_energy_vs_rhf() {
+        // Correlation is attractive: E(PBE0) < E(RHF) for H2, by a few
+        // tens of mHa.
+        let mol = systems::h2();
+        let basis = Basis::sto3g(&mol);
+        let opts = ScfOptions::default();
+        let res = rhf(&mol, &basis, &opts);
+        let e0 = functional_energy(&mol, &basis, &res, Functional::Pbe0, &opts);
+        let diff = e0 - res.energy;
+        assert!(diff < -0.005 && diff > -0.3, "E(PBE0)−E(RHF) = {diff}");
+    }
+
+    #[test]
+    fn rks_lda_converges_h2() {
+        let mol = systems::h2();
+        let basis = Basis::sto3g(&mol);
+        let mut opts = ScfOptions::default();
+        opts.energy_tol = 1e-8;
+        let res = rks_lda(&mol, &basis, &opts);
+        assert!(res.converged, "LDA SCF did not converge");
+        // LSDA H2 sits above the HF value in a minimal basis but in the
+        // same ballpark.
+        assert!(res.energy < -0.9 && res.energy > -1.3, "E = {}", res.energy);
+        assert!(res.breakdown.e_xc < 0.0);
+    }
+
+    #[test]
+    fn converges_quickly_with_diis() {
+        let (_, res) = run_rhf(&systems::water());
+        assert!(res.iterations < 30, "took {} iterations", res.iterations);
+    }
+}

@@ -1,0 +1,349 @@
+//! Unrestricted Hartree–Fock — open-shell species.
+//!
+//! The lithium/air reaction network runs through radicals (O₂⁻, LiO₂)
+//! that a restricted determinant cannot describe. UHF propagates separate
+//! α/β orbital sets:
+//!
+//! `F^σ = H + J(D^α + D^β) − K(D^σ)`,
+//! `E = ½·Tr[(D^T)(H) + D^α F^α + D^β F^β] + E_nn` (with `F` including
+//! `H`), plus the spin-contamination diagnostic
+//! `⟨S²⟩ = S_z(S_z+1) + N_β − Σ_{ij} |⟨φ^α_i|S|φ^β_j⟩|²`.
+
+use crate::diis::Diis;
+use liair_basis::{Basis, Molecule};
+use liair_integrals::{kinetic_matrix, nuclear_matrix, overlap_matrix, JkBuilder};
+use liair_math::linalg::{eigh, sym_inv_sqrt};
+use liair_math::Mat;
+
+/// UHF controls.
+#[derive(Debug, Clone, Copy)]
+pub struct UhfOptions {
+    /// Maximum iterations.
+    pub max_iter: usize,
+    /// Energy convergence threshold.
+    pub energy_tol: f64,
+    /// Schwarz threshold.
+    pub schwarz_tol: f64,
+    /// DIIS depth.
+    pub diis_depth: usize,
+    /// Rotate the α HOMO/LUMO of the initial guess by 45° to let
+    /// spin symmetry break (needed e.g. for stretched closed-shell bonds).
+    pub break_symmetry: bool,
+}
+
+impl Default for UhfOptions {
+    fn default() -> Self {
+        Self {
+            max_iter: 200,
+            energy_tol: 1e-9,
+            schwarz_tol: 1e-11,
+            diis_depth: 8,
+            break_symmetry: false,
+        }
+    }
+}
+
+/// Converged UHF state.
+#[derive(Debug, Clone)]
+pub struct UhfResult {
+    /// Total energy (Hartree).
+    pub energy: f64,
+    /// α orbital energies.
+    pub eps_alpha: Vec<f64>,
+    /// β orbital energies.
+    pub eps_beta: Vec<f64>,
+    /// α MO coefficients.
+    pub c_alpha: Mat,
+    /// β MO coefficients.
+    pub c_beta: Mat,
+    /// α electron count.
+    pub nalpha: usize,
+    /// β electron count.
+    pub nbeta: usize,
+    /// ⟨S²⟩ expectation value.
+    pub s_squared: f64,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Converged flag.
+    pub converged: bool,
+}
+
+/// Run UHF with `nalpha`/`nbeta` electrons (must sum to the molecule's
+/// electron count).
+pub fn uhf(
+    mol: &Molecule,
+    basis: &Basis,
+    nalpha: usize,
+    nbeta: usize,
+    opts: &UhfOptions,
+) -> UhfResult {
+    assert_eq!(
+        nalpha + nbeta,
+        mol.nelectrons(),
+        "nalpha + nbeta must equal the electron count"
+    );
+    assert!(nalpha >= nbeta, "convention: nalpha >= nbeta");
+    let n = basis.nao();
+    assert!(nalpha <= n);
+    let s = overlap_matrix(basis);
+    let h = kinetic_matrix(basis).add(&nuclear_matrix(basis, mol));
+    let x = sym_inv_sqrt(&s);
+    let e_nuc = mol.nuclear_repulsion();
+    let jk = JkBuilder::new(basis);
+
+    let orbitals = |f: &Mat| -> (Vec<f64>, Mat) {
+        let fp = x.transpose().matmul(f).matmul(&x);
+        let (eps, cp) = eigh(&fp);
+        (eps, x.matmul(&cp))
+    };
+    let density_of = |c: &Mat, nocc: usize| -> Mat {
+        let mut d = Mat::zeros(n, n);
+        for mu in 0..n {
+            for nu in 0..n {
+                let mut acc = 0.0;
+                for k in 0..nocc {
+                    acc += c[(mu, k)] * c[(nu, k)];
+                }
+                d[(mu, nu)] = acc;
+            }
+        }
+        d
+    };
+
+    // Core guess; optionally break spin symmetry in the α set.
+    let (_, c0) = orbitals(&h);
+    let mut c_a = c0.clone();
+    let c_b = c0;
+    if opts.break_symmetry && nalpha >= 1 && nalpha < n {
+        let (homo, lumo) = (nalpha - 1, nalpha);
+        let r = std::f64::consts::FRAC_1_SQRT_2;
+        for mu in 0..n {
+            let (ho, lu) = (c_a[(mu, homo)], c_a[(mu, lumo)]);
+            c_a[(mu, homo)] = r * (ho + lu);
+            c_a[(mu, lumo)] = r * (ho - lu);
+        }
+    }
+    let mut d_a = density_of(&c_a, nalpha);
+    let mut d_b = density_of(&c_b, nbeta);
+
+    let mut diis = Diis::new(opts.diis_depth);
+    let mut energy = 0.0;
+    let mut converged = false;
+    let mut iterations = 0;
+    let mut eps_a = vec![0.0; n];
+    let mut eps_b = vec![0.0; n];
+    let mut c_a_final = Mat::zeros(n, n);
+    let mut c_b_final = Mat::zeros(n, n);
+
+    for it in 1..=opts.max_iter {
+        iterations = it;
+        let d_total = d_a.add(&d_b);
+        let (j, _) = jk.build(&d_total, opts.schwarz_tol);
+        let (_, k_a) = jk.build(&d_a, opts.schwarz_tol);
+        let (_, k_b) = jk.build(&d_b, opts.schwarz_tol);
+        let mut f_a = h.clone();
+        f_a.axpy(1.0, &j);
+        f_a.axpy(-1.0, &k_a);
+        let mut f_b = h.clone();
+        f_b.axpy(1.0, &j);
+        f_b.axpy(-1.0, &k_b);
+
+        // E = ½[Tr(Dᵀ·H) + Tr(D^α F^α) + Tr(D^β F^β)] + E_nn
+        let e_elec = 0.5
+            * (d_total.trace_product(&h)
+                + d_a.trace_product(&f_a)
+                + d_b.trace_product(&f_b));
+        let new_energy = e_elec + e_nuc;
+
+        // Joint DIIS on the stacked [F^α; F^β] with stacked errors.
+        let err_a = {
+            let fds = f_a.matmul(&d_a).matmul(&s);
+            fds.sub(&fds.transpose())
+        };
+        let err_b = {
+            let fds = f_b.matmul(&d_b).matmul(&s);
+            fds.sub(&fds.transpose())
+        };
+        let stacked_f = vstack(&f_a, &f_b);
+        let stacked_e = vstack(&err_a, &err_b);
+        let extrap = diis.extrapolate(stacked_f, stacked_e);
+        let (f_a_x, f_b_x) = vsplit(&extrap, n);
+
+        let (ea, ca) = orbitals(&f_a_x);
+        let (eb, cb) = orbitals(&f_b_x);
+        d_a = density_of(&ca, nalpha);
+        d_b = density_of(&cb, nbeta);
+        let de = (new_energy - energy).abs();
+        energy = new_energy;
+        eps_a = ea;
+        eps_b = eb;
+        c_a_final = ca;
+        c_b_final = cb;
+        if it > 1 && de < opts.energy_tol {
+            converged = true;
+            break;
+        }
+    }
+
+    // ⟨S²⟩ diagnostic.
+    let sz = 0.5 * (nalpha as f64 - nbeta as f64);
+    let mut overlap_sq = 0.0;
+    for i in 0..nalpha {
+        for j in 0..nbeta {
+            // ⟨φ^α_i | φ^β_j⟩ = c_αᵢᵀ S c_βⱼ
+            let mut v = 0.0;
+            for mu in 0..n {
+                for nu in 0..n {
+                    v += c_a_final[(mu, i)] * s[(mu, nu)] * c_b_final[(nu, j)];
+                }
+            }
+            overlap_sq += v * v;
+        }
+    }
+    let s_squared = sz * (sz + 1.0) + nbeta as f64 - overlap_sq;
+
+    UhfResult {
+        energy,
+        eps_alpha: eps_a,
+        eps_beta: eps_b,
+        c_alpha: c_a_final,
+        c_beta: c_b_final,
+        nalpha,
+        nbeta,
+        s_squared,
+        iterations,
+        converged,
+    }
+}
+
+fn vstack(a: &Mat, b: &Mat) -> Mat {
+    let n = a.ncols();
+    assert_eq!(b.ncols(), n);
+    let mut out = Mat::zeros(a.nrows() + b.nrows(), n);
+    for i in 0..a.nrows() {
+        for j in 0..n {
+            out[(i, j)] = a[(i, j)];
+        }
+    }
+    for i in 0..b.nrows() {
+        for j in 0..n {
+            out[(a.nrows() + i, j)] = b[(i, j)];
+        }
+    }
+    out
+}
+
+fn vsplit(stacked: &Mat, n: usize) -> (Mat, Mat) {
+    let mut a = Mat::zeros(n, stacked.ncols());
+    let mut b = Mat::zeros(n, stacked.ncols());
+    for i in 0..n {
+        for j in 0..stacked.ncols() {
+            a[(i, j)] = stacked[(i, j)];
+            b[(i, j)] = stacked[(n + i, j)];
+        }
+    }
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{rhf, ScfOptions};
+    use liair_basis::{systems, Element};
+    use liair_math::{approx_eq, Vec3};
+
+    #[test]
+    fn hydrogen_atom_doublet() {
+        // H/STO-3G UHF: E = −0.46658 Ha, pure doublet ⟨S²⟩ = 0.75.
+        let mut mol = Molecule::new();
+        mol.push(Element::H, Vec3::ZERO);
+        let basis = Basis::sto3g(&mol);
+        let res = uhf(&mol, &basis, 1, 0, &UhfOptions::default());
+        assert!(res.converged);
+        assert!(approx_eq(res.energy, -0.46658, 1e-4), "E = {}", res.energy);
+        assert!(approx_eq(res.s_squared, 0.75, 1e-10), "<S2> = {}", res.s_squared);
+    }
+
+    #[test]
+    fn closed_shell_uhf_equals_rhf() {
+        let mol = systems::h2();
+        let basis = Basis::sto3g(&mol);
+        let r = rhf(&mol, &basis, &ScfOptions::default());
+        let u = uhf(&mol, &basis, 1, 1, &UhfOptions::default());
+        assert!(u.converged);
+        assert!(approx_eq(u.energy, r.energy, 1e-7), "{} vs {}", u.energy, r.energy);
+        assert!(u.s_squared.abs() < 1e-8, "<S2> = {}", u.s_squared);
+    }
+
+    #[test]
+    fn stretched_h2_breaks_symmetry_below_rhf() {
+        // At R = 6 Bohr the RHF determinant is badly wrong; broken-symmetry
+        // UHF falls to ~2×E(H atom) with heavy spin contamination.
+        let mut mol = systems::h2();
+        mol.atoms[1].pos.x = 6.0;
+        let basis = Basis::sto3g(&mol);
+        let r = rhf(&mol, &basis, &ScfOptions::default());
+        let mut opts = UhfOptions::default();
+        opts.break_symmetry = true;
+        let u = uhf(&mol, &basis, 1, 1, &opts);
+        assert!(u.converged);
+        assert!(u.energy < r.energy - 0.05, "UHF {} vs RHF {}", u.energy, r.energy);
+        // Two isolated H atoms: 2 × (−0.46658).
+        assert!(approx_eq(u.energy, -0.93316, 2e-3), "E = {}", u.energy);
+        // Strong contamination: ⟨S²⟩ → 1 in the dissociation limit.
+        assert!(u.s_squared > 0.8, "<S2> = {}", u.s_squared);
+    }
+
+    #[test]
+    fn lithium_superoxide_radical_converges() {
+        // LiO2 — the Li/air discharge intermediate — is a doublet; UHF is
+        // the right tool where the restricted code would simply panic.
+        let mut mol = Molecule::new();
+        mol.push(Element::O, Vec3::new(0.0, 1.26, 0.0));
+        mol.push(Element::O, Vec3::new(0.0, -1.26, 0.0));
+        mol.push(Element::Li, Vec3::new(3.1, 0.0, 0.0));
+        let basis = Basis::sto3g(&mol);
+        let nelec = mol.nelectrons();
+        assert_eq!(nelec % 2, 1);
+        let res = uhf(&mol, &basis, nelec / 2 + 1, nelec / 2, &UhfOptions::default());
+        assert!(res.converged, "LiO2 UHF failed");
+        assert!(res.energy < -150.0 && res.energy > -165.0, "E = {}", res.energy);
+        // Roughly one unpaired electron.
+        assert!(res.s_squared > 0.7 && res.s_squared < 1.3, "<S2> = {}", res.s_squared);
+    }
+
+    #[test]
+    fn triplet_oxygen_ground_state() {
+        // O2's famous triplet ground state (the "air" in lithium/air):
+        // nalpha = nbeta + 2, ⟨S²⟩ ≈ 2 (S = 1).
+        let mut mol = Molecule::new();
+        mol.push(Element::O, Vec3::ZERO);
+        mol.push(Element::O, Vec3::new(2.28, 0.0, 0.0)); // ~1.21 Å
+        let basis = Basis::sto3g(&mol);
+        let res = uhf(&mol, &basis, 9, 7, &UhfOptions::default());
+        assert!(res.converged, "O2 triplet UHF failed");
+        // UHF/STO-3G O2 ≈ −147.6 Ha.
+        assert!(res.energy < -147.0 && res.energy > -148.5, "E = {}", res.energy);
+        assert!(
+            res.s_squared > 1.9 && res.s_squared < 2.2,
+            "<S2> = {} (triplet expects ~2.0)",
+            res.s_squared
+        );
+        // The triplet sits below the closed-shell singlet determinant.
+        let singlet = uhf(&mol, &basis, 8, 8, &UhfOptions::default());
+        assert!(singlet.converged);
+        assert!(res.energy < singlet.energy, "triplet not the ground state");
+    }
+
+    #[test]
+    fn lithium_atom_doublet() {
+        let mut mol = Molecule::new();
+        mol.push(Element::Li, Vec3::ZERO);
+        let basis = Basis::sto3g(&mol);
+        let res = uhf(&mol, &basis, 2, 1, &UhfOptions::default());
+        assert!(res.converged);
+        // Li/STO-3G: ≈ −7.3155 Ha.
+        assert!(approx_eq(res.energy, -7.3155, 2e-3), "E = {}", res.energy);
+        assert!(approx_eq(res.s_squared, 0.75, 1e-2));
+    }
+}

@@ -1,0 +1,226 @@
+//! Grid-level functional evaluation and the [`Functional`] selector.
+
+use crate::{lda, pbe};
+use liair_grid::RealGrid;
+use liair_math::fft3::{fft3, ifft3};
+use liair_math::{Array3, Complex64};
+use rayon::prelude::*;
+
+/// The exchange–correlation treatments of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Functional {
+    /// Pure Hartree–Fock: 100 % exact exchange, no DFT XC.
+    Hf,
+    /// Local-density approximation (Slater + PW92).
+    Lda,
+    /// PBE GGA.
+    Pbe,
+    /// PBE0 hybrid: 25 % exact exchange + 75 % PBE exchange + PBE
+    /// correlation — the functional the paper's application runs use.
+    Pbe0,
+}
+
+impl Functional {
+    /// Fraction of exact (Hartree–Fock) exchange this functional mixes in.
+    /// The exchange itself is computed by `liair-core`/`liair-integrals`.
+    pub fn hfx_fraction(self) -> f64 {
+        match self {
+            Functional::Hf => 1.0,
+            Functional::Lda | Functional::Pbe => 0.0,
+            Functional::Pbe0 => 0.25,
+        }
+    }
+
+    /// Whether the DFT part needs density gradients.
+    pub fn needs_gradient(self) -> bool {
+        matches!(self, Functional::Pbe | Functional::Pbe0)
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Functional::Hf => "HF",
+            Functional::Lda => "LDA",
+            Functional::Pbe => "PBE",
+            Functional::Pbe0 => "PBE0",
+        }
+    }
+
+    /// DFT exchange–correlation energy of a closed-shell density sampled on
+    /// the grid. The exact-exchange share (for `Hf`/`Pbe0`) is *not*
+    /// included — callers add `hfx_fraction() · E_x^{exact}` themselves.
+    pub fn xc_energy(self, grid: &RealGrid, density: &[f64]) -> f64 {
+        assert_eq!(density.len(), grid.len());
+        match self {
+            Functional::Hf => 0.0,
+            Functional::Lda => {
+                let e: f64 = density.par_iter().map(|&n| n * lda::lda_exc(n)).sum();
+                e * grid.dvol()
+            }
+            Functional::Pbe => {
+                let g = density_gradient_norm(grid, density);
+                let e: f64 = density
+                    .par_iter()
+                    .zip(&g)
+                    .map(|(&n, &gn)| n * pbe::pbe_exc(n, gn))
+                    .sum();
+                e * grid.dvol()
+            }
+            Functional::Pbe0 => {
+                let g = density_gradient_norm(grid, density);
+                let e: f64 = density
+                    .par_iter()
+                    .zip(&g)
+                    .map(|(&n, &gn)| {
+                        n * (0.75 * pbe::pbe_ex(n, gn) + pbe::pbe_ec(n, gn))
+                    })
+                    .sum();
+                e * grid.dvol()
+            }
+        }
+    }
+
+    /// LDA exchange–correlation potential on the grid (used by the
+    /// self-consistent RKS path; GGA potentials are intentionally not
+    /// implemented — PBE/PBE0 energies are evaluated post-SCF, see
+    /// DESIGN.md).
+    pub fn lda_vxc_field(density: &[f64]) -> Vec<f64> {
+        density.par_iter().map(|&n| lda::lda_vxc(n)).collect()
+    }
+}
+
+/// `|∇n|` on the grid via reciprocal-space differentiation
+/// (`∂̂f = iG f̂`), one FFT pair per axis.
+pub fn density_gradient_norm(grid: &RealGrid, density: &[f64]) -> Vec<f64> {
+    assert_eq!(density.len(), grid.len());
+    let mut hat = Array3::from_vec(
+        grid.dims,
+        density.iter().map(|&r| Complex64::real(r)).collect(),
+    );
+    fft3(&mut hat);
+    let (nx, ny, nz) = grid.dims;
+    let mut grad_sq = vec![0.0; grid.len()];
+    for axis in 0..3 {
+        let mut comp = hat.clone();
+        {
+            let data = comp.as_mut_slice();
+            let mut idx = 0;
+            for i in 0..nx {
+                for j in 0..ny {
+                    for k in 0..nz {
+                        let g = grid.g_of_bin(i, j, k);
+                        let gk = g[axis];
+                        // i·g_k multiply; Nyquist rows of even grids have no
+                        // matching conjugate partner — zero them so the
+                        // derivative stays real.
+                        let is_nyquist = (axis == 0 && nx % 2 == 0 && i == nx / 2)
+                            || (axis == 1 && ny % 2 == 0 && j == ny / 2)
+                            || (axis == 2 && nz % 2 == 0 && k == nz / 2);
+                        data[idx] = if is_nyquist {
+                            Complex64::ZERO
+                        } else {
+                            Complex64::new(-data[idx].im * gk, data[idx].re * gk)
+                        };
+                        idx += 1;
+                    }
+                }
+            }
+        }
+        ifft3(&mut comp);
+        for (acc, z) in grad_sq.iter_mut().zip(comp.as_slice()) {
+            *acc += z.re * z.re;
+        }
+    }
+    grad_sq.into_iter().map(f64::sqrt).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liair_basis::Cell;
+    use liair_math::approx_eq;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn gradient_of_plane_wave() {
+        // n = 2 + sin(Gx): |∇n| = G|cos(Gx)|.
+        let l = 9.0;
+        let grid = RealGrid::cubic(Cell::cubic(l), 24);
+        let g0 = 2.0 * PI / l;
+        let n: Vec<f64> =
+            (0..grid.len()).map(|i| 2.0 + (g0 * grid.point_flat(i).x).sin()).collect();
+        let g = density_gradient_norm(&grid, &n);
+        for i in (0..grid.len()).step_by(101) {
+            let want = g0 * (g0 * grid.point_flat(i).x).cos().abs();
+            assert!(approx_eq(g[i], want, 1e-8), "{} vs {want}", g[i]);
+        }
+    }
+
+    #[test]
+    fn gradient_of_constant_is_zero() {
+        let grid = RealGrid::cubic(Cell::cubic(5.0), 8);
+        let n = vec![0.7; grid.len()];
+        let g = density_gradient_norm(&grid, &n);
+        assert!(g.iter().all(|&x| x < 1e-12));
+    }
+
+    #[test]
+    fn uniform_density_lda_closed_form() {
+        // E_xc = V · n ε_xc(n) for a homogeneous density.
+        let grid = RealGrid::cubic(Cell::cubic(6.0), 8);
+        let n0 = 0.25;
+        let n = vec![n0; grid.len()];
+        let want = grid.cell.volume() * n0 * lda::lda_exc(n0);
+        let got = Functional::Lda.xc_energy(&grid, &n);
+        assert!(approx_eq(got, want, 1e-10));
+        // PBE reduces to LDA for the uniform gas.
+        let pbe = Functional::Pbe.xc_energy(&grid, &n);
+        assert!(approx_eq(pbe, want, 1e-8), "{pbe} vs {want}");
+    }
+
+    #[test]
+    fn pbe0_composition_identity() {
+        // E_xc^{PBE0,DFT} = E_xc^{PBE} − 0.25 E_x^{PBE}.
+        let grid = RealGrid::cubic(Cell::cubic(7.0), 16);
+        let g0 = 2.0 * PI / 7.0;
+        let n: Vec<f64> =
+            (0..grid.len()).map(|i| 0.3 + 0.1 * (g0 * grid.point_flat(i).y).cos()).collect();
+        let grads = density_gradient_norm(&grid, &n);
+        let ex_pbe: f64 = n
+            .iter()
+            .zip(&grads)
+            .map(|(&d, &g)| d * pbe::pbe_ex(d, g))
+            .sum::<f64>()
+            * grid.dvol();
+        let full = Functional::Pbe.xc_energy(&grid, &n);
+        let hybrid = Functional::Pbe0.xc_energy(&grid, &n);
+        assert!(approx_eq(hybrid, full - 0.25 * ex_pbe, 1e-10));
+    }
+
+    #[test]
+    fn hf_has_no_dft_xc() {
+        let grid = RealGrid::cubic(Cell::cubic(4.0), 4);
+        let n = vec![0.5; grid.len()];
+        assert_eq!(Functional::Hf.xc_energy(&grid, &n), 0.0);
+        assert_eq!(Functional::Hf.hfx_fraction(), 1.0);
+        assert_eq!(Functional::Pbe0.hfx_fraction(), 0.25);
+    }
+
+    #[test]
+    fn xc_energy_is_negative_for_physical_density() {
+        let l = 12.0;
+        let grid = RealGrid::cubic(Cell::cubic(l), 24);
+        let alpha = 0.5;
+        let c = liair_math::Vec3::splat(l / 2.0);
+        let n: Vec<f64> = (0..grid.len())
+            .map(|i| {
+                let d = grid.cell.min_image(c, grid.point_flat(i));
+                2.0 * (alpha / PI).powf(1.5) * (-alpha * d.norm_sqr()).exp()
+            })
+            .collect();
+        for f in [Functional::Lda, Functional::Pbe, Functional::Pbe0] {
+            let e = f.xc_energy(&grid, &n);
+            assert!(e < 0.0, "{}: {e}", f.name());
+        }
+    }
+}

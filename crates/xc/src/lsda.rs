@@ -1,0 +1,172 @@
+//! Spin-polarized local density approximation (LSDA).
+//!
+//! Exchange by exact spin scaling,
+//! `E_x[n↑, n↓] = ½(E_x^{LDA}[2n↑] + E_x^{LDA}[2n↓])`,
+//! and the full Perdew–Wang '92 correlation interpolation
+//!
+//! `ε_c(r_s, ζ) = ε_c(r_s,0) + α_c(r_s)·f(ζ)/f''(0)·(1−ζ⁴)
+//!              + [ε_c(r_s,1) − ε_c(r_s,0)]·f(ζ)·ζ⁴`
+//!
+//! with `f(ζ) = [(1+ζ)^{4/3} + (1−ζ)^{4/3} − 2]/(2^{4/3} − 2)`. Pairs
+//! with the UHF densities from `liair-scf` for radical thermochemistry.
+
+use crate::lda::{rs_of, slater_ex, DENSITY_FLOOR};
+
+/// The PW92 G-function: `−2A(1+α₁ r_s)·ln[1 + 1/(2A(β₁√r_s + β₂r_s +
+/// β₃r_s^{3/2} + β₄r_s²))]`.
+fn pw92_g(rs: f64, a: f64, a1: f64, b: [f64; 4]) -> f64 {
+    let s = rs.sqrt();
+    let q0 = -2.0 * a * (1.0 + a1 * rs);
+    let q1 = 2.0 * a * (b[0] * s + b[1] * rs + b[2] * rs * s + b[3] * rs * rs);
+    q0 * (1.0 + 1.0 / q1).ln()
+}
+
+/// ε_c(r_s, ζ = 0).
+pub fn ec0(rs: f64) -> f64 {
+    pw92_g(rs, 0.031_090_7, 0.213_70, [7.5957, 3.5876, 1.6382, 0.49294])
+}
+
+/// ε_c(r_s, ζ = 1).
+pub fn ec1(rs: f64) -> f64 {
+    pw92_g(rs, 0.015_545_35, 0.205_48, [14.1189, 6.1977, 3.3662, 0.62517])
+}
+
+/// Spin stiffness −α_c(r_s) (the G fit returns −α_c).
+pub fn minus_alpha_c(rs: f64) -> f64 {
+    pw92_g(rs, 0.016_886_9, 0.111_25, [10.357, 3.6231, 0.88026, 0.49671])
+}
+
+/// The spin interpolation function `f(ζ)`.
+pub fn f_zeta(zeta: f64) -> f64 {
+    let z = zeta.clamp(-1.0, 1.0);
+    ((1.0 + z).powf(4.0 / 3.0) + (1.0 - z).powf(4.0 / 3.0) - 2.0)
+        / (2.0f64.powf(4.0 / 3.0) - 2.0)
+}
+
+/// `f''(0) = 8/(9(2^{4/3} − 2)) ≈ 1.709921`.
+pub const F_PP0: f64 = 1.709_920_934_161_365_6;
+
+/// LSDA exchange energy per particle for spin densities `(n_up, n_dn)`.
+pub fn lsda_ex(n_up: f64, n_dn: f64) -> f64 {
+    let n = n_up + n_dn;
+    if n < DENSITY_FLOOR {
+        return 0.0;
+    }
+    // E_x = ½ Σ_σ E_x^{unpol}[2 n_σ] ⇒ per-particle weighting by n_σ.
+    (n_up * slater_ex(2.0 * n_up) + n_dn * slater_ex(2.0 * n_dn)) / n
+}
+
+/// PW92 correlation energy per particle at arbitrary polarization.
+pub fn lsda_ec(n_up: f64, n_dn: f64) -> f64 {
+    let n = n_up + n_dn;
+    if n < DENSITY_FLOOR {
+        return 0.0;
+    }
+    let rs = rs_of(n);
+    let zeta = ((n_up - n_dn) / n).clamp(-1.0, 1.0);
+    let f = f_zeta(zeta);
+    let z4 = zeta.powi(4);
+    let e0 = ec0(rs);
+    let e1 = ec1(rs);
+    let mac = minus_alpha_c(rs);
+    e0 - mac * f / F_PP0 * (1.0 - z4) + (e1 - e0) * f * z4
+}
+
+/// LSDA exchange–correlation energy per particle.
+pub fn lsda_exc(n_up: f64, n_dn: f64) -> f64 {
+    lsda_ex(n_up, n_dn) + lsda_ec(n_up, n_dn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lda::{lda_exc, pw92_ec};
+    use liair_math::approx_eq;
+
+    #[test]
+    fn unpolarized_limit_matches_lda() {
+        for &n in &[0.01, 0.1, 0.5, 2.0] {
+            let half = n / 2.0;
+            assert!(
+                approx_eq(lsda_exc(half, half), lda_exc(n), 1e-12),
+                "n = {n}: {} vs {}",
+                lsda_exc(half, half),
+                lda_exc(n)
+            );
+            assert!(approx_eq(lsda_ec(half, half), pw92_ec(n), 1e-12));
+        }
+    }
+
+    #[test]
+    fn fully_polarized_exchange_scaling() {
+        // ε_x(n, 0) = 2^{1/3} ε_x^{unpol}(n).
+        for &n in &[0.05, 0.3, 1.0] {
+            let want = 2.0f64.powf(1.0 / 3.0) * crate::lda::slater_ex(n);
+            assert!(
+                approx_eq(lsda_ex(n, 0.0), want, 1e-12),
+                "n = {n}: {} vs {want}",
+                lsda_ex(n, 0.0)
+            );
+        }
+    }
+
+    #[test]
+    fn f_zeta_endpoints_and_symmetry() {
+        assert!(f_zeta(0.0).abs() < 1e-15);
+        assert!(approx_eq(f_zeta(1.0), 1.0, 1e-14));
+        assert!(approx_eq(f_zeta(-1.0), 1.0, 1e-14));
+        for k in 0..10 {
+            let z = 0.1 * k as f64;
+            assert!(approx_eq(f_zeta(z), f_zeta(-z), 1e-14));
+        }
+        // Numerical f''(0) matches the constant.
+        let h = 1e-4;
+        let fpp = (f_zeta(h) - 2.0 * f_zeta(0.0) + f_zeta(-h)) / (h * h);
+        assert!(approx_eq(fpp, F_PP0, 1e-5), "{fpp}");
+    }
+
+    #[test]
+    fn polarized_correlation_is_weaker() {
+        // |ε_c| decreases with polarization (parallel spins avoid each
+        // other already via exchange).
+        for &n in &[0.05, 0.3, 1.0] {
+            let unpol = lsda_ec(n / 2.0, n / 2.0).abs();
+            let pol = lsda_ec(n, 0.0).abs();
+            assert!(pol < unpol, "n = {n}: {pol} !< {unpol}");
+            assert!(pol > 0.0);
+        }
+    }
+
+    #[test]
+    fn correlation_monotone_in_zeta() {
+        let n = 0.2;
+        let mut prev = f64::NEG_INFINITY;
+        for k in 0..=10 {
+            let zeta = k as f64 / 10.0;
+            let n_up = n * (1.0 + zeta) / 2.0;
+            let n_dn = n * (1.0 - zeta) / 2.0;
+            let ec = lsda_ec(n_up, n_dn);
+            assert!(ec >= prev - 1e-12, "zeta = {zeta}");
+            prev = ec;
+        }
+    }
+
+    #[test]
+    fn spin_stiffness_fit_sign() {
+        // The fitted quantity −α_c is negative for all r_s (α_c > 0: the
+        // curvature that lifts ε_c toward the weaker polarized limit), and
+        // |α_c| is on the correlation-energy scale.
+        for &rs in &[0.5, 1.0, 2.0, 5.0, 20.0] {
+            let mac = minus_alpha_c(rs);
+            assert!(mac < 0.0, "rs = {rs}: {mac}");
+            assert!(mac > -0.1, "rs = {rs}: {mac}");
+        }
+        // Spot value: −α_c(1) ≈ −0.040.
+        assert!(approx_eq(minus_alpha_c(1.0), -0.0403, 2e-3));
+    }
+
+    #[test]
+    fn exchange_symmetric_in_spins() {
+        assert!(approx_eq(lsda_exc(0.3, 0.1), lsda_exc(0.1, 0.3), 1e-14));
+    }
+}

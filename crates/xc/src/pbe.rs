@@ -1,0 +1,146 @@
+//! PBE generalized-gradient exchange and correlation (Perdew, Burke &
+//! Ernzerhof, PRL 77, 3865 (1996)) — closed-shell energy densities.
+//!
+//! Exchange: `ε_x = ε_x^{LDA}(n) · F_x(s)` with the enhancement factor
+//! `F_x = 1 + κ − κ/(1 + μ s²/κ)` and the reduced gradient
+//! `s = |∇n| / (2 (3π²)^{1/3} n^{4/3})`.
+//!
+//! Correlation: `ε_c = ε_c^{PW92}(n) + H(n, t)` with
+//! `t = |∇n| / (2 k_s n)`, `k_s = √(4 k_F/π)`, and the PBE `H` gradient
+//! correction.
+
+use crate::lda::{pw92_ec, slater_ex, DENSITY_FLOOR};
+use std::f64::consts::PI;
+
+/// PBE exchange enhancement parameters.
+pub const KAPPA: f64 = 0.804;
+/// μ = β π²/3 with β = 0.066725.
+pub const MU: f64 = 0.219_514_972_764_517_1;
+/// PBE correlation β (the precise value consistent with μ = βπ²/3).
+pub const BETA: f64 = 0.066_724_550_603_149_22;
+/// γ = (1 − ln 2)/π².
+pub const GAMMA: f64 = 0.031_090_690_869_654_895;
+
+/// Exchange enhancement factor `F_x(s)`.
+#[inline]
+pub fn fx(s: f64) -> f64 {
+    1.0 + KAPPA - KAPPA / (1.0 + MU * s * s / KAPPA)
+}
+
+/// Reduced density gradient `s`.
+#[inline]
+pub fn reduced_gradient(n: f64, grad_n: f64) -> f64 {
+    if n < DENSITY_FLOOR {
+        return 0.0;
+    }
+    let kf = (3.0 * PI * PI * n).powf(1.0 / 3.0);
+    grad_n / (2.0 * kf * n)
+}
+
+/// PBE exchange energy per particle.
+pub fn pbe_ex(n: f64, grad_n: f64) -> f64 {
+    if n < DENSITY_FLOOR {
+        return 0.0;
+    }
+    slater_ex(n) * fx(reduced_gradient(n, grad_n))
+}
+
+/// The PBE gradient correction `H(n, t)` to the correlation energy per
+/// particle (closed shell, φ = 1).
+pub fn pbe_h(n: f64, grad_n: f64) -> f64 {
+    if n < DENSITY_FLOOR {
+        return 0.0;
+    }
+    let kf = (3.0 * PI * PI * n).powf(1.0 / 3.0);
+    let ks = (4.0 * kf / PI).sqrt();
+    let t = grad_n / (2.0 * ks * n);
+    let t2 = t * t;
+    let ec = pw92_ec(n);
+    // A = (β/γ) / (e^{−ε_c/γ} − 1); guard the uniform-gas limit ε_c → 0⁻.
+    let expo = (-ec / GAMMA).exp() - 1.0;
+    let a = if expo.abs() < 1e-300 { f64::INFINITY } else { BETA / GAMMA / expo };
+    let num = 1.0 + a * t2;
+    let den = 1.0 + a * t2 + a * a * t2 * t2;
+    GAMMA * (1.0 + BETA / GAMMA * t2 * num / den).ln()
+}
+
+/// PBE correlation energy per particle.
+pub fn pbe_ec(n: f64, grad_n: f64) -> f64 {
+    if n < DENSITY_FLOOR {
+        return 0.0;
+    }
+    pw92_ec(n) + pbe_h(n, grad_n)
+}
+
+/// PBE exchange–correlation energy per particle.
+pub fn pbe_exc(n: f64, grad_n: f64) -> f64 {
+    pbe_ex(n, grad_n) + pbe_ec(n, grad_n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liair_math::approx_eq;
+
+    #[test]
+    fn enhancement_factor_bounds() {
+        // 1 ≤ F_x < 1 + κ (the Lieb–Oxford-motivated bound PBE enforces).
+        assert!(approx_eq(fx(0.0), 1.0, 1e-15));
+        for k in 0..200 {
+            let s = 0.1 * k as f64;
+            let f = fx(s);
+            assert!((1.0..1.0 + KAPPA + 1e-12).contains(&f), "s={s}: {f}");
+        }
+        // Monotone increasing.
+        assert!(fx(2.0) > fx(1.0));
+        // Large-s limit saturates at 1 + κ.
+        assert!(approx_eq(fx(1e6), 1.0 + KAPPA, 1e-6));
+    }
+
+    #[test]
+    fn uniform_gas_recovers_lda() {
+        for &n in &[0.01, 0.2, 1.0] {
+            assert!(approx_eq(pbe_ex(n, 0.0), slater_ex(n), 1e-14));
+            assert!(approx_eq(pbe_ec(n, 0.0), pw92_ec(n), 1e-12));
+        }
+    }
+
+    #[test]
+    fn small_s_expansion_of_fx() {
+        // F_x ≈ 1 + μ s² for small s.
+        let s = 1e-3;
+        assert!(approx_eq(fx(s) - 1.0, MU * s * s, 1e-8));
+    }
+
+    #[test]
+    fn gradient_correction_is_nonnegative() {
+        // H ≥ 0: gradients *reduce* the magnitude of correlation.
+        for &n in &[0.05, 0.3, 1.5] {
+            for &g in &[0.0, 0.1, 1.0, 10.0] {
+                assert!(pbe_h(n, g) >= -1e-14, "n={n}, g={g}");
+            }
+        }
+    }
+
+    #[test]
+    fn strong_gradient_kills_correlation() {
+        // As t → ∞, H → −ε_c so ε_c^{PBE} → 0⁻.
+        let n = 0.3;
+        let ec = pbe_ec(n, 1e6);
+        assert!(ec.abs() < 5e-3, "{ec}");
+        assert!(ec <= 1e-12);
+    }
+
+    #[test]
+    fn exchange_more_negative_with_gradient() {
+        // F_x > 1 makes GGA exchange more negative than LDA.
+        let n = 0.2;
+        assert!(pbe_ex(n, 1.0) < slater_ex(n));
+    }
+
+    #[test]
+    fn mu_beta_relation() {
+        // μ = β π²/3 by construction (gradient-expansion link).
+        assert!(approx_eq(MU, BETA * PI * PI / 3.0, 1e-12));
+    }
+}

@@ -1,0 +1,52 @@
+//! Ab initio molecular dynamics of a water molecule — the Born–Oppenheimer
+//! MD the paper runs at scale, here with the full analytic machinery:
+//! every step converges an RHF wavefunction and differentiates the energy
+//! analytically (McMurchie–Davidson derivative integrals + Pulay terms).
+//!
+//! Prints the vibrating geometry, the SCF energy, and the NVE conserved
+//! quantity along the trajectory.
+//!
+//! Run with: `cargo run --release --example aimd_water`
+
+use liair::md::qmforce::RhfForces;
+use liair::prelude::*;
+
+fn main() {
+    println!("== ab initio (RHF/STO-3G) MD of H2O, analytic gradients ==\n");
+    let mut mol = systems::water();
+    // Kick the symmetric stretch: elongate both OH bonds by 5 %.
+    for k in 1..=2 {
+        let d = mol.atoms[k].pos - mol.atoms[0].pos;
+        mol.atoms[k].pos = mol.atoms[0].pos + d * 1.05;
+    }
+
+    let provider = RhfForces::default();
+    let mut state = MdState::new(mol, None, &provider);
+    let e0 = state.total_energy();
+    println!("initial total energy: {:.6} Ha\n", e0);
+    println!(
+        "{:>5} {:>12} {:>12} {:>12} {:>12}",
+        "step", "t [fs]", "r(OH) [a0]", "E_pot [Ha]", "drift [uHa]"
+    );
+
+    let opts = MdOptions { dt: 10.0, thermostat: Thermostat::None };
+    for step in 0..30 {
+        state.step(&provider, &opts);
+        if step % 3 == 0 {
+            let r_oh = state.mol.atoms[0].pos.distance(state.mol.atoms[1].pos);
+            println!(
+                "{:>5} {:>12.2} {:>12.4} {:>12.6} {:>12.2}",
+                step + 1,
+                (step + 1) as f64 * 10.0 * liair::basis::AU_TIME_FS,
+                r_oh,
+                state.potential,
+                (state.total_energy() - e0) * 1e6
+            );
+        }
+    }
+    println!(
+        "\nfinal NVE drift: {:.2e} Ha over 30 steps — the OH bonds vibrate",
+        (state.total_energy() - e0).abs()
+    );
+    println!("around equilibrium on the genuinely quantum potential surface.");
+}

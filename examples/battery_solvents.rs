@@ -1,0 +1,111 @@
+//! The lithium/air-battery application: electrolyte stability against
+//! Li₂O₂ attack.
+//!
+//! For each candidate solvent this example computes, with the *real*
+//! quantum-chemistry stack:
+//!
+//! * RHF and PBE0 interaction energies of the solvent·Li₂O₂ contact
+//!   complex (stronger binding ⇒ stronger peroxide attack on that site);
+//!
+//! and with the reactive-flavoured classical MD:
+//!
+//! * the number of solvent bonds broken in a hot (900 K) trajectory of the
+//!   complex — the degradation-event count.
+//!
+//! Propylene carbonate (the incumbent electrolyte) degrades; the ether/
+//! sulfoxide candidates survive — the paper's chemistry conclusion.
+//!
+//! Run with: `cargo run --release --example battery_solvents` (add `--all`
+//! for all four solvents; default runs PC and DMSO, ~5 minutes).
+
+use liair::md::analysis::BondEvents;
+use liair::prelude::*;
+use rand::SeedableRng;
+
+fn scf_opts() -> ScfOptions {
+    let mut o = ScfOptions::default();
+    o.energy_tol = 1e-7;
+    o.max_iter = 120;
+    o
+}
+
+fn rhf_energy(mol: &Molecule) -> (ScfResult, Basis) {
+    let basis = Basis::sto3g(mol);
+    let res = rhf(mol, &basis, &scf_opts());
+    assert!(res.converged, "SCF failed for {}", mol.formula());
+    (res, basis)
+}
+
+fn main() {
+    let all = std::env::args().any(|a| a == "--all");
+    let solvents: Vec<systems::Solvent> = if all {
+        systems::Solvent::all().to_vec()
+    } else {
+        vec![
+            systems::Solvent::PropyleneCarbonate,
+            systems::Solvent::Dmso,
+        ]
+    };
+
+    println!("== Li/air electrolyte screening (STO-3G, PBE0 post-SCF) ==\n");
+    // Shared fragment: the peroxide cluster.
+    let cluster = systems::li2o2();
+    let (scf_cluster, basis_cluster) = rhf_energy(&cluster);
+    let e_cluster_pbe0 =
+        functional_energy(&cluster, &basis_cluster, &scf_cluster, Functional::Pbe0, &scf_opts());
+    println!(
+        "Li2O2 cluster: E(RHF) = {:.5} Ha, E(PBE0) = {:.5} Ha\n",
+        scf_cluster.energy, e_cluster_pbe0
+    );
+
+    println!(
+        "{:<6} {:>14} {:>14} {:>16} {:>12}",
+        "solvent", "E_int RHF (mHa)", "E_int PBE0 (mHa)", "bonds broken@1200K", "verdict"
+    );
+    for s in solvents {
+        // --- quantum interaction energies ---
+        let solvent = s.molecule();
+        let complex = systems::li2o2_complex(s, 3.6);
+        let (scf_s, basis_s) = rhf_energy(&solvent);
+        let (scf_c, basis_c) = rhf_energy(&complex);
+        let e_int_rhf = scf_c.energy - scf_s.energy - scf_cluster.energy;
+        let pbe0_s =
+            functional_energy(&solvent, &basis_s, &scf_s, Functional::Pbe0, &scf_opts());
+        let pbe0_c =
+            functional_energy(&complex, &basis_c, &scf_c, Functional::Pbe0, &scf_opts());
+        let e_int_pbe0 = pbe0_c - pbe0_s - e_cluster_pbe0;
+
+        // --- hot classical MD of the complex: degradation events ---
+        let ff = ForceField::from_molecule(&complex, None);
+        let n_solvent_bonds = liair::md::ForceField::from_molecule(&solvent, None).bonds.len();
+        let mut state = MdState::new(complex.clone(), None, &ff);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2014);
+        state.thermalize(1200.0, &mut rng);
+        let opts = MdOptions {
+            dt: 15.0,
+            thermostat: Thermostat::Berendsen { t_target: 1200.0, tau: 500.0 },
+        };
+        let mut events = BondEvents::default();
+        for _ in 0..4000 {
+            state.step(&ff, &opts);
+            let broken: Vec<usize> = ff
+                .broken_bonds(&state.mol, None, 1.5)
+                .into_iter()
+                .filter(|&b| ff.bonds[b].i < solvent.natoms() && ff.bonds[b].j < solvent.natoms())
+                .collect();
+            events.record(&broken);
+        }
+        let _ = n_solvent_bonds;
+        let verdict = if events.count() > 0 { "DEGRADES" } else { "stable" };
+        println!(
+            "{:<6} {:>14.1} {:>14.1} {:>16} {:>12}",
+            s.name(),
+            e_int_rhf * 1e3,
+            e_int_pbe0 * 1e3,
+            events.count(),
+            verdict
+        );
+    }
+    println!("\nMore negative interaction energy = stronger peroxide attack;");
+    println!("broken solvent bonds in the hot trajectory = chemical degradation.");
+}

@@ -1,0 +1,64 @@
+//! Molecular properties from the quantum-chemistry substrate: geometry
+//! optimization on analytic gradients, harmonic frequencies, dipole
+//! moments, MP2 correlation, and an open-shell (UHF) calculation on the
+//! LiO₂ superoxide — the radical intermediate of the lithium/air cell.
+//!
+//! Run with: `cargo run --release --example molecular_properties`
+
+use liair::prelude::*;
+use liair::scf::optimize::{
+    dipole_moment, harmonic_frequencies, optimize_rhf, AU_TO_DEBYE,
+};
+
+fn main() {
+    let opts = ScfOptions::default();
+
+    // --- water: optimize, vibrate, polarize, correlate ---
+    println!("== H2O / STO-3G ==");
+    let mol = systems::water();
+    let res = optimize_rhf(&mol, &opts, 3e-4, 30);
+    println!(
+        "optimized in {} steps: E = {:.6} Ha (grad rms {:.1e})",
+        res.steps, res.energy, res.grad_rms
+    );
+    let r_oh = res.mol.atoms[0].pos.distance(res.mol.atoms[1].pos);
+    println!("  r(OH) = {:.4} Bohr = {:.4} A", r_oh, r_oh / ANGSTROM);
+
+    let freqs = harmonic_frequencies(&res.mol, &opts, 5e-3);
+    let modes: Vec<f64> = freqs.iter().copied().filter(|f| f.abs() > 500.0).collect();
+    println!("  harmonic modes: {:?} cm^-1 (3N-6 = 3 expected)",
+             modes.iter().map(|f| f.round()).collect::<Vec<_>>());
+
+    let basis = Basis::sto3g(&res.mol);
+    let scf = rhf(&res.mol, &basis, &opts);
+    let mu = dipole_moment(&res.mol, &basis, &scf.density);
+    println!("  dipole = {:.3} D", mu.norm() * AU_TO_DEBYE);
+    let corr = mp2_correlation(&basis, &scf);
+    println!("  E(MP2 corr) = {:.6} Ha  ->  E(MP2) = {:.6} Ha", corr, scf.energy + corr);
+
+    // 6-31G comparison.
+    let b2 = Basis::b631g(&res.mol);
+    let scf2 = rhf(&res.mol, &b2, &opts);
+    println!(
+        "  6-31G: E(RHF) = {:.6} Ha ({} AOs vs {})",
+        scf2.energy,
+        b2.nao(),
+        basis.nao()
+    );
+
+    // --- the superoxide radical (open shell) ---
+    println!("\n== LiO2 superoxide (doublet, UHF) ==");
+    let mut lio2 = Molecule::new();
+    lio2.push(Element::O, Vec3::new(0.0, 1.26, 0.0));
+    lio2.push(Element::O, Vec3::new(0.0, -1.26, 0.0));
+    lio2.push(Element::Li, Vec3::new(3.1, 0.0, 0.0));
+    let b = Basis::sto3g(&lio2);
+    let ne = lio2.nelectrons();
+    let u = uhf(&lio2, &b, ne / 2 + 1, ne / 2, &UhfOptions::default());
+    println!(
+        "E(UHF) = {:.6} Ha in {} iterations, <S^2> = {:.4} (exact doublet: 0.75)",
+        u.energy, u.iterations, u.s_squared
+    );
+    println!("the restricted code cannot even represent this species —");
+    println!("open-shell intermediates are why Li/air chemistry needs care.");
+}

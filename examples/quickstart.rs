@@ -1,0 +1,67 @@
+//! Quickstart: the full pipeline on one water molecule.
+//!
+//! 1. Converge restricted Hartree–Fock in the embedded STO-3G basis.
+//! 2. Evaluate the PBE0 hybrid energy (25 % exact exchange) post-SCF.
+//! 3. Localize the occupied orbitals (Foster–Boys) and recompute the exact
+//!    exchange on a real-space grid via the pair-Poisson path — the kernel
+//!    the paper distributes over 6.3 M threads — and compare it to the
+//!    analytic value.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use liair::core::hfx::{
+    analytic_exchange, analytic_exchange_orbitals, grid_exchange_for_molecule,
+};
+use liair::prelude::*;
+
+fn main() {
+    println!("== liair quickstart: H2O / STO-3G ==\n");
+    let mol = systems::water();
+    let basis = Basis::sto3g(&mol);
+    println!("molecule: {} ({} atoms, {} AOs)", mol.formula(), mol.natoms(), basis.nao());
+
+    // --- SCF ---
+    let opts = ScfOptions::default();
+    let scf = rhf(&mol, &basis, &opts);
+    println!("\nRHF converged in {} iterations: E = {:.6} Ha", scf.iterations, scf.energy);
+    let b = scf.breakdown;
+    println!(
+        "  nuclear {:+.4}  core {:+.4}  Coulomb {:+.4}  exchange {:+.4}",
+        b.e_nuc, b.e_core, b.e_coulomb, b.e_exchange
+    );
+
+    // --- hybrid functional ---
+    let e_pbe0 = functional_energy(&mol, &basis, &scf, Functional::Pbe0, &opts);
+    let e_pbe = functional_energy(&mol, &basis, &scf, Functional::Pbe, &opts);
+    println!("\npost-SCF functionals on the converged density:");
+    println!("  PBE   : {:.6} Ha", e_pbe);
+    println!("  PBE0  : {:.6} Ha  (the paper's production functional)", e_pbe0);
+
+    // --- grid exact exchange (the paper's kernel) ---
+    let e_x_all = analytic_exchange(&basis, &scf.density, 0.0);
+    println!("\nexact exchange, analytic, all orbitals (−¼ Tr DK): {:.6} Ha", e_x_all);
+    println!("valence-only grid pair-Poisson path (O 1s core handled by the");
+    println!("pseudopotential in the paper's plane-wave setting, filtered here):");
+    let mut want = f64::NAN;
+    for n in [48usize, 64, 80] {
+        let out = grid_exchange_for_molecule(&mol, &basis, &scf, n, 7.0, 1e-8, 0.4);
+        if want.is_nan() {
+            want = analytic_exchange_orbitals(
+                &out.basis_centered,
+                &out.c_kept,
+                out.c_kept.ncols(),
+            );
+            println!("  analytic valence reference          : {:.6} Ha", want);
+        }
+        println!(
+            "  grid {n:>3}³                            : {:.6} Ha  (err {:.2e}, {} pairs, {} core skipped)",
+            out.result.energy,
+            (out.result.energy - want).abs(),
+            out.pairs.len(),
+            out.n_core_skipped
+        );
+    }
+    println!("\nThe grid path converges to the analytic value — the same pair");
+    println!("tasks, screened and load-balanced, are what `liair-core` scales");
+    println!("to 6,291,456 threads on the BG/Q model (see `strong_scaling`).");
+}

@@ -1,0 +1,63 @@
+//! Strong scaling of the exact-exchange build on the BG/Q model — the
+//! paper's headline figure.
+//!
+//! The paper-scale workload (4096 localized orbitals, screened at ε=10⁻⁶)
+//! is load-balanced with the real LPT balancer and priced on partitions
+//! from 1 rack to the full 96-rack, 6,291,456-thread machine, for this
+//! work's scheme and the two baselines.
+//!
+//! Run with: `cargo run --release --example strong_scaling`
+
+use liair::bgq::collectives::CollectiveAlgo;
+use liair::core::simulate::parallel_efficiency;
+use liair::prelude::*;
+
+fn main() {
+    println!("== strong scaling of one HFX build (paper workload) ==\n");
+    let w = Workload::paper_water_box();
+    println!(
+        "workload: {} — {} orbitals, {} of {} candidate pairs survive ε = {:.0e}",
+        w.name,
+        w.norb,
+        w.pairs.len(),
+        w.pairs.n_candidates,
+        w.pairs.eps
+    );
+
+    let algo = CollectiveAlgo::TorusPipelined;
+    let series = scaling_series();
+
+    for (label, scheme) in [
+        ("THIS WORK: pair-distributed, pair-local grids", Scheme::ours()),
+        ("baseline: full-grid pairs (comparable approach)", Scheme::FullGridPairs),
+        ("baseline: PW-distributed (prior state of the art)", Scheme::PwDistributed),
+    ] {
+        println!("\n--- {label} ---");
+        println!(
+            "{:>6} {:>9} {:>10} {:>12} {:>10} {:>11} {:>6}",
+            "racks", "nodes", "threads", "time/build", "speedup", "efficiency", "group"
+        );
+        let outcomes: Vec<_> = series
+            .iter()
+            .map(|m| simulate_hfx_build(&w, m, scheme, algo))
+            .collect();
+        let eff = parallel_efficiency(&outcomes);
+        let t0 = outcomes[0].time;
+        for (o, e) in outcomes.iter().zip(&eff) {
+            println!(
+                "{:>6} {:>9} {:>10} {:>10.2} ms {:>9.1}x {:>10.1}% {:>6}",
+                o.nodes / 1024,
+                o.nodes,
+                o.threads,
+                o.time * 1e3,
+                t0 / o.time,
+                e * 100.0,
+                o.group_size
+            );
+        }
+    }
+
+    println!("\nThe pair-distributed scheme keeps near-perfect efficiency to 96");
+    println!("racks; the PW-distributed baseline stops gaining near ~0.26 M");
+    println!("threads (pencil cap) — the >20x scalability gap of the abstract.");
+}

@@ -1,0 +1,64 @@
+//! # liair
+//!
+//! A reproduction of *"Shedding Light on Lithium/Air Batteries Using
+//! Millions of Threads on the BG/Q Supercomputer"* (Weber, Bekas, Laino,
+//! Curioni, Bertsch, Futral — IPDPS 2014) as a Rust workspace.
+//!
+//! The umbrella crate re-exports every subsystem:
+//!
+//! * [`math`] — FFTs, special functions, dense linear algebra;
+//! * [`basis`] — molecules, Gaussian basis sets, periodic cells, the
+//!   battery-study system builders;
+//! * [`integrals`] — McMurchie–Davidson Gaussian integrals;
+//! * [`grid`] — real-space grids, FFT Poisson solvers, Foster–Boys
+//!   localization, Becke molecular quadrature;
+//! * [`xc`] — LDA / PBE / PBE0 functionals;
+//! * [`scf`] — RHF / RKS drivers;
+//! * [`core`] — **the paper's contribution**: screened, load-balanced,
+//!   pair-distributed exact exchange, with real executors and the BG/Q
+//!   scale model;
+//! * [`bgq`] — the 5-D-torus machine model;
+//! * [`runtime`] — the SPMD message-passing runtime;
+//! * [`md`] — molecular dynamics for the electrolyte application.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use liair::prelude::*;
+//!
+//! // RHF on a water molecule with the embedded STO-3G basis.
+//! let mol = systems::water();
+//! let basis = Basis::sto3g(&mol);
+//! let scf = rhf(&mol, &basis, &ScfOptions::default());
+//! assert!(scf.converged);
+//! assert!((scf.energy - (-74.96)).abs() < 0.1);
+//! ```
+
+pub use liair_basis as basis;
+pub use liair_bgq as bgq;
+pub use liair_core as core;
+pub use liair_grid as grid;
+pub use liair_integrals as integrals;
+pub use liair_math as math;
+pub use liair_md as md;
+pub use liair_runtime as runtime;
+pub use liair_scf as scf;
+pub use liair_xc as xc;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use liair_basis::{systems, Basis, Cell, Element, Molecule, ANGSTROM};
+    pub use liair_bgq::{machine::scaling_series, MachineConfig};
+    pub use liair_core::{
+        build_pair_list, exchange_energy, simulate_hfx_build, BalanceStrategy,
+        OrbitalInfo, Scheme, Workload,
+    };
+    pub use liair_grid::{foster_boys, MolGrid, PoissonSolver, RealGrid};
+    pub use liair_math::{Mat, Vec3};
+    pub use liair_md::{ForceField, MdOptions, MdState, Thermostat};
+    pub use liair_scf::{
+        fci_two_electron, functional_energy, harmonic_frequencies, mp2_correlation,
+        optimize_rhf, rhf, rks_lda, uhf, ScfOptions, ScfResult, UhfOptions,
+    };
+    pub use liair_xc::Functional;
+}
