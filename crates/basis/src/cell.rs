@@ -18,13 +18,17 @@ impl Cell {
     /// Cubic cell of edge `a` (Bohr).
     pub fn cubic(a: f64) -> Self {
         assert!(a > 0.0, "cell edge must be positive");
-        Self { lengths: Vec3::splat(a) }
+        Self {
+            lengths: Vec3::splat(a),
+        }
     }
 
     /// Orthorhombic cell.
     pub fn orthorhombic(a: f64, b: f64, c: f64) -> Self {
         assert!(a > 0.0 && b > 0.0 && c > 0.0, "cell edges must be positive");
-        Self { lengths: Vec3::new(a, b, c) }
+        Self {
+            lengths: Vec3::new(a, b, c),
+        }
     }
 
     /// Cell volume in Bohr³.
@@ -101,7 +105,11 @@ mod tests {
         let d = c.min_image(Vec3::new(1.0, 0.0, 0.0), Vec3::new(9.0, 0.0, 0.0));
         // Across the boundary: 9 − 1 = 8, but the image at −1 is 2 away.
         assert!(approx_eq(d.x, -2.0, 1e-12));
-        assert!(approx_eq(c.distance(Vec3::ZERO, Vec3::new(9.9, 0.0, 0.0)), 0.1, 1e-10));
+        assert!(approx_eq(
+            c.distance(Vec3::ZERO, Vec3::new(9.9, 0.0, 0.0)),
+            0.1,
+            1e-10
+        ));
     }
 
     #[test]

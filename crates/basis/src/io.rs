@@ -26,7 +26,10 @@ impl std::fmt::Display for XyzError {
         match self {
             XyzError::BadHeader(l) => write!(f, "bad XYZ header line: {l:?}"),
             XyzError::Truncated { expected, got } => {
-                write!(f, "truncated XYZ frame: expected {expected} atoms, got {got}")
+                write!(
+                    f,
+                    "truncated XYZ frame: expected {expected} atoms, got {got}"
+                )
             }
             XyzError::BadAtomLine(l) => write!(f, "bad XYZ atom line: {l:?}"),
             XyzError::UnknownElement(s) => write!(f, "unknown element symbol {s:?}"),
@@ -63,7 +66,10 @@ pub fn parse_xyz_trajectory(text: &str) -> Result<Vec<(Molecule, String)>, XyzEr
         let mut mol = Molecule::new();
         for k in 0..natoms {
             let Some(line) = lines.next() else {
-                return Err(XyzError::Truncated { expected: natoms, got: k });
+                return Err(XyzError::Truncated {
+                    expected: natoms,
+                    got: k,
+                });
             };
             let mut parts = line.split_whitespace();
             let sym = parts
@@ -147,7 +153,10 @@ mod tests {
         assert!(matches!(parse_xyz("abc\n"), Err(XyzError::BadHeader(_))));
         assert!(matches!(
             parse_xyz("2\nc\nH 0 0 0\n"),
-            Err(XyzError::Truncated { expected: 2, got: 1 })
+            Err(XyzError::Truncated {
+                expected: 2,
+                got: 1
+            })
         ));
         assert!(matches!(
             parse_xyz("1\nc\nXq 0 0 0\n"),

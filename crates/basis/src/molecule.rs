@@ -62,7 +62,10 @@ impl Molecule {
     /// only (the paper's systems are all closed shell).
     pub fn nocc(&self) -> usize {
         let n = self.nelectrons();
-        assert!(n.is_multiple_of(2), "odd electron count ({n}) — RHF requires closed shell");
+        assert!(
+            n.is_multiple_of(2),
+            "odd electron count ({n}) — RHF requires closed shell"
+        );
         n / 2
     }
 

@@ -70,7 +70,12 @@ impl Shell {
     /// Construct a shell; panics on an empty primitive list.
     pub fn new(l: usize, atom: usize, center: Vec3, prims: Vec<Primitive>) -> Self {
         assert!(!prims.is_empty(), "shell needs at least one primitive");
-        Self { l, atom, center, prims }
+        Self {
+            l,
+            atom,
+            center,
+            prims,
+        }
     }
 
     /// Fully-normalized contraction coefficients for the Cartesian
@@ -94,8 +99,7 @@ impl Shell {
         for (i, &ci) in with_norm.iter().enumerate() {
             for (j, &cj) in with_norm.iter().enumerate() {
                 let gamma = self.prims[i].exp + self.prims[j].exp;
-                s += ci * cj * (PI / gamma).powf(1.5) * dfs
-                    / (2.0 * gamma).powi(self.l as i32);
+                s += ci * cj * (PI / gamma).powf(1.5) * dfs / (2.0 * gamma).powi(self.l as i32);
             }
         }
         let rescale = 1.0 / s.sqrt();
@@ -134,7 +138,11 @@ impl Basis {
                 aos.push(AoInfo { shell: si, powers });
             }
         }
-        Self { shells, shell_offsets, aos }
+        Self {
+            shells,
+            shell_offsets,
+            aos,
+        }
     }
 
     /// Total number of atomic orbitals.
@@ -262,8 +270,20 @@ fn split_valence(
         (0, core),
         (0, mk(s2)),
         (1, mk(p2)),
-        (0, vec![Primitive { exp: outer, coef: 1.0 }]),
-        (1, vec![Primitive { exp: outer, coef: 1.0 }]),
+        (
+            0,
+            vec![Primitive {
+                exp: outer,
+                coef: 1.0,
+            }],
+        ),
+        (
+            1,
+            vec![Primitive {
+                exp: outer,
+                coef: 1.0,
+            }],
+        ),
     ]
 }
 

@@ -150,7 +150,11 @@ pub fn dme() -> Molecule {
 /// random orientation when fed random inputs.
 fn rotate_about_centroid(mol: &mut Molecule, axis: Vec3, angle: f64) {
     let c = mol.centroid();
-    let k = if axis.norm() > 1e-12 { axis.normalized() } else { Vec3::new(0.0, 0.0, 1.0) };
+    let k = if axis.norm() > 1e-12 {
+        axis.normalized()
+    } else {
+        Vec3::new(0.0, 0.0, 1.0)
+    };
     let (s, cth) = angle.sin_cos();
     for a in &mut mol.atoms {
         let v = a.pos - c;
@@ -163,7 +167,12 @@ fn rotate_about_centroid(mol: &mut Molecule, axis: Vec3, angle: f64) {
 /// A box of `n³` copies of `template` on a simple-cubic lattice with
 /// deterministic pseudo-random orientations. Returns the molecule and the
 /// periodic cell. `spacing` is the lattice constant in Bohr.
-pub fn molecular_lattice(template: &Molecule, n: usize, spacing: f64, seed: u64) -> (Molecule, Cell) {
+pub fn molecular_lattice(
+    template: &Molecule,
+    n: usize,
+    spacing: f64,
+    seed: u64,
+) -> (Molecule, Cell) {
     assert!(n > 0 && spacing > 0.0);
     let mut rng = SplitMix64::new(seed);
     let mut all = Molecule::new();
@@ -276,9 +285,7 @@ pub fn li2o2_complex(solvent: Solvent, li_o_dist: f64) -> Molecule {
         .iter()
         .enumerate()
         .filter(|(_, a)| a.element == Element::Li)
-        .min_by(|a, b| {
-            a.1.pos.dot(u).partial_cmp(&b.1.pos.dot(u)).unwrap()
-        })
+        .min_by(|a, b| a.1.pos.dot(u).partial_cmp(&b.1.pos.dot(u)).unwrap())
         .map(|(i, _)| i)
         .unwrap();
     let shift = o_pos + u * li_o_dist - cluster.atoms[near_li].pos;
@@ -287,9 +294,10 @@ pub fn li2o2_complex(solvent: Solvent, li_o_dist: f64) -> Molecule {
     // pocket, e.g. DME's ether oxygens): push the cluster outward along u
     // until every inter-fragment contact exceeds 2.4 Bohr.
     for _ in 0..40 {
-        let clash = mol.atoms.iter().any(|a| {
-            cluster.atoms.iter().any(|b| a.pos.distance(b.pos) < 2.4)
-        });
+        let clash = mol
+            .atoms
+            .iter()
+            .any(|a| cluster.atoms.iter().any(|b| a.pos.distance(b.pos) < 2.4));
         if !clash {
             break;
         }
@@ -375,7 +383,14 @@ mod tests {
     /// below 1.3× the sum of covalent radii.
     #[test]
     fn geometries_are_chemically_connected() {
-        for m in [water(), propylene_carbonate(), ethylene_carbonate(), dmso(), dme(), li2o2()] {
+        for m in [
+            water(),
+            propylene_carbonate(),
+            ethylene_carbonate(),
+            dmso(),
+            dme(),
+            li2o2(),
+        ] {
             for (i, a) in m.atoms.iter().enumerate() {
                 let mut bonded = false;
                 for (j, b) in m.atoms.iter().enumerate() {
@@ -388,7 +403,12 @@ mod tests {
                         break;
                     }
                 }
-                assert!(bonded, "{}: atom {i} ({}) is unbonded", m.formula(), a.element);
+                assert!(
+                    bonded,
+                    "{}: atom {i} ({}) is unbonded",
+                    m.formula(),
+                    a.element
+                );
             }
         }
     }
@@ -431,7 +451,11 @@ mod tests {
         let (mol, _) = electrolyte_box(Solvent::PropyleneCarbonate, 2, 3);
         // 7 PC molecules (13 atoms each) + Li2O2 (4 atoms)
         assert_eq!(mol.natoms(), 7 * 13 + 4);
-        let n_li = mol.atoms.iter().filter(|a| a.element == Element::Li).count();
+        let n_li = mol
+            .atoms
+            .iter()
+            .filter(|a| a.element == Element::Li)
+            .count();
         assert_eq!(n_li, 2);
     }
 
@@ -452,16 +476,18 @@ mod tests {
             // The nearest cluster-Li to solvent-O contact is close to the
             // requested distance.
             let mut min_li_o = f64::INFINITY;
-            for li in complex.atoms[n_solvent..].iter().filter(|a| a.element == Element::Li) {
-                for o in complex.atoms[..n_solvent].iter().filter(|a| a.element == Element::O) {
+            for li in complex.atoms[n_solvent..]
+                .iter()
+                .filter(|a| a.element == Element::Li)
+            {
+                for o in complex.atoms[..n_solvent]
+                    .iter()
+                    .filter(|a| a.element == Element::O)
+                {
                     min_li_o = min_li_o.min(li.pos.distance(o.pos));
                 }
             }
-            assert!(
-                min_li_o < 2.5 * d,
-                "{}: closest Li-O {min_li_o}",
-                s.name()
-            );
+            assert!(min_li_o < 2.5 * d, "{}: closest Li-O {min_li_o}", s.name());
         }
     }
 

@@ -2,7 +2,8 @@
 //! (two transforms per pair). Calibrates the cost model's flop pricing.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use liair_math::fft3::{fft3, ifft3};
+use liair_math::fft3::{fft3, ifft3, to_complex};
+use liair_math::rfft::{half_len, irfft3, rfft3, rfft3_into};
 use liair_math::rng::SplitMix64;
 use liair_math::{Array3, Complex64};
 
@@ -40,9 +41,46 @@ fn bench_fft3(c: &mut Criterion) {
     group.finish();
 }
 
+/// The real-FFT fast path against the complex transform it replaces: a
+/// real field only needs the nz/2+1 Hermitian half-spectrum, so the r2c
+/// forward does roughly half the line transforms of the c2c one.
+fn bench_c2c_vs_r2c(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft3_c2c_vs_r2c");
+    for &n in &[32usize, 48, 64] {
+        let dims = (n, n, n);
+        let mut rng = SplitMix64::new(11);
+        let real: Vec<f64> = (0..n * n * n).map(|_| rng.next_f64() - 0.5).collect();
+        let base = to_complex(&real, dims);
+        group.throughput(Throughput::Elements((n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("c2c_forward", n), &n, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut g| fft3(&mut g),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("r2c_forward", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(rfft3(&real, dims)))
+        });
+        group.bench_with_input(BenchmarkId::new("r2c_roundtrip", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(irfft3(rfft3(&real, dims), dims)))
+        });
+        // Serial zero-alloc entry point with a reused half-spectrum buffer —
+        // the exact shape of the per-pair hot loop.
+        let mut half = vec![Complex64::ZERO; half_len(dims)];
+        group.bench_with_input(BenchmarkId::new("r2c_forward_serial_ws", n), &n, |b, _| {
+            b.iter(|| {
+                rfft3_into(&real, dims, &mut half);
+                std::hint::black_box(half[0])
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_fft3
+    targets = bench_fft3, bench_c2c_vs_r2c
 }
 criterion_main!(benches);

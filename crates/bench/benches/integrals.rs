@@ -37,10 +37,7 @@ fn bench_quartets(c: &mut Criterion) {
 fn bench_fock(c: &mut Criterion) {
     let mut group = c.benchmark_group("fock_build");
     group.sample_size(10);
-    for (name, mol) in [
-        ("water", systems::water()),
-        ("li2o2", systems::li2o2()),
-    ] {
+    for (name, mol) in [("water", systems::water()), ("li2o2", systems::li2o2())] {
         let basis = Basis::sto3g(&mol);
         let builder = JkBuilder::new(&basis);
         let n = basis.nao();

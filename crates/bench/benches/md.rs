@@ -28,7 +28,10 @@ fn bench_md_step(c: &mut Criterion) {
     state.thermalize(300.0, &mut rng);
     let opts = MdOptions {
         dt: 15.0,
-        thermostat: Thermostat::Berendsen { t_target: 300.0, tau: 300.0 },
+        thermostat: Thermostat::Berendsen {
+            t_target: 300.0,
+            tau: 300.0,
+        },
     };
     c.bench_function("md_step_8_waters", |b| {
         b.iter(|| {

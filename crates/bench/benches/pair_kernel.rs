@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use liair_basis::Cell;
-use liair_grid::{PoissonSolver, RealGrid};
+use liair_grid::{PoissonSolver, PoissonWorkspace, RealGrid};
 use liair_math::rng::SplitMix64;
 
 fn bench_pair(c: &mut Criterion) {
@@ -17,9 +17,44 @@ fn bench_pair(c: &mut Criterion) {
         let phi_j: Vec<f64> = (0..grid.len()).map(|_| rng.next_f64() - 0.5).collect();
         group.bench_with_input(BenchmarkId::new("pair", n), &n, |b, _| {
             b.iter(|| {
-                let rho: Vec<f64> =
-                    phi_i.iter().zip(&phi_j).map(|(a, b)| a * b).collect();
+                let rho: Vec<f64> = phi_i.iter().zip(&phi_j).map(|(a, b)| a * b).collect();
                 std::hint::black_box(solver.exchange_pair(&rho).0)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Seed c2c pair solve (`exchange_pair_reference`) against the planned
+/// r2c energy-only path, with and without a reused [`PoissonWorkspace`] —
+/// the tentpole speedup measured head-to-head on identical densities.
+fn bench_pair_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pair_paths");
+    for &n in &[48usize, 64] {
+        let grid = RealGrid::cubic(Cell::cubic(20.0), n);
+        let solver = PoissonSolver::isolated(grid);
+        let mut rng = SplitMix64::new(2);
+        let rho_a: Vec<f64> = (0..grid.len()).map(|_| rng.next_f64() - 0.5).collect();
+        let rho_b: Vec<f64> = (0..grid.len()).map(|_| rng.next_f64() - 0.5).collect();
+        group.bench_with_input(BenchmarkId::new("reference_c2c", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(solver.exchange_pair_reference(&rho_a)))
+        });
+        group.bench_with_input(BenchmarkId::new("r2c_energy_alloc", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ws = PoissonWorkspace::new();
+                std::hint::black_box(solver.exchange_pair_energy(&rho_a, &mut ws))
+            })
+        });
+        let mut ws = PoissonWorkspace::new();
+        group.bench_with_input(BenchmarkId::new("r2c_energy_workspace", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(solver.exchange_pair_energy(&rho_a, &mut ws)))
+        });
+        // One batched call evaluates two pairs; criterion reports the
+        // per-call time, i.e. ~2 pairs per reported iteration.
+        group.bench_with_input(BenchmarkId::new("r2c_batched_two_pairs", n), &n, |b, _| {
+            b.iter(|| {
+                let (ea, eb) = solver.exchange_pair_energy_batched(&rho_a, &rho_b, &mut ws);
+                std::hint::black_box(ea + eb)
             })
         });
     }
@@ -75,9 +110,7 @@ fn bench_screening(c: &mut Criterion) {
     for &norb in &[256usize, 1024] {
         group.bench_with_input(BenchmarkId::new("build+screen", norb), &norb, |b, &n| {
             b.iter(|| {
-                std::hint::black_box(Workload::condensed(
-                    "bench", n, 30.0, 1.5, 1e-6, 48, 128, 3,
-                ))
+                std::hint::black_box(Workload::condensed("bench", n, 30.0, 1.5, 1e-6, 48, 128, 3))
             })
         });
     }
@@ -101,6 +134,6 @@ fn bench_balance(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_pair, bench_patch_vs_full, bench_screening, bench_balance
+    targets = bench_pair, bench_pair_paths, bench_patch_vs_full, bench_screening, bench_balance
 }
 criterion_main!(benches);

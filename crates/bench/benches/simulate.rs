@@ -17,20 +17,16 @@ fn bench_simulate(c: &mut Criterion) {
             ("full-grid", Scheme::FullGridPairs),
             ("pw", Scheme::PwDistributed),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(label, racks),
-                &m,
-                |b, m| {
-                    b.iter(|| {
-                        std::hint::black_box(simulate_hfx_build(
-                            &w,
-                            m,
-                            scheme,
-                            CollectiveAlgo::TorusPipelined,
-                        ))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, racks), &m, |b, m| {
+                b.iter(|| {
+                    std::hint::black_box(simulate_hfx_build(
+                        &w,
+                        m,
+                        scheme,
+                        CollectiveAlgo::TorusPipelined,
+                    ))
+                })
+            });
         }
     }
     group.finish();

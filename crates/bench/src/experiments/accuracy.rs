@@ -60,7 +60,10 @@ pub fn fig_screening_accuracy(fast: bool) -> Vec<Table> {
             format!("{}", out.pairs.len()),
             format!("{}", out.pairs.n_candidates),
             format!("{:.6}", out.result.energy),
-            format!("{:.2e}", (out.result.energy - reference.result.energy).abs()),
+            format!(
+                "{:.2e}",
+                (out.result.energy - reference.result.energy).abs()
+            ),
         ]);
     }
     t1.note = "error grows monotonically and controllably with eps — the accuracy knob".into();
@@ -101,10 +104,14 @@ mod tests {
         let t = &tables[0];
         // Rows after the reference: |dE| non-decreasing with eps, pairs
         // non-increasing.
-        let errs: Vec<f64> =
-            t.rows[1..].iter().map(|r| r[4].parse::<f64>().unwrap()).collect();
-        let kept: Vec<usize> =
-            t.rows[1..].iter().map(|r| r[1].parse::<usize>().unwrap()).collect();
+        let errs: Vec<f64> = t.rows[1..]
+            .iter()
+            .map(|r| r[4].parse::<f64>().unwrap())
+            .collect();
+        let kept: Vec<usize> = t.rows[1..]
+            .iter()
+            .map(|r| r[1].parse::<usize>().unwrap())
+            .collect();
         for w in errs.windows(2) {
             assert!(w[1] >= w[0] - 1e-12, "errors not monotone: {errs:?}");
         }

@@ -17,7 +17,11 @@ use liair_xc::Functional;
 use rand::SeedableRng;
 
 fn scf_opts() -> ScfOptions {
-    ScfOptions { energy_tol: 1e-7, max_iter: 150, ..Default::default() }
+    ScfOptions {
+        energy_tol: 1e-7,
+        max_iter: 150,
+        ..Default::default()
+    }
 }
 
 /// Hot-trajectory degradation count for one solvent's Li₂O₂ complex:
@@ -37,7 +41,10 @@ pub fn degradation_events(solvent: systems::Solvent, t_target: f64, steps: usize
         state.thermalize(t_target, &mut rng);
         let opts = MdOptions {
             dt: 15.0,
-            thermostat: Thermostat::Berendsen { t_target, tau: 500.0 },
+            thermostat: Thermostat::Berendsen {
+                t_target,
+                tau: 500.0,
+            },
         };
         let mut events = BondEvents::default();
         for _ in 0..steps {
@@ -86,7 +93,11 @@ pub fn tab_battery(fast: bool) -> Vec<Table> {
         let scf_s = rhf(&solvent, &basis_s, &opts);
         let basis_c = Basis::sto3g(&complex);
         let scf_c = rhf(&complex, &basis_c, &opts);
-        assert!(scf_s.converged && scf_c.converged, "{} SCF failed", s.name());
+        assert!(
+            scf_s.converged && scf_c.converged,
+            "{} SCF failed",
+            s.name()
+        );
         let e_int_rhf = scf_c.energy - scf_s.energy - scf_cl.energy;
         let pbe0_s = functional_energy(&solvent, &basis_s, &scf_s, Functional::Pbe0, &opts);
         let pbe0_c = functional_energy(&complex, &basis_c, &scf_c, Functional::Pbe0, &opts);
@@ -115,10 +126,16 @@ pub fn fig_md_water(fast: bool) -> Vec<Table> {
     state.thermalize(300.0, &mut rng);
     let eq = MdOptions {
         dt: 15.0,
-        thermostat: Thermostat::Berendsen { t_target: 300.0, tau: 300.0 },
+        thermostat: Thermostat::Berendsen {
+            t_target: 300.0,
+            tau: 300.0,
+        },
     };
     state.run(&ff, &eq, if fast { 500 } else { 1500 });
-    let nve = MdOptions { dt: 15.0, thermostat: Thermostat::None };
+    let nve = MdOptions {
+        dt: 15.0,
+        thermostat: Thermostat::None,
+    };
     let mut rdf = RdfAccumulator::new(Element::O, Element::O, 12.0, 48);
     let mut energies = Vec::new();
     let prod = if fast { 800 } else { 2000 };
@@ -138,13 +155,25 @@ pub fn fig_md_water(fast: bool) -> Vec<Table> {
         .unwrap();
 
     let mut t = Table::new(
-        &format!("fig-md-water — {} H2O periodic box", n_side * n_side * n_side),
+        &format!(
+            "fig-md-water — {} H2O periodic box",
+            n_side * n_side * n_side
+        ),
         &["quantity", "value"],
     );
     t.row(vec!["NVE steps".into(), format!("{prod}")]);
-    t.row(vec!["energy drift / step".into(), format!("{:.2e} Ha", drift)]);
-    t.row(vec!["final T".into(), format!("{:.0} K", state.temperature())]);
-    t.row(vec!["g_OO first peak".into(), format!("{:.2} at r = {:.2} Bohr", g_peak, r_peak)]);
+    t.row(vec![
+        "energy drift / step".into(),
+        format!("{:.2e} Ha", drift),
+    ]);
+    t.row(vec![
+        "final T".into(),
+        format!("{:.0} K", state.temperature()),
+    ]);
+    t.row(vec![
+        "g_OO first peak".into(),
+        format!("{:.2} at r = {:.2} Bohr", g_peak, r_peak),
+    ]);
     t.note = "the condensed-phase substrate the exchange workload samples from".into();
     vec![t]
 }

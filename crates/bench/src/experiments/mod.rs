@@ -10,7 +10,7 @@ pub mod validation;
 use crate::Table;
 
 /// All experiment ids in the DESIGN.md order.
-pub const ALL_IDS: [&str; 16] = [
+pub const ALL_IDS: [&str; 17] = [
     "fig-strong-scaling",
     "fig-weak-scaling",
     "fig-baseline-scaling",
@@ -27,6 +27,7 @@ pub const ALL_IDS: [&str; 16] = [
     "tab-hfx-validation",
     "tab-battery",
     "fig-md-water",
+    "bench-pair-kernel",
 ];
 
 /// Run one experiment by id. `fast` trims the heaviest sweeps to keep the
@@ -49,6 +50,7 @@ pub fn run(id: &str, fast: bool) -> Vec<Table> {
         "tab-hfx-validation" => validation::tab_hfx_validation(fast),
         "tab-battery" => battery::tab_battery(fast),
         "fig-md-water" => battery::fig_md_water(fast),
+        "bench-pair-kernel" => node::bench_pair_kernel(fast),
         other => panic!("unknown experiment id '{other}' (see ALL_IDS)"),
     }
 }
@@ -60,7 +62,13 @@ mod tests {
     #[test]
     fn every_id_dispatches() {
         // Smoke-run the cheap model-only experiments end to end.
-        for id in ["fig-load-balance", "fig-torus-mapping", "tab-step-breakdown", "tab-memory", "fig-group-size"] {
+        for id in [
+            "fig-load-balance",
+            "fig-torus-mapping",
+            "tab-step-breakdown",
+            "tab-memory",
+            "fig-group-size",
+        ] {
             let tables = run(id, true);
             assert!(!tables.is_empty(), "{id} produced no tables");
             for t in tables {

@@ -19,7 +19,10 @@ fn workload(_fast: bool) -> Workload {
 
 fn series(fast: bool) -> Vec<MachineConfig> {
     if fast {
-        [1usize, 4, 16, 96].iter().map(|&r| MachineConfig::bgq_racks(r)).collect()
+        [1usize, 4, 16, 96]
+            .iter()
+            .map(|&r| MachineConfig::bgq_racks(r))
+            .collect()
     } else {
         scaling_series()
     }
@@ -42,7 +45,15 @@ pub fn fig_strong_scaling(fast: bool) -> Vec<Table> {
             w.pairs.len(),
             w.pairs.eps
         ),
-        &["racks", "nodes", "threads", "time/build [ms]", "speedup", "efficiency", "group"],
+        &[
+            "racks",
+            "nodes",
+            "threads",
+            "time/build [ms]",
+            "speedup",
+            "efficiency",
+            "group",
+        ],
     );
     let t0 = outcomes[0].time;
     for (o, e) in outcomes.iter().zip(&eff) {
@@ -115,7 +126,14 @@ pub fn tab_time_to_solution(fast: bool) -> Vec<Table> {
     let racks: &[usize] = if fast { &[4] } else { &[1, 4, 16] };
     let mut t = Table::new(
         "tab-time-to-solution — one HFX build (ms)",
-        &["racks", "this work", "full-grid pairs", "speedup", "replicated direct", "speedup"],
+        &[
+            "racks",
+            "this work",
+            "full-grid pairs",
+            "speedup",
+            "replicated direct",
+            "speedup",
+        ],
     );
     for &r in racks {
         let m = MachineConfig::bgq_racks(r);
@@ -173,8 +191,7 @@ pub fn tab_time_to_solution(fast: bool) -> Vec<Table> {
             t0.elapsed().as_secs_f64() / reps as f64
         };
         let t_full = time_it(&|| {
-            let rho: Vec<f64> =
-                phi_i.iter().zip(&phi_j).map(|(a, b)| a * b).collect();
+            let rho: Vec<f64> = phi_i.iter().zip(&phi_j).map(|(a, b)| a * b).collect();
             solver.exchange_pair(&rho).0
         });
         let t_patch = time_it(&|| {
@@ -234,7 +251,14 @@ pub fn tab_step_breakdown(fast: bool) -> Vec<Table> {
     let algo = CollectiveAlgo::TorusPipelined;
     let mut t = Table::new(
         "tab-step-breakdown — phase share of one build (this work)",
-        &["racks", "total [ms]", "pair FFTs", "exposed traffic", "allreduce", "utilization"],
+        &[
+            "racks",
+            "total [ms]",
+            "pair FFTs",
+            "exposed traffic",
+            "allreduce",
+            "utilization",
+        ],
     );
     for m in series(fast) {
         let o = simulate_hfx_build(&w, &m, Scheme::ours(), algo);
@@ -266,10 +290,20 @@ pub fn tab_step_breakdown(fast: bool) -> Vec<Table> {
 /// flat if the scheme is communication-avoiding.
 pub fn fig_weak_scaling(fast: bool) -> Vec<Table> {
     let algo = CollectiveAlgo::TorusPipelined;
-    let racks: &[usize] = if fast { &[1, 16, 96] } else { &[1, 4, 16, 48, 96] };
+    let racks: &[usize] = if fast {
+        &[1, 16, 96]
+    } else {
+        &[1, 4, 16, 48, 96]
+    };
     let mut t = Table::new(
         "fig-weak-scaling — constant work per rack (1024 orbitals/rack-eqv)",
-        &["racks", "orbitals", "pairs", "time/build [ms]", "weak efficiency"],
+        &[
+            "racks",
+            "orbitals",
+            "pairs",
+            "time/build [ms]",
+            "weak efficiency",
+        ],
     );
     let mut t_ref = None;
     for &r in racks {
@@ -341,7 +375,13 @@ pub fn fig_accuracy_cost(fast: bool) -> Vec<Table> {
     let algo = CollectiveAlgo::TorusPipelined;
     let mut t = Table::new(
         "fig-accuracy-cost — screening eps vs build time at 16 racks",
-        &["eps", "pairs", "dropped-bound^2 sum", "time [ms]", "speedup vs eps=1e-10"],
+        &[
+            "eps",
+            "pairs",
+            "dropped-bound^2 sum",
+            "time [ms]",
+            "speedup vs eps=1e-10",
+        ],
     );
     let (norb, edge) = if fast { (1024, 37.2) } else { (4096, 59.2) };
     let mut t_ref = None;
@@ -380,7 +420,13 @@ pub fn tab_memory(fast: bool) -> Vec<Table> {
     let w = workload(fast);
     let mut t = Table::new(
         "tab-memory — orbital storage per node (16 GB BG/Q nodes)",
-        &["representation", "per-orbital", "1 rack/node", "96 racks/node", "feasible?"],
+        &[
+            "representation",
+            "per-orbital",
+            "1 rack/node",
+            "96 racks/node",
+            "feasible?",
+        ],
     );
     let gb = |b: f64| format!("{:.2} GB", b / 1e9);
     let nodes_1 = 1024f64;
@@ -406,7 +452,12 @@ pub fn tab_memory(fast: bool) -> Vec<Table> {
         format!("{:.2} MB", full / 1e6),
         gb(total_full),
         gb(total_full),
-        if total_full < 16e9 { "yes" } else { "NO (>16 GB)" }.into(),
+        if total_full < 16e9 {
+            "yes"
+        } else {
+            "NO (>16 GB)"
+        }
+        .into(),
     ]);
     // PW-distributed: full fields sharded across the partition.
     t.row(vec![

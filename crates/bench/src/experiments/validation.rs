@@ -4,9 +4,7 @@
 
 use crate::Table;
 use liair_basis::{systems, Basis};
-use liair_core::hfx::{
-    analytic_exchange, analytic_exchange_orbitals, grid_exchange_for_molecule,
-};
+use liair_core::hfx::{analytic_exchange, analytic_exchange_orbitals, grid_exchange_for_molecule};
 use liair_scf::{rhf, ScfOptions};
 
 /// Run the validation table.
@@ -16,7 +14,12 @@ pub fn tab_hfx_validation(fast: bool) -> Vec<Table> {
     // --- SCF energies vs literature ---
     let mut t1 = Table::new(
         "tab-hfx-validation — RHF/STO-3G total energies vs literature",
-        &["system", "E(this work) [Ha]", "E(literature) [Ha]", "|dE| [Ha]"],
+        &[
+            "system",
+            "E(this work) [Ha]",
+            "E(literature) [Ha]",
+            "|dE| [Ha]",
+        ],
     );
     let cases: Vec<(&str, liair_basis::Molecule, f64)> = vec![
         ("H2 (R=1.4)", systems::h2(), -1.1167),
@@ -34,12 +37,20 @@ pub fn tab_hfx_validation(fast: bool) -> Vec<Table> {
             format!("{:.1e}", (scf.energy - lit).abs()),
         ]);
     }
-    t1.note = "literature: Szabo & Ostlund (H2, He); standard STO-3G water near experiment geometry".into();
+    t1.note =
+        "literature: Szabo & Ostlund (H2, He); standard STO-3G water near experiment geometry"
+            .into();
 
     // --- grid vs analytic exchange ---
     let mut t2 = Table::new(
         "tab-hfx-validation — grid pair-Poisson E_x vs analytic",
-        &["system", "grid", "E_x grid [Ha]", "E_x analytic [Ha]", "|err| [Ha]"],
+        &[
+            "system",
+            "grid",
+            "E_x grid [Ha]",
+            "E_x analytic [Ha]",
+            "|err| [Ha]",
+        ],
     );
     {
         // H2: all orbitals, resolution sweep.
@@ -66,11 +77,7 @@ pub fn tab_hfx_validation(fast: bool) -> Vec<Table> {
         let scf = rhf(&mol, &basis, &opts);
         let n = if fast { 64 } else { 80 };
         let out = grid_exchange_for_molecule(&mol, &basis, &scf, n, 7.0, 0.0, 0.4);
-        let want = analytic_exchange_orbitals(
-            &out.basis_centered,
-            &out.c_kept,
-            out.c_kept.ncols(),
-        );
+        let want = analytic_exchange_orbitals(&out.basis_centered, &out.c_kept, out.c_kept.ncols());
         t2.row(vec![
             "H2O (valence)".into(),
             format!("{n}^3"),
@@ -79,7 +86,8 @@ pub fn tab_hfx_validation(fast: bool) -> Vec<Table> {
             format!("{:.1e}", (out.result.energy - want).abs()),
         ]);
     }
-    t2.note = "same pair tasks the parallel scheme distributes; errors are pure grid resolution".into();
+    t2.note =
+        "same pair tasks the parallel scheme distributes; errors are pure grid resolution".into();
     vec![t1, t2]
 }
 

@@ -93,12 +93,8 @@ pub fn comm_time(machine: &MachineConfig, algo: CollectiveAlgo, op: &CommOp) -> 
         CommOp::None => 0.0,
         CommOp::Allreduce { bytes } => collectives::allreduce(machine, algo, bytes),
         CommOp::Broadcast { bytes } => collectives::broadcast(machine, algo, bytes),
-        CommOp::ReduceScatter { bytes } => {
-            collectives::reduce_scatter(machine, algo, bytes)
-        }
-        CommOp::Alltoall { bytes_per_node } => {
-            collectives::alltoall(machine, bytes_per_node)
-        }
+        CommOp::ReduceScatter { bytes } => collectives::reduce_scatter(machine, algo, bytes),
+        CommOp::Alltoall { bytes_per_node } => collectives::alltoall(machine, bytes_per_node),
         CommOp::PointToPoint { max_bytes_per_node } => {
             collectives::point_to_point(machine, max_bytes_per_node)
         }
@@ -141,7 +137,12 @@ pub fn simulate(machine: &MachineConfig, algo: CollectiveAlgo, phases: &[BspPhas
         });
     }
     let compute_utilization = if total > 0.0 { busy / (p * total) } else { 1.0 };
-    BspReport { total, phases: timings, compute_utilization, imbalance: worst_imbalance }
+    BspReport {
+        total,
+        phases: timings,
+        compute_utilization,
+        imbalance: worst_imbalance,
+    }
 }
 
 #[cfg(test)]

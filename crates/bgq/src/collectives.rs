@@ -50,9 +50,8 @@ pub fn allreduce(m: &MachineConfig, algo: CollectiveAlgo, bytes: f64) -> f64 {
             // reduce + broadcast trees: log2(P) stages, each a full-message
             // send over the mean hop distance on one link.
             let stages = (p.log2()).ceil();
-            let per_stage = m.sw_latency
-                + m.hop_latency * m.torus.mean_hops()
-                + bytes / m.link_bandwidth;
+            let per_stage =
+                m.sw_latency + m.hop_latency * m.torus.mean_hops() + bytes / m.link_bandwidth;
             2.0 * stages * per_stage
         }
     }
@@ -67,16 +66,11 @@ pub fn broadcast(m: &MachineConfig, algo: CollectiveAlgo, bytes: f64) -> f64 {
     match algo {
         CollectiveAlgo::TorusPipelined => {
             let bw = m.link_bandwidth * active_links(m);
-            m.sw_latency
-                + m.hop_latency * m.torus.diameter() as f64
-                + bytes / bw
+            m.sw_latency + m.hop_latency * m.torus.diameter() as f64 + bytes / bw
         }
         CollectiveAlgo::BinomialTree => {
             let stages = (p.log2()).ceil();
-            stages
-                * (m.sw_latency
-                    + m.hop_latency * m.torus.mean_hops()
-                    + bytes / m.link_bandwidth)
+            stages * (m.sw_latency + m.hop_latency * m.torus.mean_hops() + bytes / m.link_bandwidth)
         }
     }
 }
@@ -104,8 +98,7 @@ pub fn alltoall(m: &MachineConfig, bytes_per_node: f64) -> f64 {
     // Bisection-limited term: total traffic crossing the bisection is
     // ~half the aggregate data; the cut has `bisection_links` links.
     let total_traffic = bytes_per_node * p / 2.0;
-    let bisection =
-        total_traffic / (m.torus.bisection_links().max(1) as f64 * m.link_bandwidth);
+    let bisection = total_traffic / (m.torus.bisection_links().max(1) as f64 * m.link_bandwidth);
     // Message-rate term: P−1 messages per node, heavily pipelined (PAMI
     // sustains roughly one remote message per ~α/8).
     let rate = (p - 1.0) * m.sw_latency / 8.0;

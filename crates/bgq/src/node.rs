@@ -62,7 +62,10 @@ impl NodeModel {
     /// ways round-robin; each extra SMT way on a core adds its
     /// `smt_gain` share.
     pub fn thread_scaling(&self, threads: usize) -> f64 {
-        assert!(threads >= 1 && threads <= self.hw_threads(), "threads = {threads}");
+        assert!(
+            threads >= 1 && threads <= self.hw_threads(),
+            "threads = {threads}"
+        );
         let full_cores = threads.min(self.cores);
         let mut total = full_cores as f64;
         let mut remaining = threads - full_cores;

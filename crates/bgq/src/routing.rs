@@ -20,7 +20,10 @@ pub struct LinkLoads {
 impl LinkLoads {
     fn new(torus: Torus5D) -> Self {
         let n = torus.nodes() * 10;
-        Self { torus, loads: vec![0.0; n] }
+        Self {
+            torus,
+            loads: vec![0.0; n],
+        }
     }
 
     #[inline]
@@ -107,11 +110,7 @@ pub mod patterns {
     }
 
     /// A random permutation: every node sends `bytes` to one random peer.
-    pub fn random_permutation(
-        torus: &Torus5D,
-        bytes: f64,
-        seed: u64,
-    ) -> Vec<(usize, usize, f64)> {
+    pub fn random_permutation(torus: &Torus5D, bytes: f64, seed: u64) -> Vec<(usize, usize, f64)> {
         let n = torus.nodes();
         let mut perm: Vec<usize> = (0..n).collect();
         let mut rng = Splitmix(seed);

@@ -89,10 +89,7 @@ pub fn assign(costs: &[f64], nranks: usize, strategy: BalanceStrategy) -> Assign
             }
             impl Ord for Load {
                 fn cmp(&self, o: &Self) -> std::cmp::Ordering {
-                    self.0
-                        .partial_cmp(&o.0)
-                        .unwrap()
-                        .then(self.1.cmp(&o.1))
+                    self.0.partial_cmp(&o.0).unwrap().then(self.1.cmp(&o.1))
                 }
             }
             let mut heap: BinaryHeap<Reverse<Load>> =
@@ -168,8 +165,7 @@ mod tests {
             let costs: Vec<f64> = (0..n).map(|_| 0.5 + rng.next_f64()).collect();
             let a = assign(&costs, p, BalanceStrategy::GreedyLpt);
             let total: f64 = costs.iter().sum();
-            let opt_lower = (total / p as f64)
-                .max(costs.iter().copied().fold(0.0, f64::max));
+            let opt_lower = (total / p as f64).max(costs.iter().copied().fold(0.0, f64::max));
             assert!(
                 a.makespan() <= 4.0 / 3.0 * opt_lower + 1e-9,
                 "trial {trial}: {} > 4/3·{opt_lower}",

@@ -158,7 +158,10 @@ mod tests {
             .collect();
         let infos: Vec<OrbitalInfo> = centers
             .iter()
-            .map(|&c| OrbitalInfo { center: c, spread: 0.7 })
+            .map(|&c| OrbitalInfo {
+                center: c,
+                spread: 0.7,
+            })
             .collect();
         let pairs = build_pair_list(&infos, 0.0, Some(&grid.cell));
         (grid, solver, fields, pairs)
@@ -170,9 +173,7 @@ mod tests {
         let serial = exchange_energy(&grid, &solver, &fields, &pairs);
         for nranks in [1, 2, 3, 5] {
             for strat in [BalanceStrategy::RoundRobin, BalanceStrategy::GreedyLpt] {
-                let dist = distributed_exchange(
-                    &grid, &solver, &fields, &pairs, nranks, strat,
-                );
+                let dist = distributed_exchange(&grid, &solver, &fields, &pairs, nranks, strat);
                 assert!(
                     approx_eq(dist.energy, serial.energy, 1e-10),
                     "nranks={nranks} {strat:?}: {} vs {}",
@@ -214,9 +215,8 @@ mod tests {
         let serial =
             crate::operator::exchange_operator_grid(&basis, &scf.c, scf.nocc, &grid, &solver);
         for nranks in [1, 3] {
-            let dist = distributed_exchange_operator(
-                &basis, &scf.c, scf.nocc, &grid, &solver, nranks,
-            );
+            let dist =
+                distributed_exchange_operator(&basis, &scf.c, scf.nocc, &grid, &solver, nranks);
             let err = dist.sub(&serial).fro_norm();
             assert!(err < 1e-12, "nranks={nranks}: K error {err}");
         }
@@ -225,14 +225,7 @@ mod tests {
     #[test]
     fn energy_is_negative_definite() {
         let (grid, solver, fields, pairs) = synthetic_setup(3, 16);
-        let dist = distributed_exchange(
-            &grid,
-            &solver,
-            &fields,
-            &pairs,
-            2,
-            BalanceStrategy::Block,
-        );
+        let dist = distributed_exchange(&grid, &solver, &fields, &pairs, 2, BalanceStrategy::Block);
         assert!(dist.energy < 0.0);
         assert_eq!(dist.pairs_evaluated, pairs.len());
     }

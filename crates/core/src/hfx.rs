@@ -8,10 +8,12 @@
 
 use crate::screening::{build_pair_list, OrbitalInfo, PairList};
 use liair_basis::{Basis, Cell, Molecule};
-use liair_grid::{foster_boys, orbitals_on_grid, PoissonSolver, RealGrid};
+use liair_grid::{foster_boys, orbitals_on_grid, PoissonSolver, PoissonWorkspace, RealGrid};
 use liair_math::Mat;
 use liair_scf::ScfResult;
 use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
 
 /// Outcome of an exchange build.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,8 +26,89 @@ pub struct HfxResult {
     pub pairs_screened: usize,
 }
 
+/// How a worker evaluates its pairs: one r2c transform per pair, or two
+/// pairs packed into one c2c transform. Which wins depends on the grid
+/// size (the r2c path does ~half the flops; the batched path does one
+/// full transform for two pairs but pays an untangle sweep), so the
+/// choice is measured once per grid shape and cached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PairPath {
+    /// `exchange_pair_energy` per pair (r2c half-spectrum).
+    Single,
+    /// `exchange_pair_energy_batched` per pair of pairs (packed c2c).
+    Batched,
+}
+
+type PathCache = Mutex<HashMap<(usize, usize, usize), PairPath>>;
+
+static PAIR_PATH_CACHE: OnceLock<PathCache> = OnceLock::new();
+
+/// Measure both pair paths once for this grid shape on synthetic data and
+/// remember the winner (a few transforms — noise next to one SCF step).
+fn pair_path_for(solver: &PoissonSolver, grid: &RealGrid) -> PairPath {
+    let key = grid.dims;
+    let cache = PAIR_PATH_CACHE.get_or_init(Default::default);
+    if let Some(&p) = cache.lock().unwrap().get(&key) {
+        return p;
+    }
+    let mut rng = liair_math::rng::SplitMix64::new(0x9a1c);
+    let a: Vec<f64> = (0..grid.len()).map(|_| rng.next_f64() - 0.5).collect();
+    let b: Vec<f64> = (0..grid.len()).map(|_| rng.next_f64() - 0.5).collect();
+    let mut ws = PoissonWorkspace::new();
+    // Warm both paths (plan build, scratch growth), then time the best of
+    // two repetitions each.
+    solver.exchange_pair_energy(&a, &mut ws);
+    solver.exchange_pair_energy_batched(&a, &b, &mut ws);
+    let mut t_single = f64::INFINITY;
+    let mut t_batched = f64::INFINITY;
+    for _ in 0..2 {
+        let t0 = std::time::Instant::now();
+        solver.exchange_pair_energy(&a, &mut ws);
+        solver.exchange_pair_energy(&b, &mut ws);
+        t_single = t_single.min(t0.elapsed().as_secs_f64());
+        let t0 = std::time::Instant::now();
+        solver.exchange_pair_energy_batched(&a, &b, &mut ws);
+        t_batched = t_batched.min(t0.elapsed().as_secs_f64());
+    }
+    let chosen = if t_batched < t_single {
+        PairPath::Batched
+    } else {
+        PairPath::Single
+    };
+    *cache.lock().unwrap().entry(key).or_insert(chosen)
+}
+
+/// Per-worker scratch for the pair loop: two pair densities plus the
+/// Poisson workspace. Grow-once, reused across all pairs a worker takes.
+#[derive(Debug, Default)]
+struct HfxScratch {
+    rho_a: Vec<f64>,
+    rho_b: Vec<f64>,
+    ws: PoissonWorkspace,
+}
+
+impl HfxScratch {
+    fn ensure(&mut self, n: usize) {
+        if self.rho_a.len() != n {
+            self.rho_a.resize(n, 0.0);
+            self.rho_b.resize(n, 0.0);
+        }
+    }
+}
+
+fn form_pair_density(out: &mut [f64], phi_i: &[f64], phi_j: &[f64]) {
+    for ((r, &a), &b) in out.iter_mut().zip(phi_i).zip(phi_j) {
+        *r = a * b;
+    }
+}
+
 /// Evaluate the exchange energy of occupied orbital fields over a screened
 /// pair list. `orbitals[k]` is φ_k sampled on `grid`.
+///
+/// Workers walk the pair list two pairs at a time with a reusable
+/// [`HfxScratch`]: the steady-state loop performs zero heap allocations,
+/// and on grids where the packed-complex transform wins the autotune both
+/// pair energies come out of a single FFT.
 pub fn exchange_energy(
     grid: &RealGrid,
     solver: &PoissonSolver,
@@ -36,18 +119,41 @@ pub fn exchange_energy(
     for o in orbitals {
         assert_eq!(o.len(), grid.len(), "orbital field size mismatch");
     }
+    let path = pair_path_for(solver, grid);
+    let n = grid.len();
     let energy: f64 = pairs
         .pairs
-        .par_iter()
-        .map(|p| {
-            let (i, j) = (p.i as usize, p.j as usize);
-            let rho: Vec<f64> = orbitals[i]
-                .iter()
-                .zip(&orbitals[j])
-                .map(|(a, b)| a * b)
-                .collect();
-            let (e_pair, _) = solver.exchange_pair(&rho);
-            -p.weight * e_pair
+        .par_chunks(2)
+        .map_init(HfxScratch::default, |sc, chunk| {
+            sc.ensure(n);
+            match chunk {
+                [p, q] if path == PairPath::Batched => {
+                    form_pair_density(
+                        &mut sc.rho_a,
+                        &orbitals[p.i as usize],
+                        &orbitals[p.j as usize],
+                    );
+                    form_pair_density(
+                        &mut sc.rho_b,
+                        &orbitals[q.i as usize],
+                        &orbitals[q.j as usize],
+                    );
+                    let (ea, eb) =
+                        solver.exchange_pair_energy_batched(&sc.rho_a, &sc.rho_b, &mut sc.ws);
+                    -p.weight * ea - q.weight * eb
+                }
+                _ => chunk
+                    .iter()
+                    .map(|p| {
+                        form_pair_density(
+                            &mut sc.rho_a,
+                            &orbitals[p.i as usize],
+                            &orbitals[p.j as usize],
+                        );
+                        -p.weight * solver.exchange_pair_energy(&sc.rho_a, &mut sc.ws)
+                    })
+                    .sum::<f64>(),
+            }
         })
         .sum();
     HfxResult {
@@ -113,7 +219,13 @@ pub fn grid_exchange_for_molecule(
     let solver = PoissonSolver::isolated(grid);
     let fields = orbitals_on_grid(&basis_c, &c_val, keep.len(), &grid);
     let result = exchange_energy(&grid, &solver, &fields, &pairs);
-    GridHfxOutcome { result, pairs, n_core_skipped, c_kept: c_val, basis_centered: basis_c }
+    GridHfxOutcome {
+        result,
+        pairs,
+        n_core_skipped,
+        c_kept: c_val,
+        basis_centered: basis_c,
+    }
 }
 
 /// Output of [`grid_exchange_for_molecule`].
@@ -183,13 +295,17 @@ pub fn exchange_energy_patched(
     pairs: &PairList,
     margin: f64,
 ) -> HfxResult {
-    use liair_grid::patch::patch_pair_energy;
+    use liair_grid::patch::{patch_pair_energy_ws, PatchScratch};
     assert_eq!(orbitals.len(), infos.len());
     let h = grid.spacing().x;
+    // Patch shapes repeat across the list, so each worker reuses one
+    // gather/density/Poisson scratch and the per-shape cached solver —
+    // no per-pair allocations or kernel-table rebuilds.
     let energy: f64 = pairs
         .pairs
-        .par_iter()
-        .map(|p| {
+        .par_chunks(1)
+        .map_init(PatchScratch::new, |scratch, chunk| {
+            let p = &chunk[0];
             let (i, j) = (p.i as usize, p.j as usize);
             let (a, b) = (&infos[i], &infos[j]);
             let d = a.center.distance(b.center);
@@ -197,7 +313,7 @@ pub fn exchange_energy_patched(
             let phys = d + 3.0 * (a.spread + b.spread) + 2.0 * margin;
             let extent = ((phys / h).ceil() as usize).max(8);
             let e_pair =
-                patch_pair_energy(grid, &orbitals[i], &orbitals[j], midpoint, extent);
+                patch_pair_energy_ws(grid, &orbitals[i], &orbitals[j], midpoint, extent, scratch);
             -p.weight * e_pair
         })
         .sum();
@@ -264,11 +380,7 @@ mod tests {
         let scf = rhf(&mol, &basis, &ScfOptions::default());
         let out = grid_exchange_for_molecule(&mol, &basis, &scf, 80, 7.0, 0.0, 0.4);
         assert_eq!(out.n_core_skipped, 1, "expected the O 1s core filtered");
-        let want = analytic_exchange_orbitals(
-            &out.basis_centered,
-            &out.c_kept,
-            out.c_kept.ncols(),
-        );
+        let want = analytic_exchange_orbitals(&out.basis_centered, &out.c_kept, out.c_kept.ncols());
         assert!(
             approx_eq(out.result.energy, want, 3e-2),
             "grid {} vs analytic valence {want}",
@@ -285,7 +397,10 @@ mod tests {
         let scf = rhf(&mol, &basis, &ScfOptions::default());
         let via_k = analytic_exchange(&basis, &scf.density, 0.0);
         let via_orbitals = analytic_exchange_orbitals(&basis, &scf.c, scf.nocc);
-        assert!(approx_eq(via_k, via_orbitals, 1e-10), "{via_k} vs {via_orbitals}");
+        assert!(
+            approx_eq(via_k, via_orbitals, 1e-10),
+            "{via_k} vs {via_orbitals}"
+        );
     }
 
     #[test]
@@ -300,7 +415,10 @@ mod tests {
         let scf = rhf(&mol, &basis, &ScfOptions::default());
         let unscreened = grid_exchange_for_molecule(&mol, &basis, &scf, 64, 6.0, 0.0, 0.0);
         let screened = grid_exchange_for_molecule(&mol, &basis, &scf, 64, 6.0, 1e-3, 0.0);
-        assert!(screened.pairs.len() < unscreened.pairs.len(), "screening dropped nothing");
+        assert!(
+            screened.pairs.len() < unscreened.pairs.len(),
+            "screening dropped nothing"
+        );
         assert!(
             (unscreened.result.energy - screened.result.energy).abs() < 1e-4,
             "ΔE = {}",
@@ -336,13 +454,15 @@ mod tests {
             .centers
             .iter()
             .zip(&loc.spreads)
-            .map(|(&c, &s)| OrbitalInfo { center: c, spread: s.max(0.3) })
+            .map(|(&c, &s)| OrbitalInfo {
+                center: c,
+                spread: s.max(0.3),
+            })
             .collect();
         let pairs = build_pair_list(&infos, 0.0, None);
         let grid = RealGrid::cubic(Cell::cubic(edge), 64);
         let solver = PoissonSolver::isolated(grid);
-        let fields =
-            liair_grid::orbitals_on_grid(&basis_c, &loc.c_loc, scf.nocc, &grid);
+        let fields = liair_grid::orbitals_on_grid(&basis_c, &loc.c_loc, scf.nocc, &grid);
         let full = exchange_energy(&grid, &solver, &fields, &pairs);
         let patched = exchange_energy_patched(&grid, &fields, &infos, &pairs, 3.0);
         assert!(

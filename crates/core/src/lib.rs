@@ -38,7 +38,9 @@ pub mod workload;
 
 pub use balance::{assign_pairs, Assignment, BalanceStrategy};
 pub use hfx::{exchange_energy, exchange_energy_patched, HfxResult};
-pub use operator::{exchange_operator_grid, rhf_with_grid_exchange, rhf_with_grid_exchange_scheduled};
+pub use operator::{
+    exchange_operator_grid, rhf_with_grid_exchange, rhf_with_grid_exchange_scheduled,
+};
 pub use screening::{build_pair_list, EpsSchedule, OrbitalInfo, Pair, PairList};
 pub use simulate::{simulate_hfx_build, Scheme, SimOutcome};
 pub use workload::Workload;

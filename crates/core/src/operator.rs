@@ -15,7 +15,7 @@
 //! against the purely analytic RHF.
 
 use liair_basis::{Basis, Cell, Molecule};
-use liair_grid::{ao_values, orbitals_on_grid, PoissonSolver, RealGrid};
+use liair_grid::{ao_values, orbitals_on_grid, PoissonSolver, PoissonWorkspace, RealGrid};
 use liair_integrals::{kinetic_matrix, nuclear_matrix, overlap_matrix, JkBuilder};
 use liair_math::linalg::{eigh, sym_inv_sqrt};
 use liair_math::Mat;
@@ -70,11 +70,7 @@ pub fn exchange_operator_grid_screened(
             .iter()
             .map(|ao| {
                 let sh = &basis.shells[ao.shell];
-                let alpha_min = sh
-                    .prims
-                    .iter()
-                    .map(|p| p.exp)
-                    .fold(f64::INFINITY, f64::min);
+                let alpha_min = sh.prims.iter().map(|p| p.exp).fold(f64::INFINITY, f64::min);
                 crate::screening::OrbitalInfo {
                     center: sh.center,
                     spread: (1.0 / (2.0 * alpha_min)).sqrt().max(0.3),
@@ -94,33 +90,38 @@ pub fn exchange_operator_grid_screened(
     let tasks: Vec<(usize, usize)> = (0..nocc)
         .flat_map(|j| (0..nao).map(move |nu| (j, nu)))
         .filter(|&(j, nu)| {
-            eps <= 0.0
-                || crate::screening::pair_bound(&orb_info[j], &ao_info[nu], None) >= eps
+            eps <= 0.0 || crate::screening::pair_bound(&orb_info[j], &ao_info[nu], None) >= eps
         })
         .collect();
     let evaluated = tasks.len();
     let skipped = all_tasks - evaluated;
-    let contributions: Vec<(usize, Vec<f64>)> = tasks
-        .par_iter()
-        .map(|&(j, nu)| {
-            let rho: Vec<f64> = orbitals[j]
-                .iter()
-                .zip(&aos[nu])
-                .map(|(a, b)| a * b)
-                .collect();
-            let v = solver.solve(&rho);
-            // column ν of K gets Σ_j ⟨χ_μ φ_j | v_jν⟩ for every μ.
-            let col: Vec<f64> = (0..nao)
-                .map(|mu| {
-                    let mut acc = 0.0;
-                    for p in 0..grid.len() {
-                        acc += aos[mu][p] * orbitals[j][p] * v[p];
-                    }
-                    acc * grid.dvol()
-                })
-                .collect();
-            (nu, col)
-        })
+    // Each worker owns one pair-density buffer and one Poisson workspace
+    // for its whole share of tasks: the grid-sized allocations the seed
+    // paid per (j, ν) task are gone (only the nao-length output column
+    // remains per task).
+    let contributions: Vec<(usize, Vec<f64>)> = (0..tasks.len())
+        .into_par_iter()
+        .map_init(
+            || (vec![0.0; grid.len()], PoissonWorkspace::new()),
+            |(rho, ws), t| {
+                let (j, nu) = tasks[t];
+                for ((r, &a), &b) in rho.iter_mut().zip(&orbitals[j]).zip(&aos[nu]) {
+                    *r = a * b;
+                }
+                let v = solver.solve_into(rho, ws);
+                // column ν of K gets Σ_j ⟨χ_μ φ_j | v_jν⟩ for every μ.
+                let col: Vec<f64> = (0..nao)
+                    .map(|mu| {
+                        let mut acc = 0.0;
+                        for p in 0..grid.len() {
+                            acc += aos[mu][p] * orbitals[j][p] * v[p];
+                        }
+                        acc * grid.dvol()
+                    })
+                    .collect();
+                (nu, col)
+            },
+        )
         .collect();
     let mut k = Mat::zeros(nao, nao);
     for (nu, col) in contributions {
@@ -234,8 +235,7 @@ pub fn rhf_with_grid_exchange_scheduled(
         let mut f = h.clone();
         f.axpy(1.0, &j);
         f.axpy(-1.0, &k);
-        let e_elec = density.trace_product(&h)
-            + 0.5 * density.trace_product(&j)
+        let e_elec = density.trace_product(&h) + 0.5 * density.trace_product(&j)
             - 0.5 * density.trace_product(&k);
         let new_energy = e_elec + e_nuc;
         let de = (new_energy - energy).abs();
@@ -246,7 +246,14 @@ pub fn rhf_with_grid_exchange_scheduled(
             break;
         }
     }
-    GridScfResult { energy, iterations, converged, c_occ, tasks_evaluated, tasks_skipped }
+    GridScfResult {
+        energy,
+        iterations,
+        converged,
+        c_occ,
+        tasks_evaluated,
+        tasks_skipped,
+    }
 }
 
 fn occupied_from(f: &Mat, x: &Mat, nao: usize, nocc: usize) -> Mat {

@@ -109,15 +109,29 @@ pub fn build_pair_list(orbitals: &[OrbitalInfo], eps: f64, cell: Option<&Cell>) 
     let n = orbitals.len();
     let mut pairs = Vec::new();
     for i in 0..n {
-        pairs.push(Pair { i: i as u32, j: i as u32, weight: 1.0, bound: 1.0 });
+        pairs.push(Pair {
+            i: i as u32,
+            j: i as u32,
+            weight: 1.0,
+            bound: 1.0,
+        });
         for j in (i + 1)..n {
             let b = pair_bound(&orbitals[i], &orbitals[j], cell);
             if b >= eps {
-                pairs.push(Pair { i: i as u32, j: j as u32, weight: 2.0, bound: b });
+                pairs.push(Pair {
+                    i: i as u32,
+                    j: j as u32,
+                    weight: 2.0,
+                    bound: b,
+                });
             }
         }
     }
-    PairList { pairs, n_candidates: n * (n + 1) / 2, eps }
+    PairList {
+        pairs,
+        n_candidates: n * (n + 1) / 2,
+        eps,
+    }
 }
 
 /// Linear-scaling pair-list construction for large condensed systems:
@@ -125,11 +139,7 @@ pub fn build_pair_list(orbitals: &[OrbitalInfo], eps: f64, cell: Option<&Cell>) 
 /// neighbouring bins are searched — O(N·partners) instead of O(N²).
 /// Requires `eps > 0` (a finite cutoff radius) and a periodic cell; the
 /// result is identical to [`build_pair_list`].
-pub fn build_pair_list_celllist(
-    orbitals: &[OrbitalInfo],
-    eps: f64,
-    cell: &Cell,
-) -> PairList {
+pub fn build_pair_list_celllist(orbitals: &[OrbitalInfo], eps: f64, cell: &Cell) -> PairList {
     assert!(eps > 0.0, "cell-list construction needs a finite eps");
     let n = orbitals.len();
     let sigma_max = orbitals.iter().map(|o| o.spread).fold(0.0f64, f64::max);
@@ -156,7 +166,12 @@ pub fn build_pair_list_celllist(
     }
     let mut pairs = Vec::new();
     for i in 0..n {
-        pairs.push(Pair { i: i as u32, j: i as u32, weight: 1.0, bound: 1.0 });
+        pairs.push(Pair {
+            i: i as u32,
+            j: i as u32,
+            weight: 1.0,
+            bound: 1.0,
+        });
     }
     let shifts: Vec<i64> = vec![-1, 0, 1];
     for ix in 0..bx {
@@ -200,7 +215,11 @@ pub fn build_pair_list_celllist(
     // neighbour bin visited via two wraps); deduplicate.
     pairs.sort_by_key(|p| (p.i, p.j));
     pairs.dedup_by_key(|p| (p.i, p.j));
-    PairList { pairs, n_candidates: n * (n + 1) / 2, eps }
+    PairList {
+        pairs,
+        n_candidates: n * (n + 1) / 2,
+        eps,
+    }
 }
 
 /// An ε schedule over SCF iterations: early iterations run with loose
@@ -221,7 +240,11 @@ pub struct EpsSchedule {
 impl EpsSchedule {
     /// A fixed (non-adaptive) schedule.
     pub fn fixed(eps: f64) -> Self {
-        Self { eps_start: eps, eps_final: eps, tighten_over: 1 }
+        Self {
+            eps_start: eps,
+            eps_final: eps,
+            tighten_over: 1,
+        }
     }
 
     /// Geometric interpolation between start and final thresholds.
@@ -249,7 +272,10 @@ mod tests {
     use liair_math::approx_eq;
 
     fn orb(x: f64, s: f64) -> OrbitalInfo {
-        OrbitalInfo { center: Vec3::new(x, 0.0, 0.0), spread: s }
+        OrbitalInfo {
+            center: Vec3::new(x, 0.0, 0.0),
+            spread: s,
+        }
     }
 
     #[test]
@@ -287,12 +313,18 @@ mod tests {
         let rc = cutoff_radius(sa, sb, eps);
         let just_inside = pair_bound(
             &orb(0.0, sa),
-            &OrbitalInfo { center: Vec3::new(rc - 1e-9, 0.0, 0.0), spread: sb },
+            &OrbitalInfo {
+                center: Vec3::new(rc - 1e-9, 0.0, 0.0),
+                spread: sb,
+            },
             None,
         );
         let just_outside = pair_bound(
             &orb(0.0, sa),
-            &OrbitalInfo { center: Vec3::new(rc + 1e-9, 0.0, 0.0), spread: sb },
+            &OrbitalInfo {
+                center: Vec3::new(rc + 1e-9, 0.0, 0.0),
+                spread: sb,
+            },
             None,
         );
         assert!(just_inside >= eps);
@@ -341,8 +373,7 @@ mod tests {
             let brute = build_pair_list(&orbitals, eps, Some(&cell));
             let fast = build_pair_list_celllist(&orbitals, eps, &cell);
             let key = |pl: &PairList| {
-                let mut v: Vec<(u32, u32)> =
-                    pl.pairs.iter().map(|p| (p.i, p.j)).collect();
+                let mut v: Vec<(u32, u32)> = pl.pairs.iter().map(|p| (p.i, p.j)).collect();
                 v.sort_unstable();
                 v
             };
@@ -352,7 +383,11 @@ mod tests {
 
     #[test]
     fn eps_schedule_tightens_monotonically() {
-        let s = EpsSchedule { eps_start: 1e-2, eps_final: 1e-8, tighten_over: 6 };
+        let s = EpsSchedule {
+            eps_start: 1e-2,
+            eps_final: 1e-8,
+            tighten_over: 6,
+        };
         let mut prev = f64::INFINITY;
         for it in 0..10 {
             let e = s.eps_for(it);
@@ -371,7 +406,11 @@ mod tests {
     fn bound_is_symmetric_and_unit_at_zero() {
         let a = orb(0.0, 0.8);
         let b = orb(2.5, 1.7);
-        assert!(approx_eq(pair_bound(&a, &b, None), pair_bound(&b, &a, None), 1e-15));
+        assert!(approx_eq(
+            pair_bound(&a, &b, None),
+            pair_bound(&b, &a, None),
+            1e-15
+        ));
         assert!(approx_eq(pair_bound(&a, &a, None), 1.0, 1e-15));
     }
 }

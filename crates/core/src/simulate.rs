@@ -114,7 +114,12 @@ pub fn simulate_hfx_build(
 ) -> SimOutcome {
     let nodes = m.nodes();
     match scheme {
-        Scheme::PairDistributed { strategy, group_size, threads, simd } => {
+        Scheme::PairDistributed {
+            strategy,
+            group_size,
+            threads,
+            simd,
+        } => {
             let g = group_size
                 .unwrap_or_else(|| auto_group_size(w.pairs.len(), nodes))
                 .clamp(1, nodes);
@@ -204,11 +209,9 @@ pub fn simulate_hfx_build(
             // Same pair list & balancing, but each pair transforms the full
             // cell grid node-locally; no groups, so at extreme scale the
             // integer pair quantum also costs efficiency.
-            let assignment =
-                assign_pairs(&w.pairs, nodes, BalanceStrategy::GreedyLpt);
+            let assignment = assign_pairs(&w.pairs, nodes, BalanceStrategy::GreedyLpt);
             let t_pair = m.node.compute_time(w.full_grid_flops(), 64, true);
-            let per_node: Vec<f64> =
-                assignment.loads.iter().map(|&l| l * t_pair).collect();
+            let per_node: Vec<f64> = assignment.loads.iter().map(|&l| l * t_pair).collect();
             let max_pairs = assignment
                 .per_rank
                 .iter()
@@ -373,9 +376,7 @@ mod tests {
         let w = paper_workload();
         let outcomes: Vec<SimOutcome> = scaling_series()
             .iter()
-            .map(|m| {
-                simulate_hfx_build(&w, m, Scheme::ours(), CollectiveAlgo::TorusPipelined)
-            })
+            .map(|m| simulate_hfx_build(&w, m, Scheme::ours(), CollectiveAlgo::TorusPipelined))
             .collect();
         let eff = parallel_efficiency(&outcomes);
         // Near-perfect parallel efficiency at 6.29M threads (abstract).
@@ -392,8 +393,7 @@ mod tests {
     fn comparable_approach_is_10x_slower() {
         let w = paper_workload();
         let m = MachineConfig::bgq_racks(4);
-        let ours =
-            simulate_hfx_build(&w, &m, Scheme::ours(), CollectiveAlgo::TorusPipelined);
+        let ours = simulate_hfx_build(&w, &m, Scheme::ours(), CollectiveAlgo::TorusPipelined);
         let full = simulate_hfx_build(
             &w,
             &m,
@@ -454,8 +454,7 @@ mod tests {
     fn compute_dominates_our_scheme() {
         let w = paper_workload();
         let m = MachineConfig::bgq_racks(16);
-        let ours =
-            simulate_hfx_build(&w, &m, Scheme::ours(), CollectiveAlgo::TorusPipelined);
+        let ours = simulate_hfx_build(&w, &m, Scheme::ours(), CollectiveAlgo::TorusPipelined);
         assert!(
             ours.report.compute_total() > 2.0 * ours.report.comm_total(),
             "comm-bound: compute {} vs comm {}",

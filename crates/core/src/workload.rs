@@ -178,9 +178,16 @@ mod tests {
         let w = Workload::paper_water_box();
         // 48³ kernel ≈ 20 MF; full-grid kernel > 10× bigger (the paper's
         // "surpasses a 10-fold decrease" headroom).
-        assert!(w.pair_flops() > 1e7 && w.pair_flops() < 1e8, "{}", w.pair_flops());
+        assert!(
+            w.pair_flops() > 1e7 && w.pair_flops() < 1e8,
+            "{}",
+            w.pair_flops()
+        );
         let ratio = w.full_grid_flops() / w.pair_flops();
-        assert!(ratio > 10.0 && ratio < 40.0, "full/pair flops ratio {ratio}");
+        assert!(
+            ratio > 10.0 && ratio < 40.0,
+            "full/pair flops ratio {ratio}"
+        );
     }
 
     #[test]

@@ -15,8 +15,8 @@
 #![allow(clippy::needless_range_loop)] // index loops are the clearer idiom in this numeric code
 
 pub mod grid;
-pub mod molgrid;
 pub mod localize;
+pub mod molgrid;
 pub mod orbital;
 pub mod patch;
 pub mod poisson;
@@ -25,5 +25,7 @@ pub use grid::RealGrid;
 pub use localize::{foster_boys, Localization};
 pub use molgrid::MolGrid;
 pub use orbital::{ao_values, ao_values_at_points, density_from_dm_at_points, orbitals_on_grid};
-pub use patch::{patch_pair_energy, Patch};
-pub use poisson::{CoulombKernel, PoissonSolver};
+pub use patch::{
+    isolated_patch_solver, patch_pair_energy, patch_pair_energy_ws, Patch, PatchScratch,
+};
+pub use poisson::{CoulombKernel, PoissonSolver, PoissonWorkspace};

@@ -127,7 +127,12 @@ pub fn foster_boys(basis: &Basis, c: &Mat, nocc: usize, max_sweeps: usize) -> Lo
         centers.push(center);
         spreads.push(var.sqrt());
     }
-    Localization { c_loc, centers, spreads, sweeps }
+    Localization {
+        c_loc,
+        centers,
+        spreads,
+        sweeps,
+    }
 }
 
 #[cfg(test)]

@@ -24,8 +24,17 @@ pub fn ao_values(basis: &Basis, grid: &RealGrid) -> Vec<Vec<f64>> {
     for sh in &basis.shells {
         for powers in cart_components(sh.l) {
             let coefs = sh.normalized_coefs(powers);
-            let prims = sh.prims.iter().zip(coefs).map(|(p, c)| (p.exp, c)).collect();
-            aos.push(AoData { center: sh.center, powers, prims });
+            let prims = sh
+                .prims
+                .iter()
+                .zip(coefs)
+                .map(|(p, c)| (p.exp, c))
+                .collect();
+            aos.push(AoData {
+                center: sh.center,
+                powers,
+                prims,
+            });
         }
     }
     aos.par_iter()
@@ -37,8 +46,7 @@ pub fn ao_values(basis: &Basis, grid: &RealGrid) -> Vec<Vec<f64>> {
                     let ang = d.x.powi(ao.powers.0 as i32)
                         * d.y.powi(ao.powers.1 as i32)
                         * d.z.powi(ao.powers.2 as i32);
-                    let radial: f64 =
-                        ao.prims.iter().map(|&(a, c)| c * (-a * r2).exp()).sum();
+                    let radial: f64 = ao.prims.iter().map(|&(a, c)| c * (-a * r2).exp()).sum();
                     ang * radial
                 })
                 .collect()
@@ -91,7 +99,9 @@ pub fn ao_values_at_points(basis: &Basis, points: &[liair_math::Vec3]) -> Vec<Ve
         .shells
         .iter()
         .flat_map(|sh| {
-            cart_components(sh.l).into_iter().map(move |powers| (sh, powers))
+            cart_components(sh.l)
+                .into_iter()
+                .map(move |powers| (sh, powers))
         })
         .collect::<Vec<_>>()
         .par_iter()
@@ -128,7 +138,9 @@ pub fn ao_values_and_gradients_at_points(
         .shells
         .iter()
         .flat_map(|sh| {
-            cart_components(sh.l).into_iter().map(move |powers| (sh, powers))
+            cart_components(sh.l)
+                .into_iter()
+                .map(move |powers| (sh, powers))
         })
         .collect::<Vec<_>>()
         .par_iter()
@@ -149,16 +161,25 @@ pub fn ao_values_and_gradients_at_points(
                     let g = c * (-pr.exp * r2).exp();
                     val += px * py * pz * g;
                     // ∂/∂x [x^l e^{-αr²}] = (l x^{l−1} − 2α x^{l+1}) e^{-αr²}
-                    let dx = (if lx > 0 { lx as f64 * d.x.powi(lx - 1) } else { 0.0 }
-                        - 2.0 * pr.exp * d.x.powi(lx + 1))
+                    let dx = (if lx > 0 {
+                        lx as f64 * d.x.powi(lx - 1)
+                    } else {
+                        0.0
+                    } - 2.0 * pr.exp * d.x.powi(lx + 1))
                         * py
                         * pz;
-                    let dy = (if ly > 0 { ly as f64 * d.y.powi(ly - 1) } else { 0.0 }
-                        - 2.0 * pr.exp * d.y.powi(ly + 1))
+                    let dy = (if ly > 0 {
+                        ly as f64 * d.y.powi(ly - 1)
+                    } else {
+                        0.0
+                    } - 2.0 * pr.exp * d.y.powi(ly + 1))
                         * px
                         * pz;
-                    let dz = (if lz > 0 { lz as f64 * d.z.powi(lz - 1) } else { 0.0 }
-                        - 2.0 * pr.exp * d.z.powi(lz + 1))
+                    let dz = (if lz > 0 {
+                        lz as f64 * d.z.powi(lz - 1)
+                    } else {
+                        0.0
+                    } - 2.0 * pr.exp * d.z.powi(lz + 1))
                         * px
                         * py;
                     grad += liair_math::Vec3::new(dx, dy, dz) * g;

@@ -8,11 +8,19 @@
 //! kernel. The FFT shrinks from `N_cell³` to `N_patch³` — the ~10× the
 //! abstract reports. This module *executes* that mechanism; the cost model
 //! in `liair-core::simulate` prices it at scale.
+//!
+//! Patch shapes repeat heavily across a pair list (the extent is rounded
+//! to a power of two and the spacing is shared), so the isolated Poisson
+//! solver — whose kernel table costs an `O(N_patch³)` rebuild — is cached
+//! process-wide per `(extent, edge)` shape. Together with
+//! [`PatchScratch`], the steady-state patched pair loop allocates nothing.
 
 use crate::grid::RealGrid;
-use crate::poisson::PoissonSolver;
+use crate::poisson::{PoissonSolver, PoissonWorkspace};
 use liair_basis::Cell;
 use liair_math::Vec3;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A cubic patch cut from a parent grid.
 #[derive(Debug, Clone)]
@@ -43,15 +51,26 @@ impl Patch {
             (center.z / h.z).round() as i64 - extent as i64 / 2,
         );
         let cell = Cell::cubic(extent as f64 * h.x);
-        Patch { origin, extent, grid: RealGrid::cubic(cell, extent) }
+        Patch {
+            origin,
+            extent,
+            grid: RealGrid::cubic(cell, extent),
+        }
     }
 
     /// Gather a field from the parent grid into this patch (periodic wrap).
     pub fn gather(&self, parent: &RealGrid, field: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.extent.pow(3)];
+        self.gather_into(parent, field, &mut out);
+        out
+    }
+
+    /// [`Self::gather`] into caller-owned storage (no allocation).
+    pub fn gather_into(&self, parent: &RealGrid, field: &[f64], out: &mut [f64]) {
         assert_eq!(field.len(), parent.len());
-        let (nx, ny, nz) = parent.dims;
         let e = self.extent;
-        let mut out = vec![0.0; e * e * e];
+        assert_eq!(out.len(), e * e * e, "output does not match patch extent");
+        let (nx, ny, nz) = parent.dims;
         let wrap = |v: i64, n: usize| -> usize { v.rem_euclid(n as i64) as usize };
         let mut idx = 0;
         for ix in 0..e {
@@ -65,12 +84,55 @@ impl Patch {
                 }
             }
         }
-        out
     }
 
     /// Physical edge length of the patch (Bohr).
     pub fn edge(&self) -> f64 {
         self.grid.cell.lengths.x
+    }
+}
+
+/// Cache key: (grid extent, cell edge bits) — cubic patches only.
+type SolverCache = Mutex<HashMap<(usize, u64), Arc<PoissonSolver>>>;
+
+static PATCH_SOLVER_CACHE: OnceLock<SolverCache> = OnceLock::new();
+
+/// Fetch (or build and cache) the isolated Poisson solver for a cubic
+/// patch grid. Patch shapes repeat across a pair list, and the kernel
+/// table rebuild the seed paid per pair dominates small-patch solves.
+pub fn isolated_patch_solver(grid: RealGrid) -> Arc<PoissonSolver> {
+    let key = (grid.dims.0, grid.cell.lengths.x.to_bits());
+    let cache = PATCH_SOLVER_CACHE.get_or_init(Default::default);
+    if let Some(s) = cache.lock().unwrap().get(&key) {
+        return Arc::clone(s);
+    }
+    let built = Arc::new(PoissonSolver::isolated(grid));
+    Arc::clone(cache.lock().unwrap().entry(key).or_insert(built))
+}
+
+/// Reusable buffers for [`patch_pair_energy_ws`]: the two gathered
+/// orbitals, their product density, and the Poisson workspace. Keep one
+/// per worker thread.
+#[derive(Debug, Default)]
+pub struct PatchScratch {
+    a: Vec<f64>,
+    b: Vec<f64>,
+    rho: Vec<f64>,
+    poisson: PoissonWorkspace,
+}
+
+impl PatchScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.a.len() != n {
+            self.a.resize(n, 0.0);
+            self.b.resize(n, 0.0);
+            self.rho.resize(n, 0.0);
+        }
     }
 }
 
@@ -87,13 +149,30 @@ pub fn patch_pair_energy(
     midpoint: Vec3,
     extent: usize,
 ) -> f64 {
+    let mut scratch = PatchScratch::new();
+    patch_pair_energy_ws(parent, phi_i, phi_j, midpoint, extent, &mut scratch)
+}
+
+/// [`patch_pair_energy`] with caller-owned scratch: the hot-loop form.
+/// Uses the cached patch solver and the energy-only (forward transform
+/// only) Poisson path — zero steady-state heap allocation.
+pub fn patch_pair_energy_ws(
+    parent: &RealGrid,
+    phi_i: &[f64],
+    phi_j: &[f64],
+    midpoint: Vec3,
+    extent: usize,
+    scratch: &mut PatchScratch,
+) -> f64 {
     let patch = Patch::plan(parent, midpoint, extent);
-    let a = patch.gather(parent, phi_i);
-    let b = patch.gather(parent, phi_j);
-    let rho: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x * y).collect();
-    let solver = PoissonSolver::isolated(patch.grid);
-    let (e, _) = solver.exchange_pair(&rho);
-    e
+    scratch.ensure(patch.extent.pow(3));
+    patch.gather_into(parent, phi_i, &mut scratch.a);
+    patch.gather_into(parent, phi_j, &mut scratch.b);
+    for ((r, &x), &y) in scratch.rho.iter_mut().zip(&scratch.a).zip(&scratch.b) {
+        *r = x * y;
+    }
+    let solver = isolated_patch_solver(patch.grid);
+    solver.exchange_pair_energy(&scratch.rho, &mut scratch.poisson)
 }
 
 #[cfg(test)]
@@ -188,5 +267,38 @@ mod tests {
         let patch = Patch::plan(&parent, Vec3::splat(4.0), 99);
         assert_eq!(patch.extent, 16);
         assert!(approx_eq(patch.edge(), 8.0, 1e-12));
+    }
+
+    #[test]
+    fn patch_solver_is_cached_per_shape() {
+        let parent = RealGrid::cubic(Cell::cubic(16.0), 32);
+        let p1 = Patch::plan(&parent, Vec3::splat(5.0), 8);
+        let p2 = Patch::plan(&parent, Vec3::splat(11.0), 8);
+        let s1 = isolated_patch_solver(p1.grid);
+        let s2 = isolated_patch_solver(p2.grid);
+        assert!(
+            Arc::ptr_eq(&s1, &s2),
+            "same-shape patches must share a solver"
+        );
+        let p3 = Patch::plan(&parent, Vec3::splat(5.0), 16);
+        let s3 = isolated_patch_solver(p3.grid);
+        assert!(!Arc::ptr_eq(&s1, &s3), "different shapes must not collide");
+    }
+
+    #[test]
+    fn scratch_variant_matches_allocating_variant() {
+        let l = 18.0;
+        let parent = RealGrid::cubic(Cell::cubic(l), 36);
+        let c1 = Vec3::new(l / 2.0 - 0.8, l / 2.0, l / 2.0);
+        let c2 = Vec3::new(l / 2.0 + 0.8, l / 2.0, l / 2.0);
+        let phi_i = gaussian_field(&parent, c1, 1.0);
+        let phi_j = gaussian_field(&parent, c2, 1.0);
+        let mid = (c1 + c2) * 0.5;
+        let want = patch_pair_energy(&parent, &phi_i, &phi_j, mid, 16);
+        let mut scratch = PatchScratch::new();
+        for _ in 0..2 {
+            let got = patch_pair_energy_ws(&parent, &phi_i, &phi_j, mid, 16, &mut scratch);
+            assert!(approx_eq(got, want, 1e-12), "{got} vs {want}");
+        }
     }
 }

@@ -11,10 +11,26 @@
 //!   `v(0) = 2π R_c²`, which reproduces the *isolated* `1/r` interaction
 //!   exactly for separations below `R_c`; used to validate the grid path
 //!   against analytic Gaussian integrals.
+//!
+//! Because every density here is real, the solver works on the Hermitian
+//! half-spectrum (`nz/2 + 1` bins along `z`) via `liair_math::rfft`: the
+//! kernel table is laid out once over the half-spectrum bins, the r2c/c2r
+//! transforms do roughly half the work of the seed's complex path, and the
+//! hot-loop entry points ([`PoissonSolver::solve_into`],
+//! [`PoissonSolver::exchange_pair_energy`],
+//! [`PoissonSolver::exchange_pair_energy_batched`]) run against a caller
+//! owned [`PoissonWorkspace`] so steady-state pair loops perform **zero**
+//! heap allocations.
+//!
+//! Energy-only callers skip the inverse transform entirely: by Parseval,
+//! `(ij|ij) = (dV/N) Σ_k v(G_k) |ρ̂_k|²`, summed over half-spectrum bins
+//! with weight 2 off the self-conjugate planes (valid because
+//! `v(−G) = v(G)`).
 
 use crate::grid::RealGrid;
-use liair_math::fft3::{fft3, ifft3};
-use liair_math::{Array3, Complex64};
+use liair_math::fft3::fft3_serial_slice;
+use liair_math::rfft::{half_len, irfft3, irfft3_into, rfft3, rfft3_into};
+use liair_math::Complex64;
 use std::f64::consts::PI;
 
 /// Which reciprocal-space Coulomb interaction to use.
@@ -26,45 +42,106 @@ pub enum CoulombKernel {
     SphericalCutoff(f64),
 }
 
-/// A planned Poisson solver: precomputed kernel table over FFT bins.
+impl CoulombKernel {
+    #[inline]
+    fn eval(self, g2: f64) -> f64 {
+        match self {
+            CoulombKernel::Periodic => {
+                if g2 < 1e-12 {
+                    0.0
+                } else {
+                    4.0 * PI / g2
+                }
+            }
+            CoulombKernel::SphericalCutoff(rc) => {
+                if g2 < 1e-12 {
+                    2.0 * PI * rc * rc
+                } else {
+                    4.0 * PI * (1.0 - (g2.sqrt() * rc).cos()) / g2
+                }
+            }
+        }
+    }
+}
+
+/// Reusable scratch for the solver's zero-allocation entry points. One per
+/// worker thread (grow-only buffers sized on first use); a single
+/// workspace serves any number of solves on any grids.
+#[derive(Debug, Default)]
+pub struct PoissonWorkspace {
+    /// Half-spectrum buffer for r2c/c2r solves.
+    half: Vec<Complex64>,
+    /// Full complex buffer for the two-pair batched transform.
+    full: Vec<Complex64>,
+    /// Real output field (potential) for `solve_into`.
+    v: Vec<f64>,
+}
+
+impl PoissonWorkspace {
+    /// An empty workspace; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure_half(&mut self, dims: (usize, usize, usize)) {
+        let need = half_len(dims);
+        if self.half.len() != need {
+            self.half.resize(need, Complex64::ZERO);
+        }
+    }
+
+    fn ensure_full(&mut self, dims: (usize, usize, usize)) {
+        let need = dims.0 * dims.1 * dims.2;
+        if self.full.len() != need {
+            self.full.resize(need, Complex64::ZERO);
+        }
+    }
+
+    fn ensure_v(&mut self, n: usize) {
+        if self.v.len() != n {
+            self.v.resize(n, 0.0);
+        }
+    }
+}
+
+/// A planned Poisson solver: precomputed kernel tables over FFT bins.
 #[derive(Debug, Clone)]
 pub struct PoissonSolver {
     grid: RealGrid,
+    /// Kernel over the full `(nx, ny, nz)` bin set (batched c2c path and
+    /// the seed-convention reference).
     kernel: Vec<f64>,
+    /// Kernel over the Hermitian half-spectrum `(nx, ny, nz/2 + 1)`.
+    kernel_half: Vec<f64>,
 }
 
 impl PoissonSolver {
-    /// Precompute the kernel for a grid.
+    /// Precompute the kernel tables for a grid.
     pub fn new(grid: RealGrid, kernel: CoulombKernel) -> Self {
         let (nx, ny, nz) = grid.dims;
+        let nzh = nz / 2 + 1;
         let mut table = vec![0.0; grid.len()];
+        let mut table_half = vec![0.0; nx * ny * nzh];
         let mut idx = 0;
         for i in 0..nx {
             for j in 0..ny {
                 for k in 0..nz {
-                    let g = grid.g_of_bin(i, j, k);
-                    let g2 = g.norm_sqr();
-                    table[idx] = match kernel {
-                        CoulombKernel::Periodic => {
-                            if g2 < 1e-12 {
-                                0.0
-                            } else {
-                                4.0 * PI / g2
-                            }
-                        }
-                        CoulombKernel::SphericalCutoff(rc) => {
-                            if g2 < 1e-12 {
-                                2.0 * PI * rc * rc
-                            } else {
-                                4.0 * PI * (1.0 - (g2.sqrt() * rc).cos()) / g2
-                            }
-                        }
-                    };
+                    let g2 = grid.g_of_bin(i, j, k).norm_sqr();
+                    table[idx] = kernel.eval(g2);
+                    if k < nzh {
+                        // Half-spectrum bins share the full-bin frequency
+                        // mapping for iz ≤ nz/2.
+                        table_half[(i * ny + j) * nzh + k] = table[idx];
+                    }
                     idx += 1;
                 }
             }
         }
-        Self { grid, kernel: table }
+        Self {
+            grid,
+            kernel: table,
+            kernel_half: table_half,
+        }
     }
 
     /// A solver with the conventional isolated-system choice
@@ -79,22 +156,36 @@ impl PoissonSolver {
         &self.grid
     }
 
-    /// Hartree potential `v(r) = ∫ ρ(r') v_C(r, r') dr'` of a real density.
+    /// Hartree potential `v(r) = ∫ ρ(r') v_C(r, r') dr'` of a real density
+    /// (threaded r2c path; allocates the result).
     pub fn solve(&self, rho: &[f64]) -> Vec<f64> {
         assert_eq!(rho.len(), self.grid.len());
-        let mut work = Array3::from_vec(
-            self.grid.dims,
-            rho.iter().map(|&r| Complex64::real(r)).collect(),
-        );
-        fft3(&mut work);
+        let mut half = rfft3(rho, self.grid.dims);
         // With ρ(G) = (dV/V)·ρ̂_k = ρ̂_k/N and the 1/N carried by the
         // inverse FFT, the synthesis v_j = Σ_G ṽ(G) ρ(G) e^{iG·r_j} reduces
         // to a bare pointwise kernel multiply.
-        for (z, &k) in work.as_mut_slice().iter_mut().zip(&self.kernel) {
+        self.apply_kernel_half(half.as_mut_slice());
+        irfft3(half, self.grid.dims)
+    }
+
+    /// [`Self::solve`] on the calling thread with caller-owned scratch:
+    /// no rayon, zero steady-state heap allocation. Returns the potential
+    /// borrowed from the workspace.
+    pub fn solve_into<'w>(&self, rho: &[f64], ws: &'w mut PoissonWorkspace) -> &'w [f64] {
+        assert_eq!(rho.len(), self.grid.len());
+        ws.ensure_half(self.grid.dims);
+        ws.ensure_v(self.grid.len());
+        rfft3_into(rho, self.grid.dims, &mut ws.half);
+        self.apply_kernel_half(&mut ws.half);
+        irfft3_into(&mut ws.half, self.grid.dims, &mut ws.v);
+        &ws.v
+    }
+
+    #[inline]
+    fn apply_kernel_half(&self, half: &mut [Complex64]) {
+        for (z, &k) in half.iter_mut().zip(&self.kernel_half) {
             *z = z.scale(k);
         }
-        ifft3(&mut work);
-        work.as_slice().iter().map(|z| z.re).collect()
     }
 
     /// Electrostatic interaction energy `∬ ρ₁(r) ρ₂(r') v_C dr dr'`.
@@ -114,6 +205,93 @@ impl PoissonSolver {
     pub fn exchange_pair(&self, rho_ij: &[f64]) -> (f64, Vec<f64>) {
         let v = self.solve(rho_ij);
         (self.grid.inner(rho_ij, &v), v)
+    }
+
+    /// Energy-only exchange pair term: one forward r2c transform, no
+    /// inverse, no allocation. By Parseval,
+    /// `(ij|ij) = (dV/N) Σ_k v(G_k) |ρ̂_k|²` over half-spectrum bins with
+    /// weight 2 off the self-conjugate z-planes.
+    pub fn exchange_pair_energy(&self, rho_ij: &[f64], ws: &mut PoissonWorkspace) -> f64 {
+        assert_eq!(rho_ij.len(), self.grid.len());
+        ws.ensure_half(self.grid.dims);
+        rfft3_into(rho_ij, self.grid.dims, &mut ws.half);
+        let nz = self.grid.dims.2;
+        let nzh = nz / 2 + 1;
+        let nyquist = if nz.is_multiple_of(2) {
+            nzh - 1
+        } else {
+            usize::MAX
+        };
+        let mut acc = 0.0;
+        for (row, krow) in ws
+            .half
+            .chunks_exact(nzh)
+            .zip(self.kernel_half.chunks_exact(nzh))
+        {
+            for iz in 0..nzh {
+                let w = if iz == 0 || iz == nyquist { 1.0 } else { 2.0 };
+                acc += w * krow[iz] * row[iz].norm_sqr();
+            }
+        }
+        acc * self.grid.dvol() / self.grid.len() as f64
+    }
+
+    /// Two energy-only exchange pair terms for the price of one complex
+    /// transform: the real densities are packed as `ρ_a + i·ρ_b`, one
+    /// forward c2c FFT runs, and the two Hermitian spectra are untangled
+    /// per bin via the conjugate partner `ẑ(−k)`. Zero allocation.
+    pub fn exchange_pair_energy_batched(
+        &self,
+        rho_a: &[f64],
+        rho_b: &[f64],
+        ws: &mut PoissonWorkspace,
+    ) -> (f64, f64) {
+        assert_eq!(rho_a.len(), self.grid.len());
+        assert_eq!(rho_b.len(), self.grid.len());
+        let dims = self.grid.dims;
+        ws.ensure_full(dims);
+        for ((z, &a), &b) in ws.full.iter_mut().zip(rho_a).zip(rho_b) {
+            *z = Complex64::new(a, b);
+        }
+        fft3_serial_slice(&mut ws.full, dims);
+        let (nx, ny, nz) = dims;
+        let (mut ea, mut eb) = (0.0, 0.0);
+        let mut idx = 0;
+        for i in 0..nx {
+            let ic = ((nx - i) % nx) * ny;
+            for j in 0..ny {
+                let jc = (ic + (ny - j) % ny) * nz;
+                for k in 0..nz {
+                    let z = ws.full[idx];
+                    let zc = ws.full[jc + (nz - k) % nz].conj();
+                    // ẑ = â + i·b̂ with â, b̂ Hermitian:
+                    // â(k) = (ẑ(k) + ẑ*(−k))/2, b̂(k) = (ẑ(k) − ẑ*(−k))/2i.
+                    let ah = (z + zc).scale(0.5);
+                    let bh = (z - zc) * Complex64::new(0.0, -0.5);
+                    let kk = self.kernel[idx];
+                    ea += kk * ah.norm_sqr();
+                    eb += kk * bh.norm_sqr();
+                    idx += 1;
+                }
+            }
+        }
+        let scale = self.grid.dvol() / self.grid.len() as f64;
+        (ea * scale, eb * scale)
+    }
+
+    /// The seed's complex-to-complex energy path, kept verbatim as the
+    /// benchmark baseline for the r2c fast path (`benches/pair_kernel.rs`).
+    pub fn exchange_pair_reference(&self, rho_ij: &[f64]) -> f64 {
+        use liair_math::fft3::{fft3, ifft3, to_complex, to_real};
+        assert_eq!(rho_ij.len(), self.grid.len());
+        let mut work = to_complex(rho_ij, self.grid.dims);
+        fft3(&mut work);
+        for (z, &k) in work.as_mut_slice().iter_mut().zip(&self.kernel) {
+            *z = z.scale(k);
+        }
+        ifft3(&mut work);
+        let v = to_real(&work);
+        self.grid.inner(rho_ij, &v)
     }
 }
 
@@ -140,8 +318,9 @@ mod tests {
         let l = 7.0;
         let grid = RealGrid::cubic(Cell::cubic(l), 16);
         let gx = 2.0 * PI / l;
-        let rho: Vec<f64> =
-            (0..grid.len()).map(|i| (gx * grid.point_flat(i).x).cos()).collect();
+        let rho: Vec<f64> = (0..grid.len())
+            .map(|i| (gx * grid.point_flat(i).x).cos())
+            .collect();
         let solver = PoissonSolver::new(grid, CoulombKernel::Periodic);
         let v = solver.solve(&rho);
         let scale = 4.0 * PI / (gx * gx);
@@ -222,5 +401,62 @@ mod tests {
         let (e, v) = solver.exchange_pair(&rho);
         assert!(e >= 0.0);
         assert_eq!(v.len(), grid.len());
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let grid = RealGrid::new(Cell::orthorhombic(9.0, 11.0, 13.0), (12, 10, 15));
+        let solver = PoissonSolver::new(grid, CoulombKernel::Periodic);
+        let mut rng = liair_math::rng::SplitMix64::new(21);
+        let rho: Vec<f64> = (0..grid.len()).map(|_| rng.next_f64() - 0.5).collect();
+        let want = solver.solve(&rho);
+        let mut ws = PoissonWorkspace::new();
+        // Run twice through the same workspace: the second pass must be
+        // identical (buffers fully overwritten, no stale state).
+        for _ in 0..2 {
+            let got = solver.solve_into(&rho, &mut ws);
+            let err = got
+                .iter()
+                .zip(&want)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-10, "err {err}");
+        }
+    }
+
+    #[test]
+    fn energy_only_path_matches_solve_based_energy() {
+        for dims in [(16usize, 16usize, 16usize), (12, 10, 15)] {
+            let grid = RealGrid::new(Cell::orthorhombic(9.0, 10.0, 11.0), dims);
+            let solver = PoissonSolver::isolated(grid);
+            let mut rng = liair_math::rng::SplitMix64::new(33);
+            let rho: Vec<f64> = (0..grid.len()).map(|_| rng.next_f64() - 0.5).collect();
+            let (want, _) = solver.exchange_pair(&rho);
+            let mut ws = PoissonWorkspace::new();
+            let got = solver.exchange_pair_energy(&rho, &mut ws);
+            assert!(
+                approx_eq(got, want, 1e-10),
+                "dims {dims:?}: {got} vs {want}"
+            );
+            let reference = solver.exchange_pair_reference(&rho);
+            assert!(approx_eq(got, reference, 1e-10), "{got} vs c2c {reference}");
+        }
+    }
+
+    #[test]
+    fn batched_pair_energies_match_single() {
+        for dims in [(16usize, 16usize, 16usize), (12, 10, 15)] {
+            let grid = RealGrid::new(Cell::orthorhombic(8.0, 9.0, 10.0), dims);
+            let solver = PoissonSolver::isolated(grid);
+            let mut rng = liair_math::rng::SplitMix64::new(44);
+            let a: Vec<f64> = (0..grid.len()).map(|_| rng.next_f64() - 0.5).collect();
+            let b: Vec<f64> = (0..grid.len()).map(|_| rng.next_f64() - 0.5).collect();
+            let mut ws = PoissonWorkspace::new();
+            let ea = solver.exchange_pair_energy(&a, &mut ws);
+            let eb = solver.exchange_pair_energy(&b, &mut ws);
+            let (ga, gb) = solver.exchange_pair_energy_batched(&a, &b, &mut ws);
+            assert!(approx_eq(ga, ea, 1e-10), "dims {dims:?}: {ga} vs {ea}");
+            assert!(approx_eq(gb, eb, 1e-10), "dims {dims:?}: {gb} vs {eb}");
+        }
     }
 }

@@ -12,7 +12,7 @@
 //! scratch) and the contraction sums. Primitive quartets whose prefactor
 //! product is below `PRIM_SCREEN` are skipped.
 
-use crate::hermite::{AuxScratch, ECoefs, hermite_aux_into};
+use crate::hermite::{hermite_aux_into, AuxScratch, ECoefs};
 use liair_basis::shell::{cart_components, ncart};
 use liair_basis::Basis;
 use liair_math::{Mat, Vec3};
@@ -98,7 +98,11 @@ impl<'a> EriEngine<'a> {
                 out
             })
             .collect();
-        Self { basis, coefs, pairs }
+        Self {
+            basis,
+            coefs,
+            pairs,
+        }
     }
 
     /// The underlying basis.
@@ -141,7 +145,14 @@ impl<'a> EriEngine<'a> {
                 }
                 let (p, q) = (bra.p, ket.p);
                 let alpha = p * q / (p + q);
-                hermite_aux_into(tdim, tdim, tdim, alpha, bra.big_p - ket.big_p, &mut scratch.aux);
+                hermite_aux_into(
+                    tdim,
+                    tdim,
+                    tdim,
+                    alpha,
+                    bra.big_p - ket.big_p,
+                    &mut scratch.aux,
+                );
                 let aux = &scratch.aux.cur;
                 let pref = 2.0 * PI.powf(2.5) / (p * q * (p + q).sqrt());
 
@@ -176,33 +187,26 @@ impl<'a> EriEngine<'a> {
                                                     continue;
                                                 }
                                                 for nu in 0..=(pc.1 + pd.1) {
-                                                    let euc =
-                                                        ket.ey.get(pc.1, pd.1, nu);
+                                                    let euc = ket.ey.get(pc.1, pd.1, nu);
                                                     if euc == 0.0 {
                                                         continue;
                                                     }
                                                     for ph in 0..=(pc.2 + pd.2) {
-                                                        let evc =
-                                                            ket.ez.get(pc.2, pd.2, ph);
+                                                        let evc = ket.ez.get(pc.2, pd.2, ph);
                                                         if evc == 0.0 {
                                                             continue;
                                                         }
-                                                        let sign =
-                                                            if (tau + nu + ph) % 2 == 0 {
-                                                                1.0
-                                                            } else {
-                                                                -1.0
-                                                            };
+                                                        let sign = if (tau + nu + ph) % 2 == 0 {
+                                                            1.0
+                                                        } else {
+                                                            -1.0
+                                                        };
                                                         val += ebra
                                                             * sign
                                                             * etc
                                                             * euc
                                                             * evc
-                                                            * aux[at(
-                                                                t + tau,
-                                                                u + nu,
-                                                                v + ph,
-                                                            )];
+                                                            * aux[at(t + tau, u + nu, v + ph)];
                                                     }
                                                 }
                                             }
@@ -229,13 +233,7 @@ impl<'a> EriEngine<'a> {
 }
 
 /// One shell quartet through a throwaway engine (tests, small jobs).
-pub fn eri_shell_quartet(
-    basis: &Basis,
-    sa: usize,
-    sb: usize,
-    sc: usize,
-    sd: usize,
-) -> Vec<f64> {
+pub fn eri_shell_quartet(basis: &Basis, sa: usize, sb: usize, sc: usize, sd: usize) -> Vec<f64> {
     EriEngine::new(basis).shell_quartet(sa, sb, sc, sd)
 }
 
@@ -326,8 +324,7 @@ pub fn schwarz_matrix_with(engine: &EriEngine<'_>) -> Mat {
             (0..nsh)
                 .map(|sb| {
                     engine.shell_quartet_into(sa, sb, sa, sb, scratch, &mut block);
-                    let (na, nb) =
-                        (ncart(basis.shells[sa].l), ncart(basis.shells[sb].l));
+                    let (na, nb) = (ncart(basis.shells[sa].l), ncart(basis.shells[sb].l));
                     let mut best = 0.0f64;
                     for ca in 0..na {
                         for cb in 0..nb {
@@ -375,10 +372,26 @@ mod tests {
         let mol = systems::h2();
         let basis = Basis::sto3g(&mol);
         let eri = eri_tensor(&basis);
-        assert!(approx_eq(eri.get(0, 0, 0, 0), 0.7746, 3e-4), "(11|11)={}", eri.get(0, 0, 0, 0));
-        assert!(approx_eq(eri.get(0, 0, 1, 1), 0.5697, 3e-4), "(11|22)={}", eri.get(0, 0, 1, 1));
-        assert!(approx_eq(eri.get(0, 1, 0, 1), 0.2970, 3e-4), "(12|12)={}", eri.get(0, 1, 0, 1));
-        assert!(approx_eq(eri.get(0, 0, 0, 1), 0.4441, 3e-4), "(11|12)={}", eri.get(0, 0, 0, 1));
+        assert!(
+            approx_eq(eri.get(0, 0, 0, 0), 0.7746, 3e-4),
+            "(11|11)={}",
+            eri.get(0, 0, 0, 0)
+        );
+        assert!(
+            approx_eq(eri.get(0, 0, 1, 1), 0.5697, 3e-4),
+            "(11|22)={}",
+            eri.get(0, 0, 1, 1)
+        );
+        assert!(
+            approx_eq(eri.get(0, 1, 0, 1), 0.2970, 3e-4),
+            "(12|12)={}",
+            eri.get(0, 1, 0, 1)
+        );
+        assert!(
+            approx_eq(eri.get(0, 0, 0, 1), 0.4441, 3e-4),
+            "(11|12)={}",
+            eri.get(0, 0, 0, 1)
+        );
     }
 
     #[test]
@@ -432,10 +445,7 @@ mod tests {
                         let block = engine.shell_quartet(sa, sb, sc, sd);
                         let max = block.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
                         let bound = q[(sa, sb)] * q[(sc, sd)];
-                        assert!(
-                            max <= bound + 1e-9,
-                            "({sa}{sb}|{sc}{sd}): {max} > {bound}"
-                        );
+                        assert!(max <= bound + 1e-9, "({sa}{sb}|{sc}{sd}): {max} > {bound}");
                     }
                 }
             }

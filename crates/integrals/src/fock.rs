@@ -50,12 +50,7 @@ pub fn build_jk_with(engine: &EriEngine<'_>, density: &Mat, screen: f64) -> (Mat
     build_jk_inner(engine, &q, density, screen)
 }
 
-fn build_jk_inner(
-    engine: &EriEngine<'_>,
-    q: &Mat,
-    density: &Mat,
-    screen: f64,
-) -> (Mat, Mat) {
+fn build_jk_inner(engine: &EriEngine<'_>, q: &Mat, density: &Mat, screen: f64) -> (Mat, Mat) {
     let basis = engine.basis();
     let n = basis.nao();
     assert_eq!(density.nrows(), n);
@@ -82,8 +77,7 @@ fn build_jk_inner(
                             }
                             engine.shell_quartet_into(sa, sb, sc, sd, scratch, block);
                             scatter_block(
-                                basis, density, &mut jloc, &mut kloc, block, sa, sb,
-                                sc, sd,
+                                basis, density, &mut jloc, &mut kloc, block, sa, sb, sc, sd,
                             );
                         }
                     }
@@ -165,8 +159,7 @@ fn scatter_block(
                         (kk, ll, jj, i),
                         (ll, kk, jj, i),
                     ];
-                    let mut seen: [(usize, usize, usize, usize); 8] =
-                        [(usize::MAX, 0, 0, 0); 8];
+                    let mut seen: [(usize, usize, usize, usize); 8] = [(usize::MAX, 0, 0, 0); 8];
                     let mut nseen = 0;
                     for tup in candidates {
                         if seen[..nseen].contains(&tup) {
@@ -234,8 +227,16 @@ mod tests {
         let d = test_density(basis.nao(), 5);
         let (j, k) = build_jk(&basis, &d, 0.0);
         let (jr, kr) = jk_reference(&basis, &d);
-        assert!(j.sub(&jr).fro_norm() < 1e-10, "J err {}", j.sub(&jr).fro_norm());
-        assert!(k.sub(&kr).fro_norm() < 1e-10, "K err {}", k.sub(&kr).fro_norm());
+        assert!(
+            j.sub(&jr).fro_norm() < 1e-10,
+            "J err {}",
+            j.sub(&jr).fro_norm()
+        );
+        assert!(
+            k.sub(&kr).fro_norm() < 1e-10,
+            "K err {}",
+            k.sub(&kr).fro_norm()
+        );
     }
 
     #[test]
@@ -247,8 +248,16 @@ mod tests {
         let d = test_density(basis.nao(), 17);
         let (j, k) = build_jk(&basis, &d, 0.0);
         let (jr, kr) = jk_reference(&basis, &d);
-        assert!(j.sub(&jr).fro_norm() < 1e-9, "J err {}", j.sub(&jr).fro_norm());
-        assert!(k.sub(&kr).fro_norm() < 1e-9, "K err {}", k.sub(&kr).fro_norm());
+        assert!(
+            j.sub(&jr).fro_norm() < 1e-9,
+            "J err {}",
+            j.sub(&jr).fro_norm()
+        );
+        assert!(
+            k.sub(&kr).fro_norm() < 1e-9,
+            "K err {}",
+            k.sub(&kr).fro_norm()
+        );
     }
 
     #[test]
@@ -277,7 +286,7 @@ mod tests {
         let mol = systems::h2();
         let basis = Basis::sto3g(&mol);
         let n = basis.nao();
-        let c = vec![0.5, 0.5];
+        let c = [0.5, 0.5];
         let mut d = Mat::zeros(n, n);
         for i in 0..n {
             for j in 0..n {

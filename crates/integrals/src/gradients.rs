@@ -59,8 +59,7 @@ fn kinetic_prim(pa: Powers, pb: Powers, a: f64, b: f64, ra: Vec3, rb: Vec3) -> f
     let sx = s1(pa.0, pb.0 as i64, &ex);
     let sy = s1(pa.1, pb.1 as i64, &ey);
     let sz = s1(pa.2, pb.2 as i64, &ez);
-    t1(pa.0, pb.0, &ex) * sy * sz + sx * t1(pa.1, pb.1, &ey) * sz
-        + sx * sy * t1(pa.2, pb.2, &ez)
+    t1(pa.0, pb.0, &ex) * sy * sz + sx * t1(pa.1, pb.1, &ey) * sz + sx * sy * t1(pa.2, pb.2, &ez)
 }
 
 /// Unnormalized primitive nuclear attraction for a unit charge at `rc`
@@ -138,7 +137,11 @@ fn eri_prim(
     let ey_cd = ECoefs::new(pc.1, pd.1, rc.y - rd.y, c, d);
     let ez_cd = ECoefs::new(pc.2, pd.2, rc.z - rd.z, c, d);
     let alpha = p * q / (p + q);
-    let (tm, um, vm) = (pa.0 + pb.0 + pc.0 + pd.0, pa.1 + pb.1 + pc.1 + pd.1, pa.2 + pb.2 + pc.2 + pd.2);
+    let (tm, um, vm) = (
+        pa.0 + pb.0 + pc.0 + pd.0,
+        pa.1 + pb.1 + pc.1 + pd.1,
+        pa.2 + pb.2 + pc.2 + pd.2,
+    );
     let aux = hermite_aux(tm, um, vm, alpha, big_p - big_q);
     let at = |t: usize, u: usize, v: usize| (t * (um + 1) + u) * (vm + 1) + v;
     let mut val = 0.0;
@@ -172,9 +175,14 @@ fn eri_prim(
                             if f3 == 0.0 {
                                 continue;
                             }
-                            let sign =
-                                if (tau + nu + ph) % 2 == 0 { 1.0 } else { -1.0 };
-                            val += e1 * e2 * e3 * sign * f1 * f2 * f3
+                            let sign = if (tau + nu + ph) % 2 == 0 { 1.0 } else { -1.0 };
+                            val += e1
+                                * e2
+                                * e3
+                                * sign
+                                * f1
+                                * f2
+                                * f3
                                 * aux[at(t + tau, u + nu, v + ph)];
                         }
                     }
@@ -242,7 +250,12 @@ fn ao_table(basis: &Basis) -> Vec<AoData> {
                 atom: sh.atom,
                 center: sh.center,
                 powers,
-                prims: sh.prims.iter().zip(coefs).map(|(p, c)| (p.exp, c)).collect(),
+                prims: sh
+                    .prims
+                    .iter()
+                    .zip(coefs)
+                    .map(|(p, c)| (p.exp, c))
+                    .collect(),
             });
         }
     }
@@ -338,8 +351,8 @@ pub fn rhf_gradient(
                                 let mut acc = 0.0;
                                 for &(z, rc) in &nuclei {
                                     acc -= z * nuclear_prim(
-                                        pw, anu.powers, alpha, beta, amu.center,
-                                        anu.center, rc, None,
+                                        pw, anu.powers, alpha, beta, amu.center, anu.center, rc,
+                                        None,
                                     );
                                 }
                                 cb * acc
@@ -376,10 +389,18 @@ pub fn rhf_gradient(
                         for &(alpha, ca) in &amu.prims {
                             for &(beta, cb) in &anu.prims {
                                 // ∂R/∂C = −R_{+1}; the −Z flips once more.
-                                dv_dc += ca * cb * z
+                                dv_dc += ca
+                                    * cb
+                                    * z
                                     * nuclear_prim(
-                                        amu.powers, anu.powers, alpha, beta,
-                                        amu.center, anu.center, rc, Some(axis),
+                                        amu.powers,
+                                        anu.powers,
+                                        alpha,
+                                        beta,
+                                        amu.center,
+                                        anu.center,
+                                        rc,
+                                        Some(axis),
                                     );
                             }
                         }
@@ -420,46 +441,22 @@ pub fn rhf_gradient(
                             continue;
                         }
                         // Skip all-same-atom quartets (zero by invariance).
-                        if amu.atom == anu.atom
-                            && anu.atom == alam.atom
-                            && alam.atom == asig.atom
-                        {
+                        if amu.atom == anu.atom && anu.atom == alam.atom && alam.atom == asig.atom {
                             continue;
                         }
                         for axis in 0..3 {
                             // d/dA (bra-1 center).
-                            let da = bra_derivative(
-                                amu.powers,
-                                axis,
-                                &amu.prims,
-                                |pw, alpha| {
-                                    contracted_eri_rest(
-                                        pw, alpha, amu.center, anu, alam, asig,
-                                    )
-                                },
-                            );
+                            let da = bra_derivative(amu.powers, axis, &amu.prims, |pw, alpha| {
+                                contracted_eri_rest(pw, alpha, amu.center, anu, alam, asig)
+                            });
                             // d/dB: swap roles of μ and ν.
-                            let db = bra_derivative(
-                                anu.powers,
-                                axis,
-                                &anu.prims,
-                                |pw, beta| {
-                                    contracted_eri_rest_b(
-                                        pw, beta, anu.center, amu, alam, asig,
-                                    )
-                                },
-                            );
+                            let db = bra_derivative(anu.powers, axis, &anu.prims, |pw, beta| {
+                                contracted_eri_rest_b(pw, beta, anu.center, amu, alam, asig)
+                            });
                             // d/dC: differentiate the ket-1 (λ) function.
-                            let dc = bra_derivative(
-                                alam.powers,
-                                axis,
-                                &alam.prims,
-                                |pw, gam| {
-                                    contracted_eri_rest_c(
-                                        pw, gam, alam.center, amu, anu, asig,
-                                    )
-                                },
-                            );
+                            let dc = bra_derivative(alam.powers, axis, &alam.prims, |pw, gam| {
+                                contracted_eri_rest_c(pw, gam, alam.center, amu, anu, asig)
+                            });
                             let dd = -(da + db + dc);
                             per_atom[amu.atom][axis] += gamma * da;
                             per_atom[anu.atom][axis] += gamma * db;
@@ -501,10 +498,22 @@ fn contracted_eri_rest(
     for &(b, cb) in &anu.prims {
         for &(cg, cc) in &alam.prims {
             for &(d, cd) in &asig.prims {
-                acc += cb * cc * cd
+                acc += cb
+                    * cc
+                    * cd
                     * eri_prim(
-                        pw, anu.powers, alam.powers, asig.powers, alpha, b, cg, d, ra,
-                        anu.center, alam.center, asig.center,
+                        pw,
+                        anu.powers,
+                        alam.powers,
+                        asig.powers,
+                        alpha,
+                        b,
+                        cg,
+                        d,
+                        ra,
+                        anu.center,
+                        alam.center,
+                        asig.center,
                     );
             }
         }
@@ -524,10 +533,22 @@ fn contracted_eri_rest_b(
     for &(a, ca) in &amu.prims {
         for &(cg, cc) in &alam.prims {
             for &(d, cd) in &asig.prims {
-                acc += ca * cc * cd
+                acc += ca
+                    * cc
+                    * cd
                     * eri_prim(
-                        amu.powers, pw, alam.powers, asig.powers, a, beta, cg, d,
-                        amu.center, rb, alam.center, asig.center,
+                        amu.powers,
+                        pw,
+                        alam.powers,
+                        asig.powers,
+                        a,
+                        beta,
+                        cg,
+                        d,
+                        amu.center,
+                        rb,
+                        alam.center,
+                        asig.center,
                     );
             }
         }
@@ -547,10 +568,22 @@ fn contracted_eri_rest_c(
     for &(a, ca) in &amu.prims {
         for &(b, cb) in &anu.prims {
             for &(d, cd) in &asig.prims {
-                acc += ca * cb * cd
+                acc += ca
+                    * cb
+                    * cd
                     * eri_prim(
-                        amu.powers, anu.powers, pw, asig.powers, a, b, gam, d,
-                        amu.center, anu.center, rc, asig.center,
+                        amu.powers,
+                        anu.powers,
+                        pw,
+                        asig.powers,
+                        a,
+                        b,
+                        gam,
+                        d,
+                        amu.center,
+                        anu.center,
+                        rc,
+                        asig.center,
                     );
             }
         }
@@ -582,8 +615,7 @@ mod tests {
             rp[axis] += h;
             let mut rm = ra;
             rm[axis] -= h;
-            let fd = (overlap_prim(pa, pb, a, b, rp, rb)
-                - overlap_prim(pa, pb, a, b, rm, rb))
+            let fd = (overlap_prim(pa, pb, a, b, rp, rb) - overlap_prim(pa, pb, a, b, rm, rb))
                 / (2.0 * h);
             assert!((dv - fd).abs() < 1e-7, "axis {axis}: {dv} vs {fd}");
         }
@@ -619,10 +651,7 @@ mod tests {
             rb,
         );
         let want = prim * n0 * n1 * n0 * n1;
-        assert!(
-            (engine_val - want).abs() < 1e-12,
-            "{engine_val} vs {want}"
-        );
+        assert!((engine_val - want).abs() < 1e-12, "{engine_val} vs {want}");
     }
 
     #[test]
@@ -714,8 +743,7 @@ mod tests {
             let mut f = h.clone();
             f.axpy(1.0, &j);
             f.axpy(-0.5, &k);
-            let e = density.trace_product(&h)
-                + 0.5 * density.trace_product(&j)
+            let e = density.trace_product(&h) + 0.5 * density.trace_product(&j)
                 - 0.25 * density.trace_product(&k)
                 + mol.nuclear_repulsion();
             let (eps, c) = orbitals(&f);

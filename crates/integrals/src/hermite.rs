@@ -6,7 +6,6 @@
 //!   `R_{tuv}(p, P−C)` built from the Boys function by the standard
 //!   downward-in-`n` recursion.
 
-
 use liair_math::Vec3;
 
 /// Hermite expansion coefficients for a primitive pair along one axis.
@@ -235,7 +234,8 @@ mod tests {
         let r = hermite_aux(1, 0, 0, p, pc);
         let f = boys(1, p * pc.norm_sqr());
         let want = pc.x * (-2.0 * p) * f[1];
-        let idx = |t: usize, u: usize, v: usize| (t * 1 + u) * 1 + v;
+        // Dims (2,1,1): flat index (t·1 + u)·1 + v collapses to t + u + v.
+        let idx = |t: usize, u: usize, v: usize| t + u + v;
         assert!(approx_eq(r[idx(1, 0, 0)], want, 1e-13));
     }
 

@@ -21,8 +21,8 @@
 #![allow(clippy::needless_range_loop)] // index loops are the clearer idiom in this numeric code
 
 pub mod eri;
-pub mod gradients;
 pub mod fock;
+pub mod gradients;
 pub mod hermite;
 pub mod one_electron;
 
@@ -35,4 +35,6 @@ pub(crate) fn boys_into_shim(out: &mut [f64], x: f64) {
 pub use eri::{eri_shell_quartet, eri_tensor, schwarz_matrix, EriTensor};
 pub use fock::{build_jk, JkBuilder};
 pub use gradients::rhf_gradient;
-pub use one_electron::{dipole_matrices, kinetic_matrix, nuclear_matrix, overlap_matrix, second_moment_matrices};
+pub use one_electron::{
+    dipole_matrices, kinetic_matrix, nuclear_matrix, overlap_matrix, second_moment_matrices,
+};

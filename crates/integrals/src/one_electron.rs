@@ -54,8 +54,7 @@ where
                     for (ia, prim_a) in sa.prims.iter().enumerate() {
                         for (ib, prim_b) in sb.prims.iter().enumerate() {
                             let c = coefs[si][ca][ia] * coefs[sj][cb][ib];
-                            acc += c
-                                * kernel(pa, pb, prim_a.exp, prim_b.exp, sa.center, sb.center);
+                            acc += c * kernel(pa, pb, prim_a.exp, prim_b.exp, sa.center, sb.center);
                         }
                     }
                     m[(row, col)] = acc;
@@ -92,16 +91,13 @@ pub fn kinetic_matrix(basis: &Basis) -> Mat {
         let ex = ECoefs::new(pa.0, pb.0 + 2, ra.x - rb.x, a, b);
         let ey = ECoefs::new(pa.1, pb.1 + 2, ra.y - rb.y, a, b);
         let ez = ECoefs::new(pa.2, pb.2 + 2, ra.z - rb.z, a, b);
-        let s = [
-            |i: usize, j: i64, e: &ECoefs| -> f64 {
-                if j < 0 {
-                    0.0
-                } else {
-                    e.get(i, j as usize, 0)
-                }
-            };
-            1
-        ][0];
+        let s = [|i: usize, j: i64, e: &ECoefs| -> f64 {
+            if j < 0 {
+                0.0
+            } else {
+                e.get(i, j as usize, 0)
+            }
+        }; 1][0];
         let sqrt_pi_p = (PI / p).sqrt();
         // 1-D kinetic factor acting on the ket:
         // T(i,j) = −2b²S(i,j+2) + b(2j+1)S(i,j) − ½ j(j−1) S(i,j−2).
@@ -227,7 +223,11 @@ mod tests {
         let basis = Basis::sto3g(&mol);
         let s = overlap_matrix(&basis);
         for i in 0..basis.nao() {
-            assert!(approx_eq(s[(i, i)], 1.0, 1e-10), "S[{i}][{i}] = {}", s[(i, i)]);
+            assert!(
+                approx_eq(s[(i, i)], 1.0, 1e-10),
+                "S[{i}][{i}] = {}",
+                s[(i, i)]
+            );
         }
         assert!(s.asymmetry() < 1e-14);
     }
@@ -304,7 +304,15 @@ mod tests {
         use liair_basis::shell::{Primitive, Shell};
         let alpha = 0.8;
         let center = Vec3::new(0.2, -0.4, 1.0);
-        let sh = Shell::new(0, 0, center, vec![Primitive { exp: alpha, coef: 1.0 }]);
+        let sh = Shell::new(
+            0,
+            0,
+            center,
+            vec![Primitive {
+                exp: alpha,
+                coef: 1.0,
+            }],
+        );
         let basis = Basis::from_shells(vec![sh]);
         let q = second_moment_matrices(&basis, center);
         for k in 0..3 {

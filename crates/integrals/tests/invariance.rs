@@ -1,9 +1,7 @@
 //! Physical invariance properties of the integral engine.
 
 use liair_basis::{systems, Basis, Element, Molecule};
-use liair_integrals::{
-    eri_tensor, kinetic_matrix, nuclear_matrix, overlap_matrix,
-};
+use liair_integrals::{eri_tensor, kinetic_matrix, nuclear_matrix, overlap_matrix};
 use liair_math::Vec3;
 use proptest::prelude::*;
 
@@ -136,8 +134,7 @@ fn scf_energy_rotation_invariant() {
             let mut f = h.clone();
             f.axpy(1.0, &j);
             f.axpy(-0.5, &k);
-            let e_new = density.trace_product(&h)
-                + 0.5 * density.trace_product(&j)
+            let e_new = density.trace_product(&h) + 0.5 * density.trace_product(&j)
                 - 0.25 * density.trace_product(&k)
                 + mol.nuclear_repulsion();
             let fp = x.transpose().matmul(&f).matmul(&x);

@@ -15,7 +15,10 @@ impl<T: Clone + Default> Array3<T> {
     /// A new array of the given dimensions, default-filled.
     pub fn zeros(dims: (usize, usize, usize)) -> Self {
         let n = dims.0 * dims.1 * dims.2;
-        Self { dims, data: vec![T::default(); n] }
+        Self {
+            dims,
+            data: vec![T::default(); n],
+        }
     }
 }
 

@@ -45,7 +45,10 @@ impl Complex64 {
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Self { re: self.re, im: -self.im }
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared modulus `|z|²`.
@@ -63,7 +66,10 @@ impl Complex64 {
     /// Scale by a real factor.
     #[inline]
     pub fn scale(self, s: f64) -> Self {
-        Self { re: self.re * s, im: self.im * s }
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 }
 
@@ -87,7 +93,10 @@ impl Mul for Complex64 {
     type Output = Self;
     #[inline]
     fn mul(self, o: Self) -> Self {
-        Self::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+        Self::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
     }
 }
 

@@ -1,118 +1,33 @@
-//! 1-D complex FFTs.
+//! 1-D complex FFTs (convenience entry points).
 //!
-//! * Power-of-two lengths use an iterative radix-2 Cooley–Tukey transform
-//!   with a precomputed twiddle table.
-//! * Every other length falls back to Bluestein's chirp-z algorithm (which
-//!   reduces an arbitrary-length DFT to a power-of-two cyclic convolution),
-//!   so any grid size is supported, at roughly 4× the cost.
+//! These free functions delegate to the process-wide plan cache in
+//! [`crate::plan`]: the first transform of a given length builds twiddle
+//! tables, the bit-reversal permutation, and (for non-power-of-two lengths)
+//! the Bluestein chirp plus its precomputed forward spectrum; every later
+//! call reuses them. Hot loops that transform many same-length lines should
+//! fetch the plan once with [`crate::plan::plan`] and call it directly to
+//! skip the per-call cache lookup.
 //!
 //! Convention: [`fft`] is unnormalized, [`ifft`] applies the `1/n` factor,
 //! so `ifft(fft(x)) == x`.
 
 use crate::complex::Complex64;
+use crate::plan::plan;
 
 /// In-place forward DFT: `X_k = Σ_j x_j e^{-2πijk/n}`.
 pub fn fft(data: &mut [Complex64]) {
-    transform(data, false);
+    if data.len() <= 1 {
+        return;
+    }
+    plan(data.len()).fft(data);
 }
 
 /// In-place inverse DFT with `1/n` normalization.
 pub fn ifft(data: &mut [Complex64]) {
-    transform(data, true);
-    let inv_n = 1.0 / data.len() as f64;
-    for z in data.iter_mut() {
-        *z = z.scale(inv_n);
-    }
-}
-
-/// Dispatch on length; `inverse` selects the exponent sign (no scaling).
-fn transform(data: &mut [Complex64], inverse: bool) {
-    let n = data.len();
-    if n <= 1 {
+    if data.len() <= 1 {
         return;
     }
-    if n.is_power_of_two() {
-        fft_pow2(data, inverse);
-    } else {
-        fft_bluestein(data, inverse);
-    }
-}
-
-/// Precompute `w_k = e^{sign·2πik/n}` for `k < n/2`.
-fn twiddles(n: usize, inverse: bool) -> Vec<Complex64> {
-    let sign = if inverse { 1.0 } else { -1.0 };
-    let step = sign * 2.0 * std::f64::consts::PI / n as f64;
-    (0..n / 2).map(|k| Complex64::cis(step * k as f64)).collect()
-}
-
-/// Iterative radix-2 Cooley–Tukey (n must be a power of two).
-fn fft_pow2(data: &mut [Complex64], inverse: bool) {
-    let n = data.len();
-    debug_assert!(n.is_power_of_two());
-    // Bit-reversal permutation.
-    let shift = usize::BITS - n.trailing_zeros();
-    for i in 0..n {
-        let j = i.reverse_bits() >> shift;
-        if j > i {
-            data.swap(i, j);
-        }
-    }
-    let tw = twiddles(n, inverse);
-    let mut len = 2;
-    while len <= n {
-        let half = len / 2;
-        let step = n / len;
-        for block in data.chunks_exact_mut(len) {
-            let (lo, hi) = block.split_at_mut(half);
-            for j in 0..half {
-                let w = tw[j * step];
-                let u = lo[j];
-                let v = hi[j] * w;
-                lo[j] = u + v;
-                hi[j] = u - v;
-            }
-        }
-        len *= 2;
-    }
-}
-
-/// Bluestein chirp-z transform for arbitrary n.
-///
-/// `X_k = conj(b_k) · (a ⊛ b)_k` with `a_j = x_j · conj(b_j)` and the chirp
-/// `b_j = e^{sign·iπ j²/n}`; the cyclic convolution runs at the next
-/// power-of-two length `m ≥ 2n−1`.
-fn fft_bluestein(data: &mut [Complex64], inverse: bool) {
-    let n = data.len();
-    let sign = if inverse { 1.0 } else { -1.0 };
-    // Chirp with the quadratic phase reduced mod 2n to preserve precision for
-    // large indices.
-    let chirp: Vec<Complex64> = (0..n)
-        .map(|j| {
-            let jsq = (j as u128 * j as u128 % (2 * n as u128)) as f64;
-            Complex64::cis(sign * std::f64::consts::PI * jsq / n as f64)
-        })
-        .collect();
-
-    let m = (2 * n - 1).next_power_of_two();
-    let mut a = vec![Complex64::ZERO; m];
-    let mut b = vec![Complex64::ZERO; m];
-    for j in 0..n {
-        a[j] = data[j] * chirp[j];
-        b[j] = chirp[j].conj();
-    }
-    for j in 1..n {
-        b[m - j] = chirp[j].conj();
-    }
-    fft_pow2(&mut a, false);
-    fft_pow2(&mut b, false);
-    for (x, y) in a.iter_mut().zip(&b) {
-        *x *= *y;
-    }
-    fft_pow2(&mut a, true);
-    let inv_m = 1.0 / m as f64;
-    for k in 0..n {
-        data[k] = a[k].scale(inv_m) * chirp[k];
-    }
+    plan(data.len()).ifft(data);
 }
 
 /// Out-of-place naive DFT — O(n²), used as the oracle in tests and for tiny
@@ -145,7 +60,10 @@ mod tests {
     }
 
     fn max_err(a: &[Complex64], b: &[Complex64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]

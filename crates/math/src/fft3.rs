@@ -11,11 +11,24 @@
 //!
 //! This mirrors the node-local threaded FFT the paper runs with 64 hardware
 //! threads per BG/Q node; here the threading is rayon.
+//!
+//! Plans are fetched **once per axis** from the process-wide cache (the
+//! seed rebuilt twiddle tables inside every 1-D line transform), and the
+//! serial variants [`fft3_serial`] / [`ifft3_serial`] additionally perform
+//! zero heap allocations in steady state — they are the building block for
+//! the per-pair exchange hot loop, where each rayon task owns one whole
+//! 3-D transform and must not allocate or nest parallelism.
 
 use crate::array3::Array3;
 use crate::complex::Complex64;
-use crate::fft::{fft, ifft};
+use crate::plan::{plan, FftPlan};
 use rayon::prelude::*;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Grow-only line scratch for strided (y/x-axis) serial transforms.
+    static LINE_SCRATCH: RefCell<Vec<Complex64>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Forward 3-D FFT, unnormalized.
 pub fn fft3(a: &mut Array3<Complex64>) {
@@ -27,30 +40,72 @@ pub fn ifft3(a: &mut Array3<Complex64>) {
     transform3(a, true);
 }
 
+/// Forward 3-D FFT on the calling thread only — no rayon, no steady-state
+/// heap allocation (scratch is thread-local and grow-only). Use inside
+/// parallel loops that already own one transform per task.
+pub fn fft3_serial(a: &mut Array3<Complex64>) {
+    let dims = a.dims();
+    transform3_serial(a.as_mut_slice(), dims, false);
+}
+
+/// Serial inverse 3-D FFT with `1/(nx·ny·nz)` normalization; see
+/// [`fft3_serial`].
+pub fn ifft3_serial(a: &mut Array3<Complex64>) {
+    let dims = a.dims();
+    transform3_serial(a.as_mut_slice(), dims, true);
+}
+
+/// [`fft3_serial`] over a bare slice in `Array3` layout (z contiguous),
+/// for callers that keep reusable flat workspaces.
+pub fn fft3_serial_slice(data: &mut [Complex64], dims: (usize, usize, usize)) {
+    transform3_serial(data, dims, false);
+}
+
+/// [`ifft3_serial`] over a bare slice in `Array3` layout.
+pub fn ifft3_serial_slice(data: &mut [Complex64], dims: (usize, usize, usize)) {
+    transform3_serial(data, dims, true);
+}
+
+#[inline]
+fn line_transform(p: &FftPlan, inverse: bool, row: &mut [Complex64]) {
+    if inverse {
+        p.ifft(row);
+    } else {
+        p.fft(row);
+    }
+}
+
 fn transform3(a: &mut Array3<Complex64>, inverse: bool) {
     let (nx, ny, nz) = a.dims();
-    let line = if inverse { ifft } else { fft };
+    // One cache lookup per axis, not one per line.
+    let (px, py, pz) = (plan(nx), plan(ny), plan(nz));
 
     // --- z axis: contiguous rows ---
-    a.as_mut_slice().par_chunks_mut(nz).for_each(line);
+    {
+        let pz = &pz;
+        a.as_mut_slice()
+            .par_chunks_mut(nz)
+            .for_each(|row| line_transform(pz, inverse, row));
+    }
 
     // --- y axis: per-x slab, strided by nz ---
-    a.as_mut_slice()
-        .par_chunks_mut(ny * nz)
-        .for_each_init(
+    {
+        let py = &py;
+        a.as_mut_slice().par_chunks_mut(ny * nz).for_each_init(
             || vec![Complex64::ZERO; ny],
             |scratch, slab| {
                 for iz in 0..nz {
                     for iy in 0..ny {
                         scratch[iy] = slab[iy * nz + iz];
                     }
-                    line(scratch);
+                    line_transform(py, inverse, scratch);
                     for iy in 0..ny {
                         slab[iy * nz + iz] = scratch[iy];
                     }
                 }
             },
         );
+    }
 
     // --- x axis: transpose to (ny·nz) × nx, transform rows, transpose back ---
     if nx > 1 {
@@ -64,18 +119,76 @@ fn transform3(a: &mut Array3<Complex64>, inverse: bool) {
                 }
             });
         }
-        t.par_chunks_mut(nx).for_each(line);
+        {
+            let px = &px;
+            t.par_chunks_mut(nx)
+                .for_each(|row| line_transform(px, inverse, row));
+        }
         {
             let dst = a.as_mut_slice();
             // Scatter back: parallelize over x-slabs of the destination so
             // each task writes a disjoint chunk.
-            dst.par_chunks_mut(plane).enumerate().for_each(|(ix, slab)| {
-                for (p, v) in slab.iter_mut().enumerate() {
-                    *v = t[p * nx + ix];
-                }
-            });
+            dst.par_chunks_mut(plane)
+                .enumerate()
+                .for_each(|(ix, slab)| {
+                    for (p, v) in slab.iter_mut().enumerate() {
+                        *v = t[p * nx + ix];
+                    }
+                });
         }
     }
+}
+
+/// Single-thread axis-by-axis transform. Strided axes go through one
+/// thread-local gather/scatter line instead of a full transpose buffer, so
+/// the only memory touched beyond the array itself is `max(nx, ny)`
+/// complex numbers of reusable scratch.
+fn transform3_serial(data: &mut [Complex64], dims: (usize, usize, usize), inverse: bool) {
+    let (nx, ny, nz) = dims;
+    assert_eq!(data.len(), nx * ny * nz, "slice does not match dims");
+    let (px, py, pz) = (plan(nx), plan(ny), plan(nz));
+
+    // --- z axis: contiguous rows ---
+    for row in data.chunks_exact_mut(nz) {
+        line_transform(&pz, inverse, row);
+    }
+
+    LINE_SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        let need = nx.max(ny);
+        if buf.len() < need {
+            buf.resize(need, Complex64::ZERO);
+        }
+
+        // --- y axis: per-x slab, strided by nz ---
+        let line = &mut buf[..ny];
+        for slab in data.chunks_exact_mut(ny * nz) {
+            for iz in 0..nz {
+                for iy in 0..ny {
+                    line[iy] = slab[iy * nz + iz];
+                }
+                line_transform(&py, inverse, line);
+                for iy in 0..ny {
+                    slab[iy * nz + iz] = line[iy];
+                }
+            }
+        }
+
+        // --- x axis: strided by ny·nz ---
+        if nx > 1 {
+            let plane = ny * nz;
+            let line = &mut buf[..nx];
+            for p in 0..plane {
+                for ix in 0..nx {
+                    line[ix] = data[ix * plane + p];
+                }
+                line_transform(&px, inverse, line);
+                for ix in 0..nx {
+                    data[ix * plane + p] = line[ix];
+                }
+            }
+        }
+    });
 }
 
 /// Convert a real field into a complex work array.
@@ -156,6 +269,33 @@ mod tests {
                 .map(|(x, y)| (*x - *y).abs())
                 .fold(0.0, f64::max);
             assert!(err < 1e-9, "dims {dims:?}: err {err}");
+        }
+    }
+
+    #[test]
+    fn serial_matches_parallel() {
+        for dims in [(4, 4, 4), (2, 3, 5), (8, 4, 2), (6, 10, 15)] {
+            let a = random_grid(dims, 29);
+            let mut par = a.clone();
+            let mut ser = a.clone();
+            fft3(&mut par);
+            fft3_serial(&mut ser);
+            let err = par
+                .as_slice()
+                .iter()
+                .zip(ser.as_slice())
+                .map(|(x, y)| (*x - *y).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-10, "dims {dims:?}: fwd err {err}");
+            ifft3(&mut par);
+            ifft3_serial(&mut ser);
+            let err = par
+                .as_slice()
+                .iter()
+                .zip(ser.as_slice())
+                .map(|(x, y)| (*x - *y).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-10, "dims {dims:?}: inv err {err}");
         }
     }
 

@@ -5,7 +5,10 @@
 //! * [`Complex64`] — a minimal complex number type (no external dependency).
 //! * [`fft`] — 1-D complex FFTs (iterative radix-2 plus a Bluestein fallback
 //!   for arbitrary lengths) and [`fft3`] — threaded 3-D transforms used by the
-//!   pair-Poisson exact-exchange kernel.
+//!   pair-Poisson exact-exchange kernel. [`plan`] holds the process-wide
+//!   FFT plan cache (twiddles, bit-reversal, Bluestein chirp spectra) and
+//!   [`rfft`] the real-input r2c/c2r fast path storing only the Hermitian
+//!   half-spectrum.
 //! * [`linalg`] — dense real linear algebra: symmetric Jacobi eigensolver,
 //!   LU solves, and matrix products sized for quantum-chemistry workloads.
 //! * [`special`] — the Boys function (the workhorse of Gaussian integral
@@ -26,7 +29,9 @@ pub mod complex;
 pub mod fft;
 pub mod fft3;
 pub mod linalg;
+pub mod plan;
 pub mod quadrature;
+pub mod rfft;
 pub mod rng;
 pub mod special;
 pub mod stats;

@@ -25,7 +25,11 @@ const PAR_CUTOFF: usize = 64 * 64;
 impl Mat {
     /// Zero matrix.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        Self { nrows, ncols, data: vec![0.0; nrows * ncols] }
+        Self {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
     }
 
     /// Identity matrix.
@@ -44,11 +48,7 @@ impl Mat {
     }
 
     /// Build from a closure over `(row, col)`.
-    pub fn from_fn<F: FnMut(usize, usize) -> f64>(
-        nrows: usize,
-        ncols: usize,
-        mut f: F,
-    ) -> Self {
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(nrows: usize, ncols: usize, mut f: F) -> Self {
         let mut m = Self::zeros(nrows, ncols);
         for i in 0..nrows {
             for j in 0..ncols {
@@ -135,14 +135,24 @@ impl Mat {
     /// `self + other`.
     pub fn add(&self, other: &Mat) -> Mat {
         assert_eq!((self.nrows, self.ncols), (other.nrows, other.ncols));
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
         Mat::from_vec(self.nrows, self.ncols, data)
     }
 
     /// `self - other`.
     pub fn sub(&self, other: &Mat) -> Mat {
         assert_eq!((self.nrows, self.ncols), (other.nrows, other.ncols));
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
         Mat::from_vec(self.nrows, self.ncols, data)
     }
 
@@ -419,7 +429,11 @@ mod tests {
             lam[(i, i)] = vals[i];
         }
         let rec = vecs.matmul(&lam).matmul(&vecs.transpose());
-        assert!(rec.sub(&a).fro_norm() < 1e-10, "err {}", rec.sub(&a).fro_norm());
+        assert!(
+            rec.sub(&a).fro_norm() < 1e-10,
+            "err {}",
+            rec.sub(&a).fro_norm()
+        );
         // Eigenvalues ascending.
         for k in 1..vals.len() {
             assert!(vals[k] >= vals[k - 1]);

@@ -21,8 +21,7 @@ pub fn gauss_legendre(n: usize) -> (Vec<f64>, Vec<f64>) {
             let mut p0 = 1.0;
             let mut p1 = x;
             for k in 2..=n {
-                let p2 = ((2 * k - 1) as f64 * x * p1 - (k - 1) as f64 * p0)
-                    / k as f64;
+                let p2 = ((2 * k - 1) as f64 * x * p1 - (k - 1) as f64 * p0) / k as f64;
                 p0 = p1;
                 p1 = p2;
             }

@@ -1,0 +1,531 @@
+//! Real-input FFTs (r2c / c2r), 1-D and 3-D.
+//!
+//! The pair densities in the exchange kernel are real fields, so their
+//! spectra are Hermitian: `X(-k) = conj(X(k))`. Storing only the
+//! non-redundant half — `nz/2 + 1` bins along the contiguous `z` axis —
+//! halves both the transform work on that axis and the memory traffic of
+//! every later axis, which together buy roughly a 2× speedup of a full
+//! pair-Poisson solve versus the complex-to-complex path.
+//!
+//! * Even lengths use the classic pack-and-untangle trick: the `n` reals
+//!   are packed as `z_j = x_{2j} + i·x_{2j+1}`, one `n/2`-point complex FFT
+//!   runs, and the even/odd sub-spectra are untangled with a twiddle.
+//! * Odd lengths fall back through the complex plan and keep the first
+//!   `n/2 + 1` bins (the c2r side reconstructs the rest by symmetry), so
+//!   every grid size remains supported.
+//!
+//! Conventions match [`crate::fft`]: the forward transform is
+//! unnormalized — bin `(ix, iy, iz)` of [`rfft3`] equals bin `(ix, iy, iz)`
+//! of [`crate::fft3::fft3`] for `iz < nz/2 + 1` — and the inverse is exact
+//! (`irfft3(rfft3(x)) == x`).
+//!
+//! All plans live in a process-wide cache; the `*_into` variants perform
+//! zero steady-state heap allocations (scratch is thread-local,
+//! grow-only), which is what the per-pair exchange hot loop requires.
+
+use crate::array3::Array3;
+use crate::complex::Complex64;
+use crate::plan::{plan, FftPlan};
+use rayon::prelude::*;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+thread_local! {
+    /// Grow-only pack/untangle scratch for 1-D r2c/c2r rows.
+    static PACK_SCRATCH: RefCell<Vec<Complex64>> = const { RefCell::new(Vec::new()) };
+    /// Grow-only strided-line scratch for the y/x axes of the 3-D variants.
+    static AXIS_SCRATCH: RefCell<Vec<Complex64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A planned 1-D real transform of fixed length.
+#[derive(Debug)]
+pub struct RealFftPlan {
+    n: usize,
+    /// `n/2` — the packed sub-transform length (even `n`) and the index of
+    /// the Nyquist-or-last stored bin.
+    h: usize,
+    even: bool,
+    /// Untangle twiddles `e^{-2πik/n}` for `k ≤ n/2` (even lengths only).
+    w: Vec<Complex64>,
+    /// Complex sub-plan: length `n/2` when even, length `n` when odd.
+    sub: Arc<FftPlan>,
+}
+
+impl RealFftPlan {
+    fn build(n: usize) -> RealFftPlan {
+        assert!(n >= 1, "real FFT length must be positive");
+        let even = n.is_multiple_of(2) && n >= 2;
+        let h = n / 2;
+        let sub = if even { plan(h.max(1)) } else { plan(n) };
+        let w = if even {
+            let step = -2.0 * std::f64::consts::PI / n as f64;
+            (0..=h).map(|k| Complex64::cis(step * k as f64)).collect()
+        } else {
+            Vec::new()
+        };
+        RealFftPlan { n, h, even, w, sub }
+    }
+
+    /// The real-signal length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for the degenerate length-1 plan.
+    pub fn is_empty(&self) -> bool {
+        self.n == 1
+    }
+
+    /// Number of stored spectrum bins: `n/2 + 1`.
+    pub fn half_len(&self) -> usize {
+        self.h + 1
+    }
+
+    /// Forward r2c: `out[k] = Σ_j x_j e^{-2πijk/n}` for `k ≤ n/2`
+    /// (unnormalized; identical to the first `n/2 + 1` bins of [`crate::fft::fft`]).
+    pub fn rfft(&self, input: &[f64], out: &mut [Complex64]) {
+        assert_eq!(input.len(), self.n, "input length does not match plan");
+        assert_eq!(out.len(), self.half_len(), "output must hold n/2 + 1 bins");
+        if self.n == 1 {
+            out[0] = Complex64::real(input[0]);
+            return;
+        }
+        PACK_SCRATCH.with(|cell| {
+            let mut buf = cell.borrow_mut();
+            let need = if self.even { self.h } else { self.n };
+            if buf.len() < need {
+                buf.resize(need, Complex64::ZERO);
+            }
+            let z = &mut buf[..need];
+            if self.even {
+                let h = self.h;
+                for (j, zj) in z.iter_mut().enumerate() {
+                    *zj = Complex64::new(input[2 * j], input[2 * j + 1]);
+                }
+                self.sub.fft(z);
+                // Untangle: E_k + W_k·O_k with Z_h ≡ Z_0 (periodicity).
+                for (k, ok) in out.iter_mut().enumerate() {
+                    let zk = z[k % h];
+                    let zc = z[(h - k) % h].conj();
+                    let e = (zk + zc).scale(0.5);
+                    let o = (zk - zc) * Complex64::new(0.0, -0.5);
+                    *ok = e + self.w[k] * o;
+                }
+            } else {
+                for (zj, &xj) in z.iter_mut().zip(input) {
+                    *zj = Complex64::real(xj);
+                }
+                self.sub.fft(z);
+                out.copy_from_slice(&z[..self.half_len()]);
+            }
+        });
+    }
+
+    /// Inverse c2r: exact inverse of [`Self::rfft`] (the `1/n` lives here).
+    /// Only the stored half-spectrum is read; the redundant half is implied
+    /// by Hermitian symmetry.
+    pub fn irfft(&self, spec: &[Complex64], out: &mut [f64]) {
+        assert_eq!(
+            spec.len(),
+            self.half_len(),
+            "spectrum must hold n/2 + 1 bins"
+        );
+        assert_eq!(out.len(), self.n, "output length does not match plan");
+        if self.n == 1 {
+            out[0] = spec[0].re;
+            return;
+        }
+        PACK_SCRATCH.with(|cell| {
+            let mut buf = cell.borrow_mut();
+            let need = if self.even { self.h } else { self.n };
+            if buf.len() < need {
+                buf.resize(need, Complex64::ZERO);
+            }
+            let z = &mut buf[..need];
+            if self.even {
+                let h = self.h;
+                for (k, zk) in z.iter_mut().enumerate() {
+                    let xk = spec[k];
+                    let xc = spec[h - k].conj();
+                    let e = (xk + xc).scale(0.5);
+                    let o = (xk - xc).scale(0.5) * self.w[k].conj();
+                    *zk = e + Complex64::I * o;
+                }
+                // The sub-plan's 1/h normalization is exactly the inverse of
+                // the packed forward transform — no extra scale.
+                self.sub.ifft(z);
+                for (j, zj) in z.iter().enumerate() {
+                    out[2 * j] = zj.re;
+                    out[2 * j + 1] = zj.im;
+                }
+            } else {
+                let n = self.n;
+                z[..spec.len()].copy_from_slice(spec);
+                for k in self.half_len()..n {
+                    z[k] = spec[n - k].conj();
+                }
+                self.sub.ifft(z);
+                for (o, zj) in out.iter_mut().zip(z.iter()) {
+                    *o = zj.re;
+                }
+            }
+        });
+    }
+}
+
+static REAL_PLAN_CACHE: OnceLock<Mutex<HashMap<usize, Arc<RealFftPlan>>>> = OnceLock::new();
+
+/// Fetch (or build and cache) the real-transform plan for length `n`.
+pub fn real_plan(n: usize) -> Arc<RealFftPlan> {
+    let cache = REAL_PLAN_CACHE.get_or_init(Default::default);
+    if let Some(p) = cache.lock().unwrap().get(&n) {
+        return Arc::clone(p);
+    }
+    let built = Arc::new(RealFftPlan::build(n));
+    Arc::clone(cache.lock().unwrap().entry(n).or_insert(built))
+}
+
+/// Dimensions of the stored half-spectrum for a real field of `dims`:
+/// `(nx, ny, nz/2 + 1)`, still `z`-contiguous.
+pub fn half_dims(dims: (usize, usize, usize)) -> (usize, usize, usize) {
+    (dims.0, dims.1, dims.2 / 2 + 1)
+}
+
+/// Number of complex bins in the stored half-spectrum.
+pub fn half_len(dims: (usize, usize, usize)) -> usize {
+    let (hx, hy, hz) = half_dims(dims);
+    hx * hy * hz
+}
+
+/// Forward 3-D r2c on the calling thread, writing the `(nx, ny, nz/2+1)`
+/// half-spectrum into `half`. Zero steady-state heap allocation.
+pub fn rfft3_into(real: &[f64], dims: (usize, usize, usize), half: &mut [Complex64]) {
+    let (nx, ny, nz) = dims;
+    let nzh = nz / 2 + 1;
+    assert_eq!(real.len(), nx * ny * nz, "real field does not match dims");
+    assert_eq!(half.len(), nx * ny * nzh, "half buffer does not match dims");
+
+    // z axis: r2c row by row.
+    let rp = real_plan(nz);
+    for (row_in, row_out) in real.chunks_exact(nz).zip(half.chunks_exact_mut(nzh)) {
+        rp.rfft(row_in, row_out);
+    }
+    // y and x axes: ordinary complex transforms over the half array.
+    complex_axes_serial(half, (nx, ny, nzh), false);
+}
+
+/// Inverse of [`rfft3_into`]: consumes (destroys) the half-spectrum and
+/// writes the recovered real field. Zero steady-state heap allocation.
+pub fn irfft3_into(half: &mut [Complex64], dims: (usize, usize, usize), real_out: &mut [f64]) {
+    let (nx, ny, nz) = dims;
+    let nzh = nz / 2 + 1;
+    assert_eq!(
+        real_out.len(),
+        nx * ny * nz,
+        "real field does not match dims"
+    );
+    assert_eq!(half.len(), nx * ny * nzh, "half buffer does not match dims");
+
+    complex_axes_serial(half, (nx, ny, nzh), true);
+    let rp = real_plan(nz);
+    for (row_in, row_out) in half.chunks_exact(nzh).zip(real_out.chunks_exact_mut(nz)) {
+        rp.irfft(row_in, row_out);
+    }
+}
+
+/// Complex transforms along the `y` then `x` axes of a `z`-contiguous
+/// array (serial, thread-local scratch). The `z` axis is untouched.
+fn complex_axes_serial(data: &mut [Complex64], dims: (usize, usize, usize), inverse: bool) {
+    let (nx, ny, nzc) = dims;
+    let (px, py) = (plan(nx), plan(ny));
+    AXIS_SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        let need = nx.max(ny);
+        if buf.len() < need {
+            buf.resize(need, Complex64::ZERO);
+        }
+        // y axis: per-x slab, strided by nzc.
+        let line = &mut buf[..ny];
+        for slab in data.chunks_exact_mut(ny * nzc) {
+            for iz in 0..nzc {
+                for iy in 0..ny {
+                    line[iy] = slab[iy * nzc + iz];
+                }
+                axis_line(&py, inverse, line);
+                for iy in 0..ny {
+                    slab[iy * nzc + iz] = line[iy];
+                }
+            }
+        }
+        // x axis: strided by ny·nzc.
+        if nx > 1 {
+            let plane = ny * nzc;
+            let line = &mut buf[..nx];
+            for p in 0..plane {
+                for ix in 0..nx {
+                    line[ix] = data[ix * plane + p];
+                }
+                axis_line(&px, inverse, line);
+                for ix in 0..nx {
+                    data[ix * plane + p] = line[ix];
+                }
+            }
+        }
+    });
+}
+
+#[inline]
+fn axis_line(p: &FftPlan, inverse: bool, row: &mut [Complex64]) {
+    if inverse {
+        p.ifft(row);
+    } else {
+        p.fft(row);
+    }
+}
+
+/// Threaded forward 3-D r2c: returns the `(nx, ny, nz/2+1)` half-spectrum.
+pub fn rfft3(real: &[f64], dims: (usize, usize, usize)) -> Array3<Complex64> {
+    let (nx, ny, nz) = dims;
+    let nzh = nz / 2 + 1;
+    assert_eq!(real.len(), nx * ny * nz, "real field does not match dims");
+    let mut half = vec![Complex64::ZERO; nx * ny * nzh];
+
+    // z axis: one r2c per row, parallel over rows.
+    {
+        let rp = real_plan(nz);
+        let rp = &rp;
+        half.par_chunks_mut(nzh)
+            .enumerate()
+            .for_each(|(row, out_row)| rp.rfft(&real[row * nz..row * nz + nz], out_row));
+    }
+    complex_axes_parallel(&mut half, (nx, ny, nzh), false);
+    Array3::from_vec((nx, ny, nzh), half)
+}
+
+/// Threaded inverse of [`rfft3`]: consumes the half-spectrum and returns
+/// the real field.
+pub fn irfft3(mut half: Array3<Complex64>, dims: (usize, usize, usize)) -> Vec<f64> {
+    let (nx, ny, nz) = dims;
+    let nzh = nz / 2 + 1;
+    assert_eq!(
+        half.dims(),
+        (nx, ny, nzh),
+        "half spectrum does not match dims"
+    );
+    complex_axes_parallel(half.as_mut_slice(), (nx, ny, nzh), true);
+    let mut real = vec![0.0; nx * ny * nz];
+    {
+        let rp = real_plan(nz);
+        let rp = &rp;
+        let src = half.as_slice();
+        real.par_chunks_mut(nz)
+            .enumerate()
+            .for_each(|(row, out_row)| rp.irfft(&src[row * nzh..row * nzh + nzh], out_row));
+    }
+    real
+}
+
+/// Threaded complex transforms along `y` then `x` of a `z`-contiguous array.
+fn complex_axes_parallel(data: &mut [Complex64], dims: (usize, usize, usize), inverse: bool) {
+    let (nx, ny, nzc) = dims;
+    let (px, py) = (plan(nx), plan(ny));
+    {
+        let py = &py;
+        data.par_chunks_mut(ny * nzc).for_each_init(
+            || vec![Complex64::ZERO; ny],
+            |scratch, slab| {
+                for iz in 0..nzc {
+                    for iy in 0..ny {
+                        scratch[iy] = slab[iy * nzc + iz];
+                    }
+                    axis_line(py, inverse, scratch);
+                    for iy in 0..ny {
+                        slab[iy * nzc + iz] = scratch[iy];
+                    }
+                }
+            },
+        );
+    }
+    if nx > 1 {
+        let plane = ny * nzc;
+        let mut t = vec![Complex64::ZERO; nx * plane];
+        {
+            let src = &data[..];
+            t.par_chunks_mut(nx).enumerate().for_each(|(p, row)| {
+                for (ix, v) in row.iter_mut().enumerate() {
+                    *v = src[ix * plane + p];
+                }
+            });
+        }
+        {
+            let px = &px;
+            t.par_chunks_mut(nx)
+                .for_each(|row| axis_line(px, inverse, row));
+        }
+        data.par_chunks_mut(plane)
+            .enumerate()
+            .for_each(|(ix, slab)| {
+                for (p, v) in slab.iter_mut().enumerate() {
+                    *v = t[p * nx + ix];
+                }
+            });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::{dft_reference, fft};
+    use crate::fft3::{fft3, to_complex};
+    use crate::rng::SplitMix64;
+
+    fn random_real(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| rng.next_f64() - 0.5).collect()
+    }
+
+    #[test]
+    fn rfft_matches_complex_fft_1d() {
+        for &n in &[1usize, 2, 4, 8, 9, 15, 16, 48, 63, 64, 100] {
+            let x = random_real(n, n as u64);
+            let rp = real_plan(n);
+            let mut half = vec![Complex64::ZERO; rp.half_len()];
+            rp.rfft(&x, &mut half);
+            let mut full: Vec<Complex64> = x.iter().map(|&r| Complex64::real(r)).collect();
+            fft(&mut full);
+            for (k, h) in half.iter().enumerate() {
+                let err = (*h - full[k]).abs();
+                assert!(err < 1e-10 * n.max(8) as f64, "n={n} bin {k}: err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn irfft_is_exact_inverse_1d() {
+        for &n in &[1usize, 2, 6, 8, 9, 27, 32, 48, 81, 96] {
+            let x = random_real(n, 7 + n as u64);
+            let rp = real_plan(n);
+            let mut half = vec![Complex64::ZERO; rp.half_len()];
+            rp.rfft(&x, &mut half);
+            let mut back = vec![0.0; n];
+            rp.irfft(&half, &mut back);
+            let err = x
+                .iter()
+                .zip(&back)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-10, "n={n}: roundtrip err {err}");
+        }
+    }
+
+    #[test]
+    fn odd_length_fallback_matches_reference() {
+        let n = 45;
+        let x = random_real(n, 3);
+        let rp = real_plan(n);
+        let mut half = vec![Complex64::ZERO; rp.half_len()];
+        rp.rfft(&x, &mut half);
+        let full: Vec<Complex64> = x.iter().map(|&r| Complex64::real(r)).collect();
+        let want = dft_reference(&full, false);
+        for (k, h) in half.iter().enumerate() {
+            assert!((*h - want[k]).abs() < 1e-9, "bin {k}");
+        }
+    }
+
+    #[test]
+    fn rfft3_matches_fft3_half_spectrum() {
+        for dims in [(4, 4, 4), (2, 3, 5), (8, 4, 6), (3, 5, 7)] {
+            let (nx, ny, nz) = dims;
+            let x = random_real(nx * ny * nz, 11);
+            let half = rfft3(&x, dims);
+            let mut full = to_complex(&x, dims);
+            fft3(&mut full);
+            let nzh = nz / 2 + 1;
+            for ix in 0..nx {
+                for iy in 0..ny {
+                    for iz in 0..nzh {
+                        let a = *half.get(ix, iy, iz);
+                        let b = *full.get(ix, iy, iz);
+                        let err = (a - b).abs();
+                        assert!(err < 1e-9, "dims {dims:?} bin ({ix},{iy},{iz}): err {err}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn irfft3_roundtrip() {
+        for dims in [(4, 4, 4), (2, 3, 5), (8, 4, 6), (5, 5, 5)] {
+            let (nx, ny, nz) = dims;
+            let x = random_real(nx * ny * nz, 13);
+            let half = rfft3(&x, dims);
+            let back = irfft3(half, dims);
+            let err = x
+                .iter()
+                .zip(&back)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-10, "dims {dims:?}: err {err}");
+        }
+    }
+
+    #[test]
+    fn serial_into_matches_threaded() {
+        for dims in [(4, 4, 4), (2, 3, 5), (6, 5, 8)] {
+            let (nx, ny, nz) = dims;
+            let x = random_real(nx * ny * nz, 17);
+            let threaded = rfft3(&x, dims);
+            let mut serial = vec![Complex64::ZERO; half_len(dims)];
+            rfft3_into(&x, dims, &mut serial);
+            let err = threaded
+                .as_slice()
+                .iter()
+                .zip(&serial)
+                .map(|(a, b)| (*a - *b).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-10, "dims {dims:?}: fwd err {err}");
+            let mut back = vec![0.0; nx * ny * nz];
+            irfft3_into(&mut serial, dims, &mut back);
+            let err = x
+                .iter()
+                .zip(&back)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-10, "dims {dims:?}: inv err {err}");
+        }
+    }
+
+    #[test]
+    fn parseval_on_half_spectrum() {
+        // Σ_r x(r)² == (1/N) Σ_k w_k |X_k|² with w = 1 on the self-conjugate
+        // z-planes (iz == 0, and iz == nz/2 for even nz) and w = 2 elsewhere.
+        for dims in [(4, 4, 8), (3, 5, 7)] {
+            let (nx, ny, nz) = dims;
+            let n = nx * ny * nz;
+            let x = random_real(n, 19);
+            let time: f64 = x.iter().map(|v| v * v).sum();
+            let half = rfft3(&x, dims);
+            let nzh = nz / 2 + 1;
+            let mut freq = 0.0;
+            for ix in 0..nx {
+                for iy in 0..ny {
+                    for iz in 0..nzh {
+                        let w = if iz == 0 || (nz % 2 == 0 && iz == nzh - 1) {
+                            1.0
+                        } else {
+                            2.0
+                        };
+                        freq += w * half.get(ix, iy, iz).norm_sqr();
+                    }
+                }
+            }
+            freq /= n as f64;
+            assert!(
+                (time - freq).abs() < 1e-10 * time,
+                "dims {dims:?}: {time} vs {freq}"
+            );
+        }
+    }
+}

@@ -54,8 +54,7 @@ impl SplitMix64 {
             let u = self.next_f64();
             if u > 0.0 {
                 let v = self.next_f64();
-                return (-2.0 * u.ln()).sqrt()
-                    * (2.0 * std::f64::consts::PI * v).cos();
+                return (-2.0 * u.ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos();
             }
         }
     }

@@ -12,7 +12,11 @@ pub struct Vec3 {
 
 impl Vec3 {
     /// The zero vector.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Construct from components.
     #[inline]
@@ -183,9 +187,21 @@ impl Mat3 {
     /// The identity matrix.
     pub const IDENTITY: Mat3 = Mat3 {
         rows: [
-            Vec3 { x: 1.0, y: 0.0, z: 0.0 },
-            Vec3 { x: 0.0, y: 1.0, z: 0.0 },
-            Vec3 { x: 0.0, y: 0.0, z: 1.0 },
+            Vec3 {
+                x: 1.0,
+                y: 0.0,
+                z: 0.0,
+            },
+            Vec3 {
+                x: 0.0,
+                y: 1.0,
+                z: 0.0,
+            },
+            Vec3 {
+                x: 0.0,
+                y: 0.0,
+                z: 1.0,
+            },
         ],
     };
 
@@ -208,7 +224,11 @@ impl Mat3 {
     /// Matrix–vector product.
     #[inline]
     pub fn mul_vec(&self, v: Vec3) -> Vec3 {
-        Vec3::new(self.rows[0].dot(v), self.rows[1].dot(v), self.rows[2].dot(v))
+        Vec3::new(
+            self.rows[0].dot(v),
+            self.rows[1].dot(v),
+            self.rows[2].dot(v),
+        )
     }
 
     /// Determinant.
@@ -234,11 +254,7 @@ impl Mat3 {
         let [a, b, c] = self.rows;
         // Rows of the inverse are cross products of columns / det; using the
         // adjugate expressed through cross products of rows of the transpose.
-        let inv_rows = [
-            b.cross(c) / d,
-            c.cross(a) / d,
-            a.cross(b) / d,
-        ];
+        let inv_rows = [b.cross(c) / d, c.cross(a) / d, a.cross(b) / d];
         // Those are the columns of the inverse; transpose to get rows.
         Mat3::from_rows(inv_rows[0], inv_rows[1], inv_rows[2]).transpose()
     }

@@ -1,7 +1,9 @@
 //! Property-based tests of the numerical kernels.
 
 use liair_math::fft::{dft_reference, fft, ifft};
+use liair_math::fft3::{fft3, to_complex};
 use liair_math::linalg::{eigh, try_solve, Mat};
+use liair_math::rfft::{half_len, irfft3, irfft3_into, rfft3, rfft3_into};
 use liair_math::rng::SplitMix64;
 use liair_math::special::{boys, erf};
 use liair_math::Complex64;
@@ -13,6 +15,24 @@ fn random_signal(n: usize, seed: u64) -> Vec<Complex64> {
         .map(|_| Complex64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
         .collect()
 }
+
+fn random_real(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.next_f64() - 0.5).collect()
+}
+
+/// Mix of power-of-two and odd/mixed grid shapes, indexed so proptest can
+/// pick one: both the packed even r2c path and the odd fallback run.
+const RFFT_DIMS: [(usize, usize, usize); 8] = [
+    (4, 4, 4),
+    (8, 8, 8),
+    (2, 3, 5),
+    (3, 5, 7),
+    (8, 4, 6),
+    (5, 5, 5),
+    (4, 6, 9),
+    (16, 2, 8),
+];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -51,6 +71,73 @@ proptest! {
         fft(&mut got);
         let err = got.iter().zip(&want).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
         prop_assert!(err < 1e-9, "n={n}: err {err}");
+    }
+
+    /// The real-FFT round-trip irfft3(rfft3(x)) is the identity for any
+    /// grid shape (even pack-trick and odd fallback paths both covered),
+    /// through both the threaded and the serial zero-alloc entry points.
+    #[test]
+    fn rfft3_roundtrip_is_identity(pick in 0usize..8, seed in 0u64..1000) {
+        let dims = RFFT_DIMS[pick];
+        let n = dims.0 * dims.1 * dims.2;
+        let x = random_real(n, seed);
+        let back = irfft3(rfft3(&x, dims), dims);
+        let err = x.iter().zip(&back).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        prop_assert!(err < 1e-10, "dims {dims:?}: threaded err {err}");
+        let mut half = vec![Complex64::ZERO; half_len(dims)];
+        rfft3_into(&x, dims, &mut half);
+        let mut serial = vec![0.0; n];
+        irfft3_into(&mut half, dims, &mut serial);
+        let err = x.iter().zip(&serial).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        prop_assert!(err < 1e-10, "dims {dims:?}: serial err {err}");
+    }
+
+    /// The half-spectrum bins of rfft3 agree exactly with the matching
+    /// bins of the complex fft3 on random real fields.
+    #[test]
+    fn rfft3_matches_fft3(pick in 0usize..8, seed in 0u64..1000) {
+        let dims = RFFT_DIMS[pick];
+        let (nx, ny, nz) = dims;
+        let x = random_real(nx * ny * nz, seed);
+        let half = rfft3(&x, dims);
+        let mut full = to_complex(&x, dims);
+        fft3(&mut full);
+        let nzh = nz / 2 + 1;
+        for ix in 0..nx {
+            for iy in 0..ny {
+                for iz in 0..nzh {
+                    let err = (*half.get(ix, iy, iz) - *full.get(ix, iy, iz)).abs();
+                    prop_assert!(
+                        err < 1e-9 * ((nx * ny * nz) as f64).max(8.0),
+                        "dims {dims:?} bin ({ix},{iy},{iz}): err {err}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Parseval on the half-spectrum: Σ x² = (1/N)·Σ w_k |X_k|² with
+    /// weight 1 on the self-conjugate z-planes and 2 elsewhere.
+    #[test]
+    fn rfft3_parseval_half_spectrum(pick in 0usize..8, seed in 0u64..1000) {
+        let dims = RFFT_DIMS[pick];
+        let (nx, ny, nz) = dims;
+        let n = nx * ny * nz;
+        let x = random_real(n, seed);
+        let time: f64 = x.iter().map(|v| v * v).sum();
+        let half = rfft3(&x, dims);
+        let nzh = nz / 2 + 1;
+        let mut freq = 0.0;
+        for ix in 0..nx {
+            for iy in 0..ny {
+                for iz in 0..nzh {
+                    let w = if iz == 0 || (nz % 2 == 0 && iz == nzh - 1) { 1.0 } else { 2.0 };
+                    freq += w * half.get(ix, iy, iz).norm_sqr();
+                }
+            }
+        }
+        freq /= n as f64;
+        prop_assert!((time - freq).abs() < 1e-9 * time.max(1.0), "dims {dims:?}: {time} vs {freq}");
     }
 
     /// The Jacobi eigensolver reconstructs any symmetric matrix.

@@ -22,7 +22,13 @@ impl RdfAccumulator {
     /// New accumulator with `nbins` up to `r_max`.
     pub fn new(a: Element, b: Element, r_max: f64, nbins: usize) -> Self {
         assert!(nbins > 0 && r_max > 0.0);
-        Self { a, b, r_max, bins: vec![0.0; nbins], frames: 0 }
+        Self {
+            a,
+            b,
+            r_max,
+            bins: vec![0.0; nbins],
+            frames: 0,
+        }
     }
 
     /// Add one frame.
@@ -53,7 +59,11 @@ impl RdfAccumulator {
     pub fn finish(&self, mol: &Molecule, cell: &Cell) -> Vec<(f64, f64)> {
         let n_a = mol.atoms.iter().filter(|at| at.element == self.a).count() as f64;
         let n_b = mol.atoms.iter().filter(|at| at.element == self.b).count() as f64;
-        let pair_count = if self.a == self.b { n_a * (n_a - 1.0) } else { n_a * n_b };
+        let pair_count = if self.a == self.b {
+            n_a * (n_a - 1.0)
+        } else {
+            n_a * n_b
+        };
         let dr = self.r_max / self.bins.len() as f64;
         let rho_pairs = pair_count / cell.volume();
         self.bins
@@ -62,8 +72,7 @@ impl RdfAccumulator {
             .map(|(k, &count)| {
                 let r_lo = k as f64 * dr;
                 let r_hi = r_lo + dr;
-                let shell = 4.0 / 3.0 * std::f64::consts::PI
-                    * (r_hi.powi(3) - r_lo.powi(3));
+                let shell = 4.0 / 3.0 * std::f64::consts::PI * (r_hi.powi(3) - r_lo.powi(3));
                 let ideal = rho_pairs * shell * self.frames.max(1) as f64;
                 let g = if ideal > 0.0 { count / ideal } else { 0.0 };
                 (0.5 * (r_lo + r_hi), g)
@@ -275,7 +284,10 @@ mod tests {
         let peak = g.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
         assert!(peak > 2.0, "max g(r) = {peak}");
         // Core exclusion: no O–O contacts below 3 Bohr.
-        assert!(g.iter().take_while(|&&(r, _)| r < 3.0).all(|&(_, v)| v < 0.2));
+        assert!(g
+            .iter()
+            .take_while(|&&(r, _)| r < 3.0)
+            .all(|&(_, v)| v < 0.2));
     }
 
     #[test]
@@ -350,7 +362,10 @@ mod tests {
         let bond_dir = (state.mol.atoms[1].pos - state.mol.atoms[0].pos).normalized();
         state.mol.atoms[1].pos += bond_dir * 0.05;
         let dt = 5.0;
-        let opts = MdOptions { dt, thermostat: Thermostat::None };
+        let opts = MdOptions {
+            dt,
+            thermostat: Thermostat::None,
+        };
         let mut acc = VacfAccumulator::default();
         // One step first so velocities are nonzero at the recording origin.
         state.step(&ff, &opts);

@@ -34,7 +34,11 @@ impl EwaldParams {
     /// r_cut = L_min/2, k_max = 8.
     pub fn auto(cell: &Cell) -> Self {
         let lmin = 2.0 * cell.min_half_edge();
-        Self { alpha: 5.0 / lmin, r_cut: lmin / 2.0, k_max: 8 }
+        Self {
+            alpha: 5.0 / lmin,
+            r_cut: lmin / 2.0,
+            k_max: 8,
+        }
     }
 }
 
@@ -72,9 +76,8 @@ pub fn ewald_energy_forces(
             }
             let qq = charges[i] * charges[j];
             energy += qq * erfc(alpha * r) / r;
-            let f_mag = qq
-                * (erfc(alpha * r) / (r * r)
-                    + two_a_pi * (-alpha * alpha * r * r).exp() / r);
+            let f_mag =
+                qq * (erfc(alpha * r) / (r * r) + two_a_pi * (-alpha * alpha * r * r).exp() / r);
             // d points i→j: the pair force pushes like charges apart.
             let f = d * (f_mag / r);
             forces[i] -= f;
@@ -162,7 +165,11 @@ mod tests {
     fn nacl_madelung_constant() {
         let l = 10.0;
         let (pos, chg, cell) = rock_salt_cell(l, 1.0);
-        let params = EwaldParams { alpha: 0.9, r_cut: l / 2.0, k_max: 10 };
+        let params = EwaldParams {
+            alpha: 0.9,
+            r_cut: l / 2.0,
+            k_max: 10,
+        };
         let (e, _) = ewald_energy_forces(&cell, &pos, &chg, &params);
         // E per ion pair = −M/(nearest-neighbour distance); 4 pairs/cell.
         let per_pair = e / 4.0;
@@ -182,7 +189,11 @@ mod tests {
         // k_max large enough for e^{−k²/4α²} to decay; this window is
         // converged on both sides.
         for alpha in [1.0, 1.2, 1.4] {
-            let params = EwaldParams { alpha, r_cut: 4.0, k_max: 16 };
+            let params = EwaldParams {
+                alpha,
+                r_cut: 4.0,
+                k_max: 16,
+            };
             energies.push(ewald_energy_forces(&cell, &pos, &chg, &params).0);
         }
         for w in energies.windows(2) {
@@ -205,7 +216,11 @@ mod tests {
         let (mut pos, chg, cell) = rock_salt_cell(9.0, 1.0);
         // Perturb one ion to create nonzero forces.
         pos[0] += Vec3::new(0.3, -0.2, 0.1);
-        let params = EwaldParams { alpha: 0.8, r_cut: 4.5, k_max: 10 };
+        let params = EwaldParams {
+            alpha: 0.8,
+            r_cut: 4.5,
+            k_max: 10,
+        };
         let (_, forces) = ewald_energy_forces(&cell, &pos, &chg, &params);
         let h = 1e-5;
         for axis in 0..3 {
@@ -238,11 +253,6 @@ mod tests {
     #[should_panic]
     fn rejects_charged_cell() {
         let cell = Cell::cubic(10.0);
-        let _ = ewald_energy_forces(
-            &cell,
-            &[Vec3::ZERO],
-            &[1.0],
-            &EwaldParams::auto(&cell),
-        );
+        let _ = ewald_energy_forces(&cell, &[Vec3::ZERO], &[1.0], &EwaldParams::auto(&cell));
     }
 }

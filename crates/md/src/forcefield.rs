@@ -202,7 +202,13 @@ impl ForceField {
                     de *= 0.10;
                 }
                 let k = bond_stiffness(ei, ej);
-                Bond { i, j, r0, de, a: (k / (2.0 * de)).sqrt() }
+                Bond {
+                    i,
+                    j,
+                    r0,
+                    de,
+                    a: (k / (2.0 * de)).sqrt(),
+                }
             })
             .collect();
         // --- angles (with the integrity parameters of their bonds) ---
@@ -235,12 +241,11 @@ impl ForceField {
             }
         }
         // --- charges, neutralized per connected component ---
-        let mut charges: Vec<f64> =
-            mol.atoms.iter().map(|a| base_charge(a.element)).collect();
+        let mut charges: Vec<f64> = mol.atoms.iter().map(|a| base_charge(a.element)).collect();
         let components = connected_components(&adjacency);
         for comp in &components {
-            let excess: f64 = comp.iter().map(|&i| charges[i]).sum::<f64>()
-                - comp_charge_target(mol, comp);
+            let excess: f64 =
+                comp.iter().map(|&i| charges[i]).sum::<f64>() - comp_charge_target(mol, comp);
             let share = excess / comp.len() as f64;
             for &i in comp {
                 charges[i] -= share;
@@ -254,11 +259,8 @@ impl ForceField {
         for a in &angles {
             excluded.insert((a.i.min(a.k), a.i.max(a.k)));
         }
-        let (lj_sigma, lj_eps): (Vec<f64>, Vec<f64>) = mol
-            .atoms
-            .iter()
-            .map(|a| lj_params(a.element))
-            .unzip();
+        let (lj_sigma, lj_eps): (Vec<f64>, Vec<f64>) =
+            mol.atoms.iter().map(|a| lj_params(a.element)).unzip();
         ForceField {
             bonds,
             angles,
@@ -327,8 +329,7 @@ impl ForceField {
         let alpha = self.alpha;
         let erfc_rc = erfc(alpha * rc);
         let two_a_pi = 2.0 * alpha / std::f64::consts::PI.sqrt();
-        let f_shift =
-            erfc_rc / (rc * rc) + two_a_pi * (-alpha * alpha * rc * rc).exp() / rc;
+        let f_shift = erfc_rc / (rc * rc) + two_a_pi * (-alpha * alpha * rc * rc).exp() / rc;
         for i in 0..n {
             for j in (i + 1)..n {
                 if self.excluded.contains(&(i, j)) {
@@ -351,8 +352,7 @@ impl ForceField {
                 let erfc_r = erfc(alpha * r);
                 energy += qq * (erfc_r / r - erfc_rc / rc + f_shift * (r - rc));
                 let dvdr_c = qq
-                    * (-(erfc_r / (r * r)
-                        + two_a_pi * (-alpha * alpha * r * r).exp() / r)
+                    * (-(erfc_r / (r * r) + two_a_pi * (-alpha * alpha * r * r).exp() / r)
                         + f_shift);
                 let f = d * ((dvdr_lj + dvdr_c) / r);
                 forces[i] += f;

@@ -40,7 +40,10 @@ pub struct MdOptions {
 
 impl Default for MdOptions {
     fn default() -> Self {
-        Self { dt: 20.0, thermostat: Thermostat::None }
+        Self {
+            dt: 20.0,
+            thermostat: Thermostat::None,
+        }
     }
 }
 
@@ -98,7 +101,8 @@ impl MdState {
     pub fn nose_hoover_conserved(&self, t_target: f64, tau: f64) -> f64 {
         let g = self.dof();
         let q = g * KB_HARTREE * t_target * tau * tau;
-        self.total_energy() + 0.5 * q * self.nh_xi * self.nh_xi
+        self.total_energy()
+            + 0.5 * q * self.nh_xi * self.nh_xi
             + g * KB_HARTREE * t_target * self.nh_eta
     }
 
@@ -187,8 +191,7 @@ impl MdState {
         match opts.thermostat {
             Thermostat::Berendsen { t_target, tau } => {
                 let t_now = self.temperature().max(1e-10);
-                let lambda =
-                    (1.0 + dt / tau * (t_target / t_now - 1.0)).max(0.0).sqrt();
+                let lambda = (1.0 + dt / tau * (t_target / t_now - 1.0)).max(0.0).sqrt();
                 for v in &mut self.velocities {
                     *v = *v * lambda;
                 }
@@ -224,7 +227,10 @@ mod tests {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
         state.thermalize(300.0, &mut rng);
         let e0 = state.total_energy();
-        let opts = MdOptions { dt: 10.0, thermostat: Thermostat::None };
+        let opts = MdOptions {
+            dt: 10.0,
+            thermostat: Thermostat::None,
+        };
         state.run(&ff, &opts, 500);
         let drift = (state.total_energy() - e0).abs();
         assert!(drift < 2e-4, "energy drift {drift} Ha over 500 steps");
@@ -239,7 +245,10 @@ mod tests {
         state.thermalize(50.0, &mut rng);
         let opts = MdOptions {
             dt: 20.0,
-            thermostat: Thermostat::Berendsen { t_target: 300.0, tau: 400.0 },
+            thermostat: Thermostat::Berendsen {
+                t_target: 300.0,
+                tau: 400.0,
+            },
         };
         state.run(&ff, &opts, 400);
         // Average over a window to smooth fluctuations.
@@ -307,14 +316,21 @@ mod tests {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4);
         state.thermalize(200.0, &mut rng);
         let x0: Vec<Vec3> = state.mol.atoms.iter().map(|a| a.pos).collect();
-        let opts = MdOptions { dt: 10.0, thermostat: Thermostat::None };
+        let opts = MdOptions {
+            dt: 10.0,
+            thermostat: Thermostat::None,
+        };
         state.run(&ff, &opts, 50);
         for v in &mut state.velocities {
             *v = -*v;
         }
         state.run(&ff, &opts, 50);
         for (a, &x) in state.mol.atoms.iter().zip(&x0) {
-            assert!(a.pos.distance(x) < 1e-8, "retrace error {}", a.pos.distance(x));
+            assert!(
+                a.pos.distance(x) < 1e-8,
+                "retrace error {}",
+                a.pos.distance(x)
+            );
         }
     }
 }

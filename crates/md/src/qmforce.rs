@@ -58,7 +58,10 @@ pub struct RhfForces {
 
 impl Default for RhfForces {
     fn default() -> Self {
-        let o = liair_scf::ScfOptions { energy_tol: 1e-9, ..Default::default() };
+        let o = liair_scf::ScfOptions {
+            energy_tol: 1e-9,
+            ..Default::default()
+        };
         Self { scf_options: o }
     }
 }
@@ -68,13 +71,8 @@ impl ForceProvider for RhfForces {
         let basis = liair_basis::Basis::sto3g(mol);
         let scf = liair_scf::rhf(mol, &basis, &self.scf_options);
         assert!(scf.converged, "BOMD step: SCF failed for {}", mol.formula());
-        let grad = liair_integrals::rhf_gradient(
-            mol,
-            &basis,
-            &scf.c,
-            &scf.orbital_energies,
-            &scf.density,
-        );
+        let grad =
+            liair_integrals::rhf_gradient(mol, &basis, &scf.c, &scf.orbital_energies, &scf.density);
         let forces = grad.into_iter().map(|g| -g).collect();
         (scf.energy, forces)
     }
@@ -90,8 +88,10 @@ mod tests {
     /// RHF energy of H2 as a function of geometry.
     fn h2_energy(mol: &Molecule) -> f64 {
         let basis = Basis::sto3g(mol);
-        let mut opts = ScfOptions::default();
-        opts.energy_tol = 1e-10;
+        let opts = ScfOptions {
+            energy_tol: 1e-10,
+            ..ScfOptions::default()
+        };
         rhf(mol, &basis, &opts).energy
     }
 
@@ -133,7 +133,10 @@ mod tests {
         mol.atoms[1].pos.x *= 1.05;
         let mut state = MdState::new(mol, None, &provider);
         let e0 = state.total_energy();
-        let opts = MdOptions { dt: 10.0, thermostat: Thermostat::None };
+        let opts = MdOptions {
+            dt: 10.0,
+            thermostat: Thermostat::None,
+        };
         state.run(&provider, &opts, 12);
         let drift = (state.total_energy() - e0).abs();
         assert!(drift < 1e-4, "BOMD drift {drift} Ha over 12 steps");
@@ -148,7 +151,10 @@ mod tests {
         mol.atoms[1].pos.x = 1.6; // displaced start
         let mut state = MdState::new(mol, None, &provider);
         let e0 = state.total_energy();
-        let opts = MdOptions { dt: 10.0, thermostat: Thermostat::None };
+        let opts = MdOptions {
+            dt: 10.0,
+            thermostat: Thermostat::None,
+        };
         let mut min_r = f64::INFINITY;
         let mut max_r = 0.0f64;
         for _ in 0..60 {

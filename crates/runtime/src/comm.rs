@@ -197,7 +197,9 @@ impl Comm for LocalComm {
     fn send(&self, to: usize, tag: u64, data: Vec<f64>) {
         assert!(to < self.size, "send to out-of-range rank {to}");
         assert_ne!(to, self.rank, "self-send not supported");
-        self.senders[to].send((tag, data)).expect("receiver dropped");
+        self.senders[to]
+            .send((tag, data))
+            .expect("receiver dropped");
     }
 
     fn recv(&self, from: usize, tag: u64) -> Vec<f64> {
@@ -218,7 +220,10 @@ impl Comm for LocalComm {
             if t == tag {
                 return data;
             }
-            self.stash.lock()[from].entry(t).or_default().push_back(data);
+            self.stash.lock()[from]
+                .entry(t)
+                .or_default()
+                .push_back(data);
         }
     }
 }
@@ -307,7 +312,11 @@ mod tests {
     #[test]
     fn broadcast_replicates_root_data() {
         let results = run_spmd(4, |comm| {
-            let mut v = if comm.rank() == 2 { vec![7.0, 8.0, 9.0] } else { Vec::new() };
+            let mut v = if comm.rank() == 2 {
+                vec![7.0, 8.0, 9.0]
+            } else {
+                Vec::new()
+            };
             comm.broadcast(2, &mut v);
             v
         });
@@ -341,13 +350,8 @@ mod tests {
 
     #[test]
     fn gather_collects_by_rank() {
-        let results = run_spmd(3, |comm| {
-            comm.gather(0, vec![comm.rank() as f64 * 10.0])
-        });
-        assert_eq!(
-            results[0],
-            Some(vec![vec![0.0], vec![10.0], vec![20.0]])
-        );
+        let results = run_spmd(3, |comm| comm.gather(0, vec![comm.rank() as f64 * 10.0]));
+        assert_eq!(results[0], Some(vec![vec![0.0], vec![10.0], vec![20.0]]));
         assert_eq!(results[1], None);
         assert_eq!(results[2], None);
     }

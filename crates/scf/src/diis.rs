@@ -21,7 +21,11 @@ impl Diis {
     /// New accelerator keeping up to `depth` history entries (≥ 1).
     pub fn new(depth: usize) -> Self {
         assert!(depth >= 1);
-        Self { depth, focks: VecDeque::new(), errors: VecDeque::new() }
+        Self {
+            depth,
+            focks: VecDeque::new(),
+            errors: VecDeque::new(),
+        }
     }
 
     /// Number of stored history entries.

@@ -105,7 +105,10 @@ fn scf(mol: &Molecule, basis: &Basis, opts: &ScfOptions, method: Method) -> ScfR
     let n = basis.nao();
     let nocc = mol.nocc();
     assert!(nocc >= 1, "no electrons to converge");
-    assert!(nocc <= n, "basis too small: {nocc} occupied orbitals, {n} AOs");
+    assert!(
+        nocc <= n,
+        "basis too small: {nocc} occupied orbitals, {n} AOs"
+    );
     let s = overlap_matrix(basis);
     let h = kinetic_matrix(basis).add(&nuclear_matrix(basis, mol));
     let x = sym_inv_sqrt(&s);
@@ -128,7 +131,10 @@ fn scf(mol: &Molecule, basis: &Basis, opts: &ScfOptions, method: Method) -> ScfR
     let mut density = density_from_fock(&h, &x, nocc);
     let mut diis = Diis::new(opts.diis_depth);
     let mut energy = 0.0;
-    let mut breakdown = EnergyBreakdown { e_nuc, ..Default::default() };
+    let mut breakdown = EnergyBreakdown {
+        e_nuc,
+        ..Default::default()
+    };
     let mut c_final = Mat::zeros(n, n);
     let mut eps_final = vec![0.0; n];
     let mut converged = false;
@@ -162,8 +168,7 @@ fn scf(mol: &Molecule, basis: &Basis, opts: &ScfOptions, method: Method) -> ScfR
                 let aos = ao_at_pts.as_ref().unwrap();
                 let (nvals, _) = density_from_dm_at_points(basis, &density, &grid.points);
                 // V_xc matrix: Σ_p w_p v_xc(n_p) χ_μ(p) χ_ν(p).
-                let vxc_pts: Vec<f64> =
-                    nvals.iter().map(|&d| lda::lda_vxc(d)).collect();
+                let vxc_pts: Vec<f64> = nvals.iter().map(|&d| lda::lda_vxc(d)).collect();
                 let mut vxc = Mat::zeros(n, n);
                 for mu in 0..n {
                     for nu in 0..=mu {
@@ -299,8 +304,7 @@ pub fn functional_energy(
                 .zip(&grads)
                 .zip(&grid.weights)
                 .map(|((&d, &g), &w)| {
-                    w * d * (0.75 * liair_xc::pbe::pbe_ex(d, g)
-                        + liair_xc::pbe::pbe_ec(d, g))
+                    w * d * (0.75 * liair_xc::pbe::pbe_ex(d, g) + liair_xc::pbe::pbe_ec(d, g))
                 })
                 .sum(),
             Functional::Hf => unreachable!(),
@@ -342,7 +346,11 @@ mod tests {
     fn water_sto3g_energy() {
         // HF/STO-3G water near experimental geometry: ≈ −74.96 Ha.
         let (_, res) = run_rhf(&systems::water());
-        assert!(res.energy < -74.90 && res.energy > -75.05, "E = {}", res.energy);
+        assert!(
+            res.energy < -74.90 && res.energy > -75.05,
+            "E = {}",
+            res.energy
+        );
         assert_eq!(res.nocc, 5);
     }
 
@@ -360,7 +368,11 @@ mod tests {
         let basis = Basis::b631g(&mol);
         let res = rhf(&mol, &basis, &ScfOptions::default());
         assert!(res.converged);
-        assert!(approx_eq(res.energy, -1.1268, 2e-3), "H2/6-31G E = {}", res.energy);
+        assert!(
+            approx_eq(res.energy, -1.1268, 2e-3),
+            "H2/6-31G E = {}",
+            res.energy
+        );
         // 6-31G lies below STO-3G (variational improvement).
         let sto = rhf(&mol, &Basis::sto3g(&mol), &ScfOptions::default());
         assert!(res.energy < sto.energy);
@@ -439,8 +451,10 @@ mod tests {
     fn rks_lda_converges_h2() {
         let mol = systems::h2();
         let basis = Basis::sto3g(&mol);
-        let mut opts = ScfOptions::default();
-        opts.energy_tol = 1e-8;
+        let opts = ScfOptions {
+            energy_tol: 1e-8,
+            ..ScfOptions::default()
+        };
         let res = rks_lda(&mol, &basis, &opts);
         assert!(res.converged, "LDA SCF did not converge");
         // LSDA H2 sits above the HF value in a minimal basis but in the

@@ -30,11 +30,7 @@ pub struct FciResult {
 /// Exact singlet FCI for a 2-electron molecule on a converged RHF
 /// reference (the MOs just define the orthonormal one-particle basis; the
 /// result is invariant to that choice).
-pub fn fci_two_electron(
-    mol: &liair_basis::Molecule,
-    basis: &Basis,
-    scf: &ScfResult,
-) -> FciResult {
+pub fn fci_two_electron(mol: &liair_basis::Molecule, basis: &Basis, scf: &ScfResult) -> FciResult {
     assert_eq!(mol.nelectrons(), 2, "two-electron FCI only");
     let n = basis.nao();
     let c = &scf.c;
@@ -116,7 +112,13 @@ pub fn fci_two_electron(
     }
     let dim = configs.len();
     let mut hmat = Mat::zeros(dim, dim);
-    let delta = |a: usize, b: usize| -> f64 { if a == b { 1.0 } else { 0.0 } };
+    let delta = |a: usize, b: usize| -> f64 {
+        if a == b {
+            1.0
+        } else {
+            0.0
+        }
+    };
     for (a, &(i, j)) in configs.iter().enumerate() {
         for (b, &(k, l)) in configs.iter().enumerate() {
             let norm = 1.0 / ((1.0 + delta(i, j)) * (1.0 + delta(k, l))).sqrt();
@@ -132,7 +134,11 @@ pub fn fci_two_electron(
     let e_nuc = mol.nuclear_repulsion();
     let spectrum: Vec<f64> = evals.iter().map(|e| e + e_nuc).collect();
     let ci_vector: Vec<f64> = (0..dim).map(|a| evecs[(a, 0)]).collect();
-    FciResult { energy: spectrum[0], spectrum, ci_vector }
+    FciResult {
+        energy: spectrum[0],
+        spectrum,
+        ci_vector,
+    }
 }
 
 #[cfg(test)]
@@ -211,7 +217,10 @@ mod tests {
         // HeH⁺ — the classic two-electron heteronuclear benchmark.
         let mut mol = liair_basis::Molecule::new();
         mol.push(liair_basis::Element::He, liair_math::Vec3::ZERO);
-        mol.push(liair_basis::Element::H, liair_math::Vec3::new(1.4632, 0.0, 0.0));
+        mol.push(
+            liair_basis::Element::H,
+            liair_math::Vec3::new(1.4632, 0.0, 0.0),
+        );
         mol.charge = 1;
         assert_eq!(mol.nelectrons(), 2);
         let basis = Basis::sto3g(&mol);

@@ -22,9 +22,7 @@ pub mod optimize;
 pub mod uhf;
 
 pub use diis::Diis;
-pub use driver::{
-    functional_energy, rhf, rks_lda, EnergyBreakdown, Method, ScfOptions, ScfResult,
-};
+pub use driver::{functional_energy, rhf, rks_lda, EnergyBreakdown, Method, ScfOptions, ScfResult};
 pub use fci::{fci_two_electron, FciResult};
 pub use mp2::{mp2_correlation, rhf_mp2_energy};
 pub use optimize::{dipole_moment, harmonic_frequencies, optimize_rhf, OptResult};

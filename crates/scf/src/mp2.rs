@@ -50,8 +50,7 @@ pub fn mp2_correlation(basis: &Basis, scf: &ScfResult) -> f64 {
                 for sig in 0..n {
                     let mut acc = 0.0;
                     for nu in 0..n {
-                        acc += c[(nu, nocc + a)]
-                            * full(&t1, [nocc, n, n, n], i, nu, lam, sig);
+                        acc += c[(nu, nocc + a)] * full(&t1, [nocc, n, n, n], i, nu, lam, sig);
                     }
                     t2[((i * nvirt + a) * n + lam) * n + sig] = acc;
                 }
@@ -67,8 +66,7 @@ pub fn mp2_correlation(basis: &Basis, scf: &ScfResult) -> f64 {
                 for sig in 0..n {
                     let mut acc = 0.0;
                     for lam in 0..n {
-                        acc += c[(lam, j)]
-                            * full(&t2, [nocc, nvirt, n, n], i, a, lam, sig);
+                        acc += c[(lam, j)] * full(&t2, [nocc, nvirt, n, n], i, a, lam, sig);
                     }
                     t3[((i * nvirt + a) * nocc + j) * n + sig] = acc;
                 }
@@ -84,8 +82,7 @@ pub fn mp2_correlation(basis: &Basis, scf: &ScfResult) -> f64 {
                 for b in 0..nvirt {
                     let mut acc = 0.0;
                     for sig in 0..n {
-                        acc += c[(sig, nocc + b)]
-                            * full(&t3, [nocc, nvirt, nocc, n], i, a, j, sig);
+                        acc += c[(sig, nocc + b)] * full(&t3, [nocc, nvirt, nocc, n], i, a, j, sig);
                     }
                     mo[((i * nvirt + a) * nocc + j) * nvirt + b] = acc;
                 }
@@ -94,9 +91,8 @@ pub fn mp2_correlation(basis: &Basis, scf: &ScfResult) -> f64 {
     }
     drop(t3);
 
-    let iajb = |i: usize, a: usize, j: usize, b: usize| {
-        mo[((i * nvirt + a) * nocc + j) * nvirt + b]
-    };
+    let iajb =
+        |i: usize, a: usize, j: usize, b: usize| mo[((i * nvirt + a) * nocc + j) * nvirt + b];
     let eps = &scf.orbital_energies;
     let mut e2 = 0.0;
     for i in 0..nocc {
@@ -181,10 +177,7 @@ mod tests {
         let basis2 = Basis::sto3g(&dimer);
         let scf2 = rhf(&dimer, &basis2, &ScfOptions::default());
         let corr2 = mp2_correlation(&basis2, &scf2);
-        assert!(
-            approx_eq(corr2, 2.0 * corr1, 1e-6),
-            "{corr2} vs 2×{corr1}"
-        );
+        assert!(approx_eq(corr2, 2.0 * corr1, 1e-6), "{corr2} vs 2×{corr1}");
     }
 
     #[test]
@@ -196,6 +189,9 @@ mod tests {
         let scf_dz = rhf(&mol, &dz, &ScfOptions::default());
         let c_sto = mp2_correlation(&sto, &scf_sto);
         let c_dz = mp2_correlation(&dz, &scf_dz);
-        assert!(c_dz < c_sto, "6-31G {c_dz} should recover more than STO-3G {c_sto}");
+        assert!(
+            c_dz < c_sto,
+            "6-31G {c_dz} should recover more than STO-3G {c_sto}"
+        );
     }
 }

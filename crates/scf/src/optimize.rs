@@ -41,14 +41,19 @@ pub fn optimize_rhf(
         (scf.energy, g)
     };
     let (mut energy, mut grad) = eval(&current);
-    let rms = |g: &[Vec3]| {
-        (g.iter().map(|v| v.norm_sqr()).sum::<f64>() / (3 * g.len()) as f64).sqrt()
-    };
+    let rms =
+        |g: &[Vec3]| (g.iter().map(|v| v.norm_sqr()).sum::<f64>() / (3 * g.len()) as f64).sqrt();
     let mut steps = 0;
     while steps < max_steps {
         let g_rms = rms(&grad);
         if g_rms < grad_tol {
-            return OptResult { mol: current, energy, grad_rms: g_rms, steps, converged: true };
+            return OptResult {
+                mol: current,
+                energy,
+                grad_rms: g_rms,
+                steps,
+                converged: true,
+            };
         }
         steps += 1;
         // Backtracking: shrink until the energy decreases.
@@ -161,7 +166,10 @@ mod tests {
     use liair_basis::systems;
 
     fn fast_opts() -> ScfOptions {
-        ScfOptions { energy_tol: 1e-10, ..Default::default() }
+        ScfOptions {
+            energy_tol: 1e-10,
+            ..Default::default()
+        }
     }
 
     #[test]

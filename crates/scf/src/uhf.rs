@@ -149,10 +149,8 @@ pub fn uhf(
         f_b.axpy(-1.0, &k_b);
 
         // E = ½[Tr(Dᵀ·H) + Tr(D^α F^α) + Tr(D^β F^β)] + E_nn
-        let e_elec = 0.5
-            * (d_total.trace_product(&h)
-                + d_a.trace_product(&f_a)
-                + d_b.trace_product(&f_b));
+        let e_elec =
+            0.5 * (d_total.trace_product(&h) + d_a.trace_product(&f_a) + d_b.trace_product(&f_b));
         let new_energy = e_elec + e_nuc;
 
         // Joint DIIS on the stacked [F^α; F^β] with stacked errors.
@@ -261,7 +259,11 @@ mod tests {
         let res = uhf(&mol, &basis, 1, 0, &UhfOptions::default());
         assert!(res.converged);
         assert!(approx_eq(res.energy, -0.46658, 1e-4), "E = {}", res.energy);
-        assert!(approx_eq(res.s_squared, 0.75, 1e-10), "<S2> = {}", res.s_squared);
+        assert!(
+            approx_eq(res.s_squared, 0.75, 1e-10),
+            "<S2> = {}",
+            res.s_squared
+        );
     }
 
     #[test]
@@ -271,7 +273,12 @@ mod tests {
         let r = rhf(&mol, &basis, &ScfOptions::default());
         let u = uhf(&mol, &basis, 1, 1, &UhfOptions::default());
         assert!(u.converged);
-        assert!(approx_eq(u.energy, r.energy, 1e-7), "{} vs {}", u.energy, r.energy);
+        assert!(
+            approx_eq(u.energy, r.energy, 1e-7),
+            "{} vs {}",
+            u.energy,
+            r.energy
+        );
         assert!(u.s_squared.abs() < 1e-8, "<S2> = {}", u.s_squared);
     }
 
@@ -283,11 +290,18 @@ mod tests {
         mol.atoms[1].pos.x = 6.0;
         let basis = Basis::sto3g(&mol);
         let r = rhf(&mol, &basis, &ScfOptions::default());
-        let mut opts = UhfOptions::default();
-        opts.break_symmetry = true;
+        let opts = UhfOptions {
+            break_symmetry: true,
+            ..UhfOptions::default()
+        };
         let u = uhf(&mol, &basis, 1, 1, &opts);
         assert!(u.converged);
-        assert!(u.energy < r.energy - 0.05, "UHF {} vs RHF {}", u.energy, r.energy);
+        assert!(
+            u.energy < r.energy - 0.05,
+            "UHF {} vs RHF {}",
+            u.energy,
+            r.energy
+        );
         // Two isolated H atoms: 2 × (−0.46658).
         assert!(approx_eq(u.energy, -0.93316, 2e-3), "E = {}", u.energy);
         // Strong contamination: ⟨S²⟩ → 1 in the dissociation limit.
@@ -305,11 +319,25 @@ mod tests {
         let basis = Basis::sto3g(&mol);
         let nelec = mol.nelectrons();
         assert_eq!(nelec % 2, 1);
-        let res = uhf(&mol, &basis, nelec / 2 + 1, nelec / 2, &UhfOptions::default());
+        let res = uhf(
+            &mol,
+            &basis,
+            nelec / 2 + 1,
+            nelec / 2,
+            &UhfOptions::default(),
+        );
         assert!(res.converged, "LiO2 UHF failed");
-        assert!(res.energy < -150.0 && res.energy > -165.0, "E = {}", res.energy);
+        assert!(
+            res.energy < -150.0 && res.energy > -165.0,
+            "E = {}",
+            res.energy
+        );
         // Roughly one unpaired electron.
-        assert!(res.s_squared > 0.7 && res.s_squared < 1.3, "<S2> = {}", res.s_squared);
+        assert!(
+            res.s_squared > 0.7 && res.s_squared < 1.3,
+            "<S2> = {}",
+            res.s_squared
+        );
     }
 
     #[test]
@@ -323,7 +351,11 @@ mod tests {
         let res = uhf(&mol, &basis, 9, 7, &UhfOptions::default());
         assert!(res.converged, "O2 triplet UHF failed");
         // UHF/STO-3G O2 ≈ −147.6 Ha.
-        assert!(res.energy < -147.0 && res.energy > -148.5, "E = {}", res.energy);
+        assert!(
+            res.energy < -147.0 && res.energy > -148.5,
+            "E = {}",
+            res.energy
+        );
         assert!(
             res.s_squared > 1.9 && res.s_squared < 2.2,
             "<S2> = {} (triplet expects ~2.0)",

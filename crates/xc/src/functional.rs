@@ -71,9 +71,7 @@ impl Functional {
                 let e: f64 = density
                     .par_iter()
                     .zip(&g)
-                    .map(|(&n, &gn)| {
-                        n * (0.75 * pbe::pbe_ex(n, gn) + pbe::pbe_ec(n, gn))
-                    })
+                    .map(|(&n, &gn)| n * (0.75 * pbe::pbe_ex(n, gn) + pbe::pbe_ec(n, gn)))
                     .sum();
                 e * grid.dvol()
             }
@@ -147,8 +145,9 @@ mod tests {
         let l = 9.0;
         let grid = RealGrid::cubic(Cell::cubic(l), 24);
         let g0 = 2.0 * PI / l;
-        let n: Vec<f64> =
-            (0..grid.len()).map(|i| 2.0 + (g0 * grid.point_flat(i).x).sin()).collect();
+        let n: Vec<f64> = (0..grid.len())
+            .map(|i| 2.0 + (g0 * grid.point_flat(i).x).sin())
+            .collect();
         let g = density_gradient_norm(&grid, &n);
         for i in (0..grid.len()).step_by(101) {
             let want = g0 * (g0 * grid.point_flat(i).x).cos().abs();
@@ -183,8 +182,9 @@ mod tests {
         // E_xc^{PBE0,DFT} = E_xc^{PBE} − 0.25 E_x^{PBE}.
         let grid = RealGrid::cubic(Cell::cubic(7.0), 16);
         let g0 = 2.0 * PI / 7.0;
-        let n: Vec<f64> =
-            (0..grid.len()).map(|i| 0.3 + 0.1 * (g0 * grid.point_flat(i).y).cos()).collect();
+        let n: Vec<f64> = (0..grid.len())
+            .map(|i| 0.3 + 0.1 * (g0 * grid.point_flat(i).y).cos())
+            .collect();
         let grads = density_gradient_norm(&grid, &n);
         let ex_pbe: f64 = n
             .iter()

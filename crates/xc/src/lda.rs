@@ -55,8 +55,7 @@ pub fn pw92_dec_drs(rs: f64) -> f64 {
     let q0 = -2.0 * A * (1.0 + ALPHA1 * rs);
     let dq0 = -2.0 * A * ALPHA1;
     let q1 = 2.0 * A * (BETA1 * sqrt_rs + BETA2 * rs + BETA3 * rs * sqrt_rs + BETA4 * rs * rs);
-    let dq1 = A
-        * (BETA1 / sqrt_rs + 2.0 * BETA2 + 3.0 * BETA3 * sqrt_rs + 4.0 * BETA4 * rs);
+    let dq1 = A * (BETA1 / sqrt_rs + 2.0 * BETA2 + 3.0 * BETA3 * sqrt_rs + 4.0 * BETA4 * rs);
     dq0 * (1.0 + 1.0 / q1).ln() - q0 * dq1 / (q1 * q1 + q1)
 }
 

@@ -28,19 +28,28 @@ pub fn ec0(rs: f64) -> f64 {
 
 /// ε_c(r_s, ζ = 1).
 pub fn ec1(rs: f64) -> f64 {
-    pw92_g(rs, 0.015_545_35, 0.205_48, [14.1189, 6.1977, 3.3662, 0.62517])
+    pw92_g(
+        rs,
+        0.015_545_35,
+        0.205_48,
+        [14.1189, 6.1977, 3.3662, 0.62517],
+    )
 }
 
 /// Spin stiffness −α_c(r_s) (the G fit returns −α_c).
 pub fn minus_alpha_c(rs: f64) -> f64 {
-    pw92_g(rs, 0.016_886_9, 0.111_25, [10.357, 3.6231, 0.88026, 0.49671])
+    pw92_g(
+        rs,
+        0.016_886_9,
+        0.111_25,
+        [10.357, 3.6231, 0.88026, 0.49671],
+    )
 }
 
 /// The spin interpolation function `f(ζ)`.
 pub fn f_zeta(zeta: f64) -> f64 {
     let z = zeta.clamp(-1.0, 1.0);
-    ((1.0 + z).powf(4.0 / 3.0) + (1.0 - z).powf(4.0 / 3.0) - 2.0)
-        / (2.0f64.powf(4.0 / 3.0) - 2.0)
+    ((1.0 + z).powf(4.0 / 3.0) + (1.0 - z).powf(4.0 / 3.0) - 2.0) / (2.0f64.powf(4.0 / 3.0) - 2.0)
 }
 
 /// `f''(0) = 8/(9(2^{4/3} − 2)) ≈ 1.709921`.

@@ -58,7 +58,11 @@ pub fn pbe_h(n: f64, grad_n: f64) -> f64 {
     let ec = pw92_ec(n);
     // A = (β/γ) / (e^{−ε_c/γ} − 1); guard the uniform-gas limit ε_c → 0⁻.
     let expo = (-ec / GAMMA).exp() - 1.0;
-    let a = if expo.abs() < 1e-300 { f64::INFINITY } else { BETA / GAMMA / expo };
+    let a = if expo.abs() < 1e-300 {
+        f64::INFINITY
+    } else {
+        BETA / GAMMA / expo
+    };
     let num = 1.0 + a * t2;
     let den = 1.0 + a * t2 + a * a * t2 * t2;
     GAMMA * (1.0 + BETA / GAMMA * t2 * num / den).ln()

@@ -29,7 +29,10 @@ fn main() {
         "step", "t [fs]", "r(OH) [a0]", "E_pot [Ha]", "drift [uHa]"
     );
 
-    let opts = MdOptions { dt: 10.0, thermostat: Thermostat::None };
+    let opts = MdOptions {
+        dt: 10.0,
+        thermostat: Thermostat::None,
+    };
     for step in 0..30 {
         state.step(&provider, &opts);
         if step % 3 == 0 {

@@ -23,10 +23,11 @@ use liair::prelude::*;
 use rand::SeedableRng;
 
 fn scf_opts() -> ScfOptions {
-    let mut o = ScfOptions::default();
-    o.energy_tol = 1e-7;
-    o.max_iter = 120;
-    o
+    ScfOptions {
+        energy_tol: 1e-7,
+        max_iter: 120,
+        ..ScfOptions::default()
+    }
 }
 
 fn rhf_energy(mol: &Molecule) -> (ScfResult, Basis) {
@@ -41,18 +42,20 @@ fn main() {
     let solvents: Vec<systems::Solvent> = if all {
         systems::Solvent::all().to_vec()
     } else {
-        vec![
-            systems::Solvent::PropyleneCarbonate,
-            systems::Solvent::Dmso,
-        ]
+        vec![systems::Solvent::PropyleneCarbonate, systems::Solvent::Dmso]
     };
 
     println!("== Li/air electrolyte screening (STO-3G, PBE0 post-SCF) ==\n");
     // Shared fragment: the peroxide cluster.
     let cluster = systems::li2o2();
     let (scf_cluster, basis_cluster) = rhf_energy(&cluster);
-    let e_cluster_pbe0 =
-        functional_energy(&cluster, &basis_cluster, &scf_cluster, Functional::Pbe0, &scf_opts());
+    let e_cluster_pbe0 = functional_energy(
+        &cluster,
+        &basis_cluster,
+        &scf_cluster,
+        Functional::Pbe0,
+        &scf_opts(),
+    );
     println!(
         "Li2O2 cluster: E(RHF) = {:.5} Ha, E(PBE0) = {:.5} Ha\n",
         scf_cluster.energy, e_cluster_pbe0
@@ -69,21 +72,24 @@ fn main() {
         let (scf_s, basis_s) = rhf_energy(&solvent);
         let (scf_c, basis_c) = rhf_energy(&complex);
         let e_int_rhf = scf_c.energy - scf_s.energy - scf_cluster.energy;
-        let pbe0_s =
-            functional_energy(&solvent, &basis_s, &scf_s, Functional::Pbe0, &scf_opts());
-        let pbe0_c =
-            functional_energy(&complex, &basis_c, &scf_c, Functional::Pbe0, &scf_opts());
+        let pbe0_s = functional_energy(&solvent, &basis_s, &scf_s, Functional::Pbe0, &scf_opts());
+        let pbe0_c = functional_energy(&complex, &basis_c, &scf_c, Functional::Pbe0, &scf_opts());
         let e_int_pbe0 = pbe0_c - pbe0_s - e_cluster_pbe0;
 
         // --- hot classical MD of the complex: degradation events ---
         let ff = ForceField::from_molecule(&complex, None);
-        let n_solvent_bonds = liair::md::ForceField::from_molecule(&solvent, None).bonds.len();
+        let n_solvent_bonds = liair::md::ForceField::from_molecule(&solvent, None)
+            .bonds
+            .len();
         let mut state = MdState::new(complex.clone(), None, &ff);
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2014);
         state.thermalize(1200.0, &mut rng);
         let opts = MdOptions {
             dt: 15.0,
-            thermostat: Thermostat::Berendsen { t_target: 1200.0, tau: 500.0 },
+            thermostat: Thermostat::Berendsen {
+                t_target: 1200.0,
+                tau: 500.0,
+            },
         };
         let mut events = BondEvents::default();
         for _ in 0..4000 {
@@ -96,7 +102,11 @@ fn main() {
             events.record(&broken);
         }
         let _ = n_solvent_bonds;
-        let verdict = if events.count() > 0 { "DEGRADES" } else { "stable" };
+        let verdict = if events.count() > 0 {
+            "DEGRADES"
+        } else {
+            "stable"
+        };
         println!(
             "{:<6} {:>14.1} {:>14.1} {:>16} {:>12}",
             s.name(),

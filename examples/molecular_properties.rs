@@ -6,9 +6,7 @@
 //! Run with: `cargo run --release --example molecular_properties`
 
 use liair::prelude::*;
-use liair::scf::optimize::{
-    dipole_moment, harmonic_frequencies, optimize_rhf, AU_TO_DEBYE,
-};
+use liair::scf::optimize::{dipole_moment, harmonic_frequencies, optimize_rhf, AU_TO_DEBYE};
 
 fn main() {
     let opts = ScfOptions::default();
@@ -26,15 +24,21 @@ fn main() {
 
     let freqs = harmonic_frequencies(&res.mol, &opts, 5e-3);
     let modes: Vec<f64> = freqs.iter().copied().filter(|f| f.abs() > 500.0).collect();
-    println!("  harmonic modes: {:?} cm^-1 (3N-6 = 3 expected)",
-             modes.iter().map(|f| f.round()).collect::<Vec<_>>());
+    println!(
+        "  harmonic modes: {:?} cm^-1 (3N-6 = 3 expected)",
+        modes.iter().map(|f| f.round()).collect::<Vec<_>>()
+    );
 
     let basis = Basis::sto3g(&res.mol);
     let scf = rhf(&res.mol, &basis, &opts);
     let mu = dipole_moment(&res.mol, &basis, &scf.density);
     println!("  dipole = {:.3} D", mu.norm() * AU_TO_DEBYE);
     let corr = mp2_correlation(&basis, &scf);
-    println!("  E(MP2 corr) = {:.6} Ha  ->  E(MP2) = {:.6} Ha", corr, scf.energy + corr);
+    println!(
+        "  E(MP2 corr) = {:.6} Ha  ->  E(MP2) = {:.6} Ha",
+        corr,
+        scf.energy + corr
+    );
 
     // 6-31G comparison.
     let b2 = Basis::b631g(&res.mol);

@@ -9,21 +9,27 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use liair::core::hfx::{
-    analytic_exchange, analytic_exchange_orbitals, grid_exchange_for_molecule,
-};
+use liair::core::hfx::{analytic_exchange, analytic_exchange_orbitals, grid_exchange_for_molecule};
 use liair::prelude::*;
 
 fn main() {
     println!("== liair quickstart: H2O / STO-3G ==\n");
     let mol = systems::water();
     let basis = Basis::sto3g(&mol);
-    println!("molecule: {} ({} atoms, {} AOs)", mol.formula(), mol.natoms(), basis.nao());
+    println!(
+        "molecule: {} ({} atoms, {} AOs)",
+        mol.formula(),
+        mol.natoms(),
+        basis.nao()
+    );
 
     // --- SCF ---
     let opts = ScfOptions::default();
     let scf = rhf(&mol, &basis, &opts);
-    println!("\nRHF converged in {} iterations: E = {:.6} Ha", scf.iterations, scf.energy);
+    println!(
+        "\nRHF converged in {} iterations: E = {:.6} Ha",
+        scf.iterations, scf.energy
+    );
     let b = scf.breakdown;
     println!(
         "  nuclear {:+.4}  core {:+.4}  Coulomb {:+.4}  exchange {:+.4}",
@@ -35,22 +41,24 @@ fn main() {
     let e_pbe = functional_energy(&mol, &basis, &scf, Functional::Pbe, &opts);
     println!("\npost-SCF functionals on the converged density:");
     println!("  PBE   : {:.6} Ha", e_pbe);
-    println!("  PBE0  : {:.6} Ha  (the paper's production functional)", e_pbe0);
+    println!(
+        "  PBE0  : {:.6} Ha  (the paper's production functional)",
+        e_pbe0
+    );
 
     // --- grid exact exchange (the paper's kernel) ---
     let e_x_all = analytic_exchange(&basis, &scf.density, 0.0);
-    println!("\nexact exchange, analytic, all orbitals (−¼ Tr DK): {:.6} Ha", e_x_all);
+    println!(
+        "\nexact exchange, analytic, all orbitals (−¼ Tr DK): {:.6} Ha",
+        e_x_all
+    );
     println!("valence-only grid pair-Poisson path (O 1s core handled by the");
     println!("pseudopotential in the paper's plane-wave setting, filtered here):");
     let mut want = f64::NAN;
     for n in [48usize, 64, 80] {
         let out = grid_exchange_for_molecule(&mol, &basis, &scf, n, 7.0, 1e-8, 0.4);
         if want.is_nan() {
-            want = analytic_exchange_orbitals(
-                &out.basis_centered,
-                &out.c_kept,
-                out.c_kept.ncols(),
-            );
+            want = analytic_exchange_orbitals(&out.basis_centered, &out.c_kept, out.c_kept.ncols());
             println!("  analytic valence reference          : {:.6} Ha", want);
         }
         println!(

@@ -28,9 +28,18 @@ fn main() {
     let series = scaling_series();
 
     for (label, scheme) in [
-        ("THIS WORK: pair-distributed, pair-local grids", Scheme::ours()),
-        ("baseline: full-grid pairs (comparable approach)", Scheme::FullGridPairs),
-        ("baseline: PW-distributed (prior state of the art)", Scheme::PwDistributed),
+        (
+            "THIS WORK: pair-distributed, pair-local grids",
+            Scheme::ours(),
+        ),
+        (
+            "baseline: full-grid pairs (comparable approach)",
+            Scheme::FullGridPairs,
+        ),
+        (
+            "baseline: PW-distributed (prior state of the art)",
+            Scheme::PwDistributed,
+        ),
     ] {
         println!("\n--- {label} ---");
         println!(

@@ -22,7 +22,11 @@ fn main() {
         cell.lengths.x
     );
     let ff = ForceField::from_molecule(&mol, Some(&cell));
-    println!("force field: {} bonds, {} angles", ff.bonds.len(), ff.angles.len());
+    println!(
+        "force field: {} bonds, {} angles",
+        ff.bonds.len(),
+        ff.angles.len()
+    );
 
     let mut state = MdState::new(mol, Some(cell), &ff);
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
@@ -31,13 +35,19 @@ fn main() {
     // Equilibrate with a thermostat.
     let eq = MdOptions {
         dt: 15.0,
-        thermostat: Thermostat::Berendsen { t_target: 300.0, tau: 300.0 },
+        thermostat: Thermostat::Berendsen {
+            t_target: 300.0,
+            tau: 300.0,
+        },
     };
     state.run(&ff, &eq, 1500);
     println!("\nafter equilibration: T = {:.0} K", state.temperature());
 
     // NVE production with RDF accumulation.
-    let nve = MdOptions { dt: 15.0, thermostat: Thermostat::None };
+    let nve = MdOptions {
+        dt: 15.0,
+        thermostat: Thermostat::None,
+    };
     let mut rdf = RdfAccumulator::new(Element::O, Element::O, 12.0, 48);
     let mut energies = Vec::new();
     for step in 0..2000 {
@@ -69,7 +79,12 @@ fn main() {
         .atoms
         .iter()
         .filter(|a| a.element == Element::O)
-        .flat_map(|a| (0..4).map(move |_| OrbitalInfo { center: a.pos, spread: 1.5 }))
+        .flat_map(|a| {
+            (0..4).map(move |_| OrbitalInfo {
+                center: a.pos,
+                spread: 1.5,
+            })
+        })
         .collect();
     for eps in [1e-4, 1e-6, 1e-8] {
         let pl = build_pair_list(&orbitals, eps, Some(&state.cell.unwrap()));

@@ -1,0 +1,154 @@
+//! Offline stand-in for [serde](https://docs.rs/serde) (see
+//! `shims/README.md`). Provides the trait surface the workspace's type
+//! definitions and `with`-modules compile against. Nothing in the
+//! workspace serializes at runtime, so implementations are honest stubs:
+//! serializing produces a unit value, deserializing returns an error.
+
+use core::fmt::Display;
+
+pub mod de {
+    use core::fmt::Display;
+
+    /// Error constructor used by `Deserialize` impls (`serde::de::Error`).
+    pub trait Error: Sized + Display {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+pub mod ser {
+    pub use crate::Serializer;
+}
+
+/// Output sink for [`Serialize`]. The only sink the shim knows how to fill
+/// is the unit sink — sufficient because no workspace code consumes
+/// serialized bytes.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: de::Error;
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Input source for [`Deserialize`].
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+}
+
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+macro_rules! impl_stub {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_unit()
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {
+                Err(<D::Error as de::Error>::custom(
+                    "offline serde shim cannot deserialize",
+                ))
+            }
+        }
+    )*};
+}
+
+impl_stub!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, String);
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {
+        Err(<D::Error as de::Error>::custom(
+            "offline serde shim cannot deserialize",
+        ))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {
+        Err(<D::Error as de::Error>::custom(
+            "offline serde shim cannot deserialize",
+        ))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {
+        Err(<D::Error as de::Error>::custom(
+            "offline serde shim cannot deserialize",
+        ))
+    }
+}
+
+// Re-export the no-op derive macros under the trait names, as real serde
+// does with the `derive` feature.
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Support machinery for the derive expansion (mirrors serde's
+/// `__private`): concrete serializer/deserializer types the derives use to
+/// instantiate `#[serde(with = "...")]` helper functions, so those helpers
+/// count as used.
+pub mod __private {
+    use super::{de, Deserializer, Serializer};
+    use core::fmt;
+
+    #[derive(Debug)]
+    pub struct ShimError;
+
+    impl fmt::Display for ShimError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("offline serde shim error")
+        }
+    }
+
+    impl de::Error for ShimError {
+        fn custom<T: fmt::Display>(_msg: T) -> Self {
+            ShimError
+        }
+    }
+
+    pub struct UnitSerializer;
+
+    impl Serializer for UnitSerializer {
+        type Ok = ();
+        type Error = ShimError;
+        fn serialize_unit(self) -> Result<(), ShimError> {
+            Ok(())
+        }
+    }
+
+    pub struct UnitDeserializer;
+
+    impl<'de> Deserializer<'de> for UnitDeserializer {
+        type Error = ShimError;
+    }
+}
+
+/// Keep the `Display` import live even without impl users.
+#[allow(dead_code)]
+fn _assert_display<E: de::Error>(e: &E) -> impl Display + '_ {
+    e
+}

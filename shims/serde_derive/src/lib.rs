@@ -1,0 +1,109 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline
+//! serde shim (see `shims/README.md`). The derives exist so type
+//! definitions keep their serde annotations compiling; nothing in the
+//! workspace serializes at runtime, so the generated impls are honest
+//! stubs: `Serialize` emits a unit, `Deserialize` returns an error.
+//!
+//! Implemented without `syn`/`quote` (no network): the macro scans the raw
+//! token stream for the `struct`/`enum` keyword and takes the following
+//! identifier as the type name. Generic derived types are rejected with a
+//! clear compile error — the workspace has none.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Collect every module path named by a `#[serde(with = "...")]` field
+/// attribute, so the derive can emit a reference that keeps the helper
+/// functions alive (real serde_derive calls them; the shim instantiates
+/// them with its `__private` unit serializer/deserializer).
+fn with_modules(stream: TokenStream) -> Vec<String> {
+    let mut found = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Group(g) => found.extend(with_modules(g.stream())),
+            TokenTree::Ident(id) if id.to_string() == "with" => {
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == '=' {
+                        tokens.next();
+                        if let Some(TokenTree::Literal(lit)) = tokens.next() {
+                            let s = lit.to_string();
+                            found.push(s.trim_matches('"').to_string());
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    found
+}
+
+/// Extract the type name following the first `struct` or `enum` keyword and
+/// reject generics (`<` right after the name).
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("serde_derive shim: expected type name, got {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == '<' {
+                        panic!(
+                            "serde_derive shim: generic type `{name}` is not supported; \
+                             extend shims/serde_derive if the workspace needs it"
+                        );
+                    }
+                }
+                return name;
+            }
+        }
+    }
+    panic!("serde_derive shim: no struct/enum found in derive input");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let withs = with_modules(input.clone());
+    let name = type_name(input);
+    let keep_alive: String = withs
+        .iter()
+        .map(|m| format!("const _: () = {{ let _ = {m}::serialize::<::serde::__private::UnitSerializer>; }};\n"))
+        .collect();
+    format!(
+        "{keep_alive}\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+                 -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 serializer.serialize_unit()\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let withs = with_modules(input.clone());
+    let name = type_name(input);
+    let keep_alive: String = withs
+        .iter()
+        .map(|m| format!("const _: () = {{ let _ = {m}::deserialize::<'static, ::serde::__private::UnitDeserializer>; }};\n"))
+        .collect();
+    format!(
+        "{keep_alive}\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::Deserializer<'de>>(_deserializer: D)\n\
+                 -> ::core::result::Result<Self, D::Error> {{\n\
+                 ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\n\
+                     \"offline serde shim cannot deserialize\"))\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated impl failed to parse")
+}

@@ -50,15 +50,15 @@ pub mod prelude {
     pub use liair_basis::{systems, Basis, Cell, Element, Molecule, ANGSTROM};
     pub use liair_bgq::{machine::scaling_series, MachineConfig};
     pub use liair_core::{
-        build_pair_list, exchange_energy, simulate_hfx_build, BalanceStrategy,
-        OrbitalInfo, Scheme, Workload,
+        build_pair_list, exchange_energy, simulate_hfx_build, BalanceStrategy, OrbitalInfo, Scheme,
+        Workload,
     };
     pub use liair_grid::{foster_boys, MolGrid, PoissonSolver, RealGrid};
     pub use liair_math::{Mat, Vec3};
     pub use liair_md::{ForceField, MdOptions, MdState, Thermostat};
     pub use liair_scf::{
-        fci_two_electron, functional_energy, harmonic_frequencies, mp2_correlation,
-        optimize_rhf, rhf, rks_lda, uhf, ScfOptions, ScfResult, UhfOptions,
+        fci_two_electron, functional_energy, harmonic_frequencies, mp2_correlation, optimize_rhf,
+        rhf, rks_lda, uhf, ScfOptions, ScfResult, UhfOptions,
     };
     pub use liair_xc::Functional;
 }

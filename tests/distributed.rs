@@ -7,7 +7,12 @@ use liair::core::hfx::exchange_energy;
 use liair::grid::orbitals_on_grid;
 use liair::prelude::*;
 
-fn setup() -> (RealGrid, PoissonSolver, Vec<Vec<f64>>, liair::core::PairList) {
+fn setup() -> (
+    RealGrid,
+    PoissonSolver,
+    Vec<Vec<f64>>,
+    liair::core::PairList,
+) {
     // An H2 trimer: 3 localized orbitals with nontrivial pair structure.
     let mut mol = systems::h2();
     for k in 1..3 {
@@ -35,7 +40,10 @@ fn setup() -> (RealGrid, PoissonSolver, Vec<Vec<f64>>, liair::core::PairList) {
         .centers
         .iter()
         .zip(&loc.spreads)
-        .map(|(&c, &s)| OrbitalInfo { center: c, spread: s.max(0.3) })
+        .map(|(&c, &s)| OrbitalInfo {
+            center: c,
+            spread: s.max(0.3),
+        })
         .collect();
     let pairs = build_pair_list(&infos, 0.0, None);
     (grid, solver, fields, pairs)
@@ -48,8 +56,7 @@ fn message_passing_matches_shared_memory_on_real_orbitals() {
     assert!(serial.energy < 0.0);
     for nranks in [2, 4] {
         for strat in [BalanceStrategy::RoundRobin, BalanceStrategy::GreedyLpt] {
-            let dist =
-                distributed_exchange(&grid, &solver, &fields, &pairs, nranks, strat);
+            let dist = distributed_exchange(&grid, &solver, &fields, &pairs, nranks, strat);
             assert!(
                 (dist.energy - serial.energy).abs() < 1e-10,
                 "nranks={nranks}: {} vs {}",

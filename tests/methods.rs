@@ -11,7 +11,10 @@ fn method_hierarchy_h2() {
     let mol = systems::h2();
     let opts = ScfOptions::default();
     let mut previous_fci = 0.0;
-    for (k, basis) in [Basis::sto3g(&mol), Basis::b631g(&mol)].into_iter().enumerate() {
+    for (k, basis) in [Basis::sto3g(&mol), Basis::b631g(&mol)]
+        .into_iter()
+        .enumerate()
+    {
         let scf = rhf(&mol, &basis, &opts);
         assert!(scf.converged);
         let corr = mp2_correlation(&basis, &scf);
@@ -40,7 +43,12 @@ fn uhf_rhf_consistency_and_radical() {
     let r = rhf(&mol, &basis, &ScfOptions::default());
     let u = uhf(&mol, &basis, 2, 2, &UhfOptions::default());
     assert!(u.converged);
-    assert!((u.energy - r.energy).abs() < 1e-6, "{} vs {}", u.energy, r.energy);
+    assert!(
+        (u.energy - r.energy).abs() < 1e-6,
+        "{} vs {}",
+        u.energy,
+        r.energy
+    );
     assert!(u.s_squared.abs() < 1e-6);
 }
 
@@ -58,7 +66,11 @@ fn ewald_is_consistent_with_direct_sum_in_big_cell() {
         Vec3::new(30.0 + r / 2.0, 30.0, 30.0),
     ];
     let chg = vec![1.0, -1.0];
-    let params = EwaldParams { alpha: 0.25, r_cut: 25.0, k_max: 10 };
+    let params = EwaldParams {
+        alpha: 0.25,
+        r_cut: 25.0,
+        k_max: 10,
+    };
     let (e, f) = ewald_energy_forces(&cell, &pos, &chg, &params);
     // Isolated pair: E = −1/r, attractive forces along ±x.
     assert!((e - (-1.0 / r)).abs() < 1e-3, "E = {e} vs {}", -1.0 / r);
@@ -101,7 +113,10 @@ fn nvt_frame_feeds_screening() {
     state.thermalize(300.0, &mut rng);
     let opts = MdOptions {
         dt: 15.0,
-        thermostat: Thermostat::NoseHoover { t_target: 300.0, tau: 400.0 },
+        thermostat: Thermostat::NoseHoover {
+            t_target: 300.0,
+            tau: 400.0,
+        },
     };
     let mut h_series = Vec::new();
     for _ in 0..400 {
@@ -115,7 +130,10 @@ fn nvt_frame_feeds_screening() {
         .atoms
         .iter()
         .filter(|a| a.element == Element::O)
-        .map(|a| OrbitalInfo { center: a.pos, spread: 1.5 })
+        .map(|a| OrbitalInfo {
+            center: a.pos,
+            spread: 1.5,
+        })
         .collect();
     let pl = build_pair_list(&orbitals, 1e-4, Some(&state.cell.unwrap()));
     assert!(pl.survival() > 0.1 && pl.survival() <= 1.0);

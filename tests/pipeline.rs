@@ -18,7 +18,11 @@ fn full_pipeline_h2_dimer() {
     let scf = rhf(&mol, &basis, &ScfOptions::default());
     assert!(scf.converged);
     // Two H2 units: E ≈ 2 × E(H2) plus a small interaction.
-    assert!((scf.energy - 2.0 * (-1.1167)).abs() < 0.05, "E = {}", scf.energy);
+    assert!(
+        (scf.energy - 2.0 * (-1.1167)).abs() < 0.05,
+        "E = {}",
+        scf.energy
+    );
 
     let out = grid_exchange_for_molecule(&mol, &basis, &scf, 64, 7.0, 0.0, 0.0);
     let want = analytic_exchange_orbitals(&out.basis_centered, &out.c_kept, out.c_kept.ncols());
