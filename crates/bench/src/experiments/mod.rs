@@ -3,6 +3,7 @@
 
 pub mod accuracy;
 pub mod battery;
+pub mod incremental;
 pub mod node;
 pub mod scaling;
 pub mod validation;
@@ -10,7 +11,7 @@ pub mod validation;
 use crate::Table;
 
 /// All experiment ids in the DESIGN.md order.
-pub const ALL_IDS: [&str; 17] = [
+pub const ALL_IDS: [&str; 18] = [
     "fig-strong-scaling",
     "fig-weak-scaling",
     "fig-baseline-scaling",
@@ -28,6 +29,7 @@ pub const ALL_IDS: [&str; 17] = [
     "tab-battery",
     "fig-md-water",
     "bench-pair-kernel",
+    "bench-incremental",
 ];
 
 /// Run one experiment by id. `fast` trims the heaviest sweeps to keep the
@@ -51,6 +53,7 @@ pub fn run(id: &str, fast: bool) -> Vec<Table> {
         "tab-battery" => battery::tab_battery(fast),
         "fig-md-water" => battery::fig_md_water(fast),
         "bench-pair-kernel" => node::bench_pair_kernel(fast),
+        "bench-incremental" => incremental::bench_incremental(fast),
         other => panic!("unknown experiment id '{other}' (see ALL_IDS)"),
     }
 }

@@ -26,6 +26,8 @@
 //! | `tab-hfx-validation` | grid pair-Poisson exchange = analytic exchange |
 //! | `tab-battery` | PC degrades at Li₂O₂; candidate solvents survive |
 //! | `fig-md-water` | stable condensed-phase MD substrate |
+//! | `bench-pair-kernel` | measured single vs batched pair-Poisson kernel (writes `BENCH_pair_kernel.json`) |
+//! | `bench-incremental` | incremental exchange vs from-scratch across an MD-like step (writes `BENCH_incremental.json`) |
 
 #![allow(clippy::needless_range_loop)] // index loops are the clearer idiom in this numeric code
 

@@ -59,6 +59,7 @@ pub fn distributed_exchange(
         energy,
         pairs_evaluated: pairs.len(),
         pairs_screened: pairs.n_candidates - pairs.len(),
+        inc: crate::incremental::IncStats::default(),
     }
 }
 

@@ -31,6 +31,7 @@
 pub mod balance;
 pub mod distributed;
 pub mod hfx;
+pub mod incremental;
 pub mod operator;
 pub mod screening;
 pub mod simulate;
@@ -38,9 +39,11 @@ pub mod workload;
 
 pub use balance::{assign_pairs, Assignment, BalanceStrategy};
 pub use hfx::{exchange_energy, exchange_energy_patched, HfxResult};
+pub use incremental::{Fingerprint, IncStats, IncrementalExchange};
 pub use operator::{
-    exchange_operator_grid, rhf_with_grid_exchange, rhf_with_grid_exchange_scheduled,
+    exchange_operator_grid, rhf_with_grid_exchange, rhf_with_grid_exchange_in_cell,
+    rhf_with_grid_exchange_incremental, rhf_with_grid_exchange_scheduled, GridScfResult,
 };
-pub use screening::{build_pair_list, EpsSchedule, OrbitalInfo, Pair, PairList};
+pub use screening::{build_pair_list, EpsSchedule, IncSchedule, OrbitalInfo, Pair, PairList};
 pub use simulate::{simulate_hfx_build, Scheme, SimOutcome};
 pub use workload::Workload;

@@ -38,6 +38,10 @@ pub fn exchange_operator_grid(
 /// As [`exchange_operator_grid`], dropping `(orbital j, AO ν)` tasks whose
 /// Gaussian-overlap bound falls below `eps` (the same knob as the energy
 /// path). Returns `(K, tasks_evaluated, tasks_skipped)`.
+///
+/// Built as `K = Σ_j ΔK_j` from per-orbital contributions — the same
+/// assembly the incremental path ([`crate::incremental::IncrementalExchange`])
+/// uses, so an incremental build with `eps_inc = 0` is bit-identical.
 pub fn exchange_operator_grid_screened(
     basis: &Basis,
     c_occ: &Mat,
@@ -46,14 +50,54 @@ pub fn exchange_operator_grid_screened(
     solver: &PoissonSolver,
     eps: f64,
 ) -> (Mat, usize, usize) {
+    let setup = k_build_setup(basis, c_occ, nocc, grid, eps);
+    let slots: Vec<usize> = (0..nocc).collect();
+    let results = k_orbital_contribs(&setup, grid, solver, eps, &slots);
+    let mut k = Mat::zeros(setup.nao, setup.nao);
+    let mut evaluated = 0;
+    let mut skipped = 0;
+    for ((_, dk), (ev, sk)) in &results {
+        k.axpy(1.0, dk);
+        evaluated += ev;
+        skipped += sk;
+    }
+    symmetrize(&mut k);
+    (k, evaluated, skipped)
+}
+
+/// Everything the per-orbital K tasks need that does not depend on which
+/// orbitals are dirty: AO and orbital fields on the grid plus the
+/// screening metadata. Shared by the from-scratch and incremental builds.
+pub(crate) struct KBuildSetup {
+    pub(crate) nao: usize,
+    pub(crate) nocc: usize,
+    /// Localization centers/spreads of the (localized) occupied orbitals;
+    /// empty when `eps = 0` (no localization, nothing to screen).
+    pub(crate) orb_info: Vec<crate::screening::OrbitalInfo>,
+    /// Screening metadata of the AOs (empty when `eps = 0`).
+    pub(crate) ao_info: Vec<crate::screening::OrbitalInfo>,
+    /// Occupied orbital fields on the grid (localized when `eps > 0`).
+    pub(crate) orbitals: Vec<Vec<f64>>,
+    /// AO fields on the grid.
+    pub(crate) aos: Vec<Vec<f64>>,
+}
+
+/// Evaluate the orbital fields and screening metadata for a K build.
+///
+/// Canonical orbitals are delocalized and unscreenable; K is invariant
+/// under rotations within the occupied space, so when screening is on we
+/// localize first (exactly what the paper's scheme does each step).
+pub(crate) fn k_build_setup(
+    basis: &Basis,
+    c_occ: &Mat,
+    nocc: usize,
+    grid: &RealGrid,
+    eps: f64,
+) -> KBuildSetup {
     let nao = basis.nao();
     assert_eq!(c_occ.nrows(), nao);
     assert!(nocc <= c_occ.ncols());
     let aos = ao_values(basis, grid);
-
-    // Canonical orbitals are delocalized and unscreenable; K is invariant
-    // under rotations within the occupied space, so when screening is on
-    // we localize first (exactly what the paper's scheme does each step).
     let (c_work, orb_info, ao_info) = if eps > 0.0 {
         let loc = liair_grid::foster_boys(basis, c_occ, nocc, 60);
         let orbs: Vec<crate::screening::OrbitalInfo> = loc
@@ -82,54 +126,88 @@ pub fn exchange_operator_grid_screened(
         (c_occ.clone(), Vec::new(), Vec::new())
     };
     let orbitals = orbitals_on_grid(basis, &c_work, nocc, grid);
+    KBuildSetup {
+        nao,
+        nocc,
+        orb_info,
+        ao_info,
+        orbitals,
+        aos,
+    }
+}
 
+/// Run the surviving `(j, ν)` Poisson tasks of the orbitals in `slots`
+/// (rayon-parallel over that task list only) and return, per requested
+/// orbital, its unsymmetrized contribution `ΔK_j` plus `(evaluated,
+/// skipped)` task counts. `K = Σ_j ΔK_j` over all occupied orbitals.
+pub(crate) fn k_orbital_contribs(
+    setup: &KBuildSetup,
+    grid: &RealGrid,
+    solver: &PoissonSolver,
+    eps: f64,
+    slots: &[usize],
+) -> Vec<((usize, Mat), (usize, usize))> {
+    let nao = setup.nao;
     // For each (j, ν): v_jν = Poisson[φ_j χ_ν]; then
-    // K_μν = Σ_j ∫ χ_μ φ_j v_jν. Parallel over the (j, ν) task list —
-    // exactly the pair-task structure of the energy path.
-    let all_tasks = nocc * nao;
-    let tasks: Vec<(usize, usize)> = (0..nocc)
-        .flat_map(|j| (0..nao).map(move |nu| (j, nu)))
+    // K_μν += ∫ χ_μ φ_j v_jν — the pair-task structure of the energy path.
+    let tasks: Vec<(usize, usize)> = slots
+        .iter()
+        .flat_map(|&j| (0..nao).map(move |nu| (j, nu)))
         .filter(|&(j, nu)| {
-            eps <= 0.0 || crate::screening::pair_bound(&orb_info[j], &ao_info[nu], None) >= eps
+            eps <= 0.0
+                || crate::screening::pair_bound(&setup.orb_info[j], &setup.ao_info[nu], None) >= eps
         })
         .collect();
-    let evaluated = tasks.len();
-    let skipped = all_tasks - evaluated;
     // Each worker owns one pair-density buffer and one Poisson workspace
     // for its whole share of tasks: the grid-sized allocations the seed
     // paid per (j, ν) task are gone (only the nao-length output column
     // remains per task).
-    let contributions: Vec<(usize, Vec<f64>)> = (0..tasks.len())
+    let contributions: Vec<(usize, usize, Vec<f64>)> = (0..tasks.len())
         .into_par_iter()
         .map_init(
             || (vec![0.0; grid.len()], PoissonWorkspace::new()),
             |(rho, ws), t| {
                 let (j, nu) = tasks[t];
-                for ((r, &a), &b) in rho.iter_mut().zip(&orbitals[j]).zip(&aos[nu]) {
+                for ((r, &a), &b) in rho.iter_mut().zip(&setup.orbitals[j]).zip(&setup.aos[nu]) {
                     *r = a * b;
                 }
                 let v = solver.solve_into(rho, ws);
-                // column ν of K gets Σ_j ⟨χ_μ φ_j | v_jν⟩ for every μ.
+                // column ν of ΔK_j gets ⟨χ_μ φ_j | v_jν⟩ for every μ.
                 let col: Vec<f64> = (0..nao)
                     .map(|mu| {
                         let mut acc = 0.0;
                         for p in 0..grid.len() {
-                            acc += aos[mu][p] * orbitals[j][p] * v[p];
+                            acc += setup.aos[mu][p] * setup.orbitals[j][p] * v[p];
                         }
                         acc * grid.dvol()
                     })
                     .collect();
-                (nu, col)
+                (j, nu, col)
             },
         )
         .collect();
-    let mut k = Mat::zeros(nao, nao);
-    for (nu, col) in contributions {
-        for mu in 0..nao {
-            k[(mu, nu)] += col[mu];
-        }
+    let mut slot_of = vec![usize::MAX; setup.nocc];
+    for (s, &j) in slots.iter().enumerate() {
+        slot_of[j] = s;
     }
-    // Symmetrize (grid quadrature breaks exact symmetry at the 1e-6 level).
+    let mut out: Vec<((usize, Mat), (usize, usize))> = slots
+        .iter()
+        .map(|&j| ((j, Mat::zeros(nao, nao)), (0, nao)))
+        .collect();
+    for (j, nu, col) in contributions {
+        let ((_, dk), (ev, sk)) = &mut out[slot_of[j]];
+        for mu in 0..nao {
+            dk[(mu, nu)] += col[mu];
+        }
+        *ev += 1;
+        *sk -= 1;
+    }
+    out
+}
+
+/// Average away the 1e-6-level asymmetry grid quadrature leaves in K.
+pub(crate) fn symmetrize(k: &mut Mat) {
+    let nao = k.nrows();
     for mu in 0..nao {
         for nu in (mu + 1)..nao {
             let s = 0.5 * (k[(mu, nu)] + k[(nu, mu)]);
@@ -137,7 +215,6 @@ pub fn exchange_operator_grid_screened(
             k[(nu, mu)] = s;
         }
     }
-    (k, evaluated, skipped)
 }
 
 /// Result of the grid-exchange SCF.
@@ -155,6 +232,9 @@ pub struct GridScfResult {
     pub tasks_evaluated: usize,
     /// Total tasks dropped by the ε schedule.
     pub tasks_skipped: usize,
+    /// Tasks satisfied from the incremental cache instead of a Poisson
+    /// solve (0 for non-incremental runs; included in `tasks_evaluated`).
+    pub tasks_reused: usize,
 }
 
 /// Restricted Hartree–Fock in which the exchange matrix is built on the
@@ -194,32 +274,98 @@ pub fn rhf_with_grid_exchange_scheduled(
     tol: f64,
     schedule: crate::screening::EpsSchedule,
 ) -> GridScfResult {
+    let (mol_c, grid, solver) = center_in_box(mol, n, padding);
+    rhf_with_grid_exchange_in_cell(&mol_c, &grid, &solver, max_iter, tol, schedule, None, None)
+}
+
+/// As [`rhf_with_grid_exchange_scheduled`] with an incremental-exchange
+/// state reused across the SCF iterations: the K build of iteration `it`
+/// recomputes only the orbitals that moved since their cached contribution
+/// (tolerance from `inc_schedule`), reusing the rest. `inc` persists
+/// across calls, so a caller stepping a geometry (MD) keeps the cache warm
+/// between steps *provided the box frame is fixed* — use
+/// [`rhf_with_grid_exchange_in_cell`] directly for that; this entry point
+/// re-centers per call and is meant for single-point runs.
+#[allow(clippy::too_many_arguments)]
+pub fn rhf_with_grid_exchange_incremental(
+    mol: &Molecule,
+    n: usize,
+    padding: f64,
+    max_iter: usize,
+    tol: f64,
+    schedule: crate::screening::EpsSchedule,
+    inc_schedule: crate::screening::IncSchedule,
+    inc: &mut crate::incremental::IncrementalExchange,
+) -> GridScfResult {
+    let (mol_c, grid, solver) = center_in_box(mol, n, padding);
+    rhf_with_grid_exchange_in_cell(
+        &mol_c,
+        &grid,
+        &solver,
+        max_iter,
+        tol,
+        schedule,
+        Some((inc, inc_schedule)),
+        None,
+    )
+}
+
+/// Center `mol` in a cubic box sized to its extent plus `padding` on each
+/// side, with an `n³` grid and an isolated Poisson solver.
+fn center_in_box(mol: &Molecule, n: usize, padding: f64) -> (Molecule, RealGrid, PoissonSolver) {
     let (lo, hi) = mol.bounding_box();
     let extent = (hi - lo).x.max((hi - lo).y).max((hi - lo).z);
     let edge = extent + 2.0 * padding;
     let shift = liair_math::Vec3::splat(edge / 2.0) - (lo + hi) * 0.5;
     let mut mol_c = mol.clone();
     mol_c.translate(shift);
-    let basis = Basis::sto3g(&mol_c);
+    let grid = RealGrid::cubic(Cell::cubic(edge), n);
+    let solver = PoissonSolver::isolated(grid);
+    (mol_c, grid, solver)
+}
+
+/// The grid-exchange SCF loop itself, in a caller-fixed frame: `mol_c`
+/// must already sit inside the cell `grid` discretizes. This is the MD
+/// entry point — a fixed box keeps orbital fields comparable across steps,
+/// which is what lets an [`crate::incremental::IncrementalExchange`] passed
+/// in `inc` carry its cache from one step to the next.
+#[allow(clippy::too_many_arguments)]
+pub fn rhf_with_grid_exchange_in_cell(
+    mol_c: &Molecule,
+    grid: &RealGrid,
+    solver: &PoissonSolver,
+    max_iter: usize,
+    tol: f64,
+    schedule: crate::screening::EpsSchedule,
+    mut inc: Option<(
+        &mut crate::incremental::IncrementalExchange,
+        crate::screening::IncSchedule,
+    )>,
+    guess: Option<&Mat>,
+) -> GridScfResult {
+    let basis = Basis::sto3g(mol_c);
     let nocc = mol_c.nocc();
     let nao = basis.nao();
 
-    let grid = RealGrid::cubic(Cell::cubic(edge), n);
-    let solver = PoissonSolver::isolated(grid);
-
     let s = overlap_matrix(&basis);
-    let h = kinetic_matrix(&basis).add(&nuclear_matrix(&basis, &mol_c));
+    let h = kinetic_matrix(&basis).add(&nuclear_matrix(&basis, mol_c));
     let x = sym_inv_sqrt(&s);
     let e_nuc = mol_c.nuclear_repulsion();
     let jk = JkBuilder::new(&basis);
 
-    // Core guess.
-    let mut c_occ = occupied_from(&h, &x, nao, nocc);
+    // Core guess, unless the caller warm-starts from a previous step's
+    // converged orbitals (an MD loop: iteration 1 then starts next to the
+    // cached fingerprints instead of at the delocalized core guess).
+    let mut c_occ = match guess {
+        Some(c) => c.clone(),
+        None => occupied_from(&h, &x, nao, nocc),
+    };
     let mut energy = 0.0;
     let mut converged = false;
     let mut iterations = 0;
     let mut tasks_evaluated = 0;
     let mut tasks_skipped = 0;
+    let mut tasks_reused = 0;
     for it in 1..=max_iter {
         iterations = it;
         let density = density_of(&c_occ, nocc);
@@ -228,8 +374,17 @@ pub fn rhf_with_grid_exchange_scheduled(
         // becomes −K and the exchange energy −¼Tr(D·K(D)) becomes
         // −½Tr(D·K).
         let eps = schedule.eps_for(it - 1);
-        let (k, evaluated, skipped) =
-            exchange_operator_grid_screened(&basis, &c_occ, nocc, &grid, &solver, eps);
+        let (k, evaluated, skipped) = match inc.as_mut() {
+            Some((state, inc_schedule)) => {
+                state.eps_inc = inc_schedule.eps_for(it - 1);
+                state.rebuild_every = inc_schedule.rebuild_every;
+                let (k, evaluated, skipped, stats) =
+                    state.exchange_operator(&basis, &c_occ, nocc, grid, solver, eps);
+                tasks_reused += stats.pairs_reused;
+                (k, evaluated, skipped)
+            }
+            None => exchange_operator_grid_screened(&basis, &c_occ, nocc, grid, solver, eps),
+        };
         tasks_evaluated += evaluated;
         tasks_skipped += skipped;
         let mut f = h.clone();
@@ -253,6 +408,7 @@ pub fn rhf_with_grid_exchange_scheduled(
         c_occ,
         tasks_evaluated,
         tasks_skipped,
+        tasks_reused,
     }
 }
 
@@ -361,6 +517,36 @@ mod tests {
         );
         assert!(scheduled.tasks_skipped > 0, "schedule skipped nothing");
         assert!(scheduled.tasks_evaluated < plain.tasks_evaluated);
+    }
+
+    #[test]
+    fn incremental_scf_matches_scheduled_and_reuses_tasks() {
+        // Same molecule, same screening: the incremental SCF must land on
+        // the scheduled SCF's energy (reuse tolerance only perturbs
+        // mid-convergence iterations) while skipping Poisson solves.
+        let mol = systems::h2();
+        let sched = crate::screening::EpsSchedule::fixed(1e-4);
+        let plain = rhf_with_grid_exchange_scheduled(&mol, 48, 6.0, 40, 1e-8, sched);
+        let mut inc = crate::incremental::IncrementalExchange::new(1e-3, 0);
+        let incr = rhf_with_grid_exchange_incremental(
+            &mol,
+            48,
+            6.0,
+            40,
+            1e-8,
+            sched,
+            crate::screening::IncSchedule::fixed(1e-3, 0),
+            &mut inc,
+        );
+        assert!(plain.converged && incr.converged);
+        assert!(
+            approx_eq(plain.energy, incr.energy, 2e-3),
+            "{} vs {}",
+            plain.energy,
+            incr.energy
+        );
+        assert!(incr.tasks_reused > 0, "no tasks reused: {incr:?}");
+        assert_eq!(incr.tasks_reused, inc.totals.pairs_reused);
     }
 
     #[test]

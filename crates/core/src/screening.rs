@@ -266,6 +266,51 @@ impl EpsSchedule {
     }
 }
 
+/// Incremental-exchange tolerance schedule over SCF iterations, the
+/// temporal twin of [`EpsSchedule`]: early iterations (where orbitals move
+/// a lot anyway) may reuse aggressively, tightening geometrically toward
+/// `eps_inc_final` as the density converges. Feeds
+/// [`crate::incremental::IncrementalExchange::eps_inc`] each iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IncSchedule {
+    /// Reuse tolerance for the first iteration.
+    pub eps_inc_start: f64,
+    /// Tolerance from `tighten_over` iterations onward.
+    pub eps_inc_final: f64,
+    /// Number of iterations over which to tighten.
+    pub tighten_over: usize,
+    /// Force a full rebuild every N builds (`0` = never force).
+    pub rebuild_every: usize,
+}
+
+impl IncSchedule {
+    /// A fixed (non-adaptive) tolerance with full-rebuild cadence.
+    pub fn fixed(eps_inc: f64, rebuild_every: usize) -> Self {
+        Self {
+            eps_inc_start: eps_inc,
+            eps_inc_final: eps_inc,
+            tighten_over: 1,
+            rebuild_every,
+        }
+    }
+
+    /// Reuse disabled: every build is from scratch (the exact path).
+    pub fn off() -> Self {
+        Self::fixed(0.0, 0)
+    }
+
+    /// The tolerance for `iteration` (0-based) — the same geometric
+    /// interpolation as [`EpsSchedule::eps_for`].
+    pub fn eps_for(&self, iteration: usize) -> f64 {
+        EpsSchedule {
+            eps_start: self.eps_inc_start,
+            eps_final: self.eps_inc_final,
+            tighten_over: self.tighten_over,
+        }
+        .eps_for(iteration)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,6 +445,26 @@ mod tests {
         let f = EpsSchedule::fixed(1e-6);
         assert_eq!(f.eps_for(0), 1e-6);
         assert_eq!(f.eps_for(50), 1e-6);
+    }
+
+    #[test]
+    fn inc_schedule_tightens_and_off_disables() {
+        let s = IncSchedule {
+            eps_inc_start: 1e-2,
+            eps_inc_final: 1e-5,
+            tighten_over: 4,
+            rebuild_every: 10,
+        };
+        let mut prev = f64::INFINITY;
+        for it in 0..8 {
+            let e = s.eps_for(it);
+            assert!(e <= prev + 1e-18);
+            prev = e;
+        }
+        assert!(approx_eq(s.eps_for(7), 1e-5, 1e-15));
+        let off = IncSchedule::off();
+        assert_eq!(off.eps_for(0), 0.0);
+        assert_eq!(off.rebuild_every, 0);
     }
 
     #[test]

@@ -2,15 +2,22 @@
 //! allocation-free **per pair** in steady state: with the thread count
 //! pinned, the total number of heap allocations per call is a constant
 //! (per-worker scratch, thread spawn bookkeeping) that does not grow with
-//! the number of pairs evaluated.
+//! the number of pairs evaluated — and that the all-clean incremental
+//! rebuild performs *zero* heap allocations outright.
 
 use liair_basis::Cell;
-use liair_core::screening::{Pair, PairList};
-use liair_core::{exchange_energy, HfxResult};
+use liair_core::screening::{OrbitalInfo, Pair, PairList};
+use liair_core::{exchange_energy, HfxResult, IncrementalExchange};
 use liair_grid::{PoissonSolver, RealGrid};
 use liair_math::rng::SplitMix64;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The allocation counter is process-global, so the tests in this binary
+/// must not overlap: one test's warm-up would land in the other's
+/// measured window.
+static SERIAL: Mutex<()> = Mutex::new(());
 
 struct CountingAlloc;
 
@@ -62,6 +69,7 @@ fn pair_list(n_orb: usize, n_pairs: usize) -> PairList {
 
 #[test]
 fn exchange_energy_allocations_do_not_scale_with_pair_count() {
+    let _guard = SERIAL.lock().unwrap();
     let grid = RealGrid::cubic(Cell::cubic(10.0), 24);
     let solver = PoissonSolver::isolated(grid);
     let mut rng = SplitMix64::new(5);
@@ -97,5 +105,48 @@ fn exchange_energy_allocations_do_not_scale_with_pair_count() {
     assert_eq!(
         d_few, d_many,
         "allocations scale with pair count ({d_few} for 6 pairs vs {d_many} for 30)"
+    );
+}
+
+#[test]
+fn all_clean_incremental_rebuild_is_allocation_free() {
+    // Steady state of the incremental path: nothing moved since the last
+    // build, every pair is clean, the energy comes straight out of the
+    // cache — and not a single heap allocation happens. (No rayon pool is
+    // involved: with an empty dirty list the parallel recompute is never
+    // entered, so this runs entirely on the calling thread.)
+    let _guard = SERIAL.lock().unwrap();
+    let grid = RealGrid::cubic(Cell::cubic(10.0), 24);
+    let solver = PoissonSolver::isolated(grid);
+    let mut rng = SplitMix64::new(7);
+    let orbitals: Vec<Vec<f64>> = (0..4)
+        .map(|_| (0..grid.len()).map(|_| rng.next_f64() - 0.5).collect())
+        .collect();
+    let infos = vec![
+        OrbitalInfo {
+            center: liair_math::Vec3::ZERO,
+            spread: 1.0,
+        };
+        4
+    ];
+    let pairs = liair_core::build_pair_list(&infos, 0.0, None);
+
+    let mut inc = IncrementalExchange::new(1e-6, 0);
+    // Prime (everything dirty) and then one warm all-clean rebuild so any
+    // lazily grown scratch has reached its final size.
+    let primed = inc.exchange_energy(&grid, &solver, &orbitals, &infos, &pairs);
+    assert_eq!(primed.inc.pairs_recomputed, pairs.len());
+    let warm = inc.exchange_energy(&grid, &solver, &orbitals, &infos, &pairs);
+    assert_eq!(warm.inc.pairs_reused, pairs.len());
+
+    let before = alloc_count();
+    let r = inc.exchange_energy(&grid, &solver, &orbitals, &infos, &pairs);
+    let delta = alloc_count() - before;
+    assert_eq!(r.inc.pairs_reused, pairs.len());
+    assert_eq!(r.inc.pairs_recomputed, 0);
+    assert_eq!(r.energy, warm.energy);
+    assert_eq!(
+        delta, 0,
+        "all-clean incremental rebuild performed {delta} heap allocations"
     );
 }

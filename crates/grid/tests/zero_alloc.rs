@@ -12,6 +12,12 @@ use liair_math::rng::SplitMix64;
 use liair_math::Vec3;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The allocation counter is process-global, so the tests in this binary
+/// must not overlap: one test's warm-up would land in the other's
+/// measured window.
+static SERIAL: Mutex<()> = Mutex::new(());
 
 struct CountingAlloc;
 
@@ -47,6 +53,7 @@ fn random_field(n: usize, seed: u64) -> Vec<f64> {
 
 #[test]
 fn pair_energy_paths_are_allocation_free_after_warmup() {
+    let _guard = SERIAL.lock().unwrap();
     // 32³: pure radix-2 lines. 24³ additionally covered below for the
     // Bluestein path (its convolution scratch is thread-local too).
     for n in [32usize, 24] {
@@ -81,6 +88,7 @@ fn pair_energy_paths_are_allocation_free_after_warmup() {
 
 #[test]
 fn patched_pair_path_is_allocation_free_after_warmup() {
+    let _guard = SERIAL.lock().unwrap();
     let parent = RealGrid::cubic(Cell::cubic(16.0), 32);
     let phi_i = random_field(parent.len(), 3);
     let phi_j = random_field(parent.len(), 4);

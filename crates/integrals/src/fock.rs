@@ -40,17 +40,56 @@ impl<'a> JkBuilder<'a> {
 
     /// Build `(J, K)` for a density.
     pub fn build(&self, density: &Mat, screen: f64) -> (Mat, Mat) {
-        build_jk_inner(&self.engine, &self.schwarz, density, screen)
+        build_jk_inner(&self.engine, &self.schwarz, density, screen, None)
     }
+
+    /// As [`Self::build`], additionally weighting the Schwarz bound by the
+    /// largest density element a quartet can touch: quartets with
+    /// `q_ab·q_cd·max|D|_block < screen` are skipped. For a full density
+    /// this matches [`Self::build`] to the screening tolerance; the payoff
+    /// is **difference densities** (`ΔD = D_n − D_{n−1}` of consecutive
+    /// SCF iterations), which shrink toward convergence and let the
+    /// screening drop almost every quartet — the standard incremental
+    /// direct-SCF trick.
+    pub fn build_density_screened(&self, density: &Mat, screen: f64) -> (Mat, Mat) {
+        let dmax = shell_pair_density_max(self.engine.basis(), density);
+        build_jk_inner(&self.engine, &self.schwarz, density, screen, Some(&dmax))
+    }
+}
+
+/// Per-shell-pair `max |D|` over the corresponding AO block.
+fn shell_pair_density_max(basis: &Basis, density: &Mat) -> Mat {
+    let nsh = basis.shells.len();
+    let mut m = Mat::zeros(nsh, nsh);
+    for sa in 0..nsh {
+        let (oa, na) = (basis.shell_offsets[sa], ncart(basis.shells[sa].l));
+        for sb in 0..nsh {
+            let (ob, nb) = (basis.shell_offsets[sb], ncart(basis.shells[sb].l));
+            let mut mx = 0.0f64;
+            for i in oa..oa + na {
+                for j in ob..ob + nb {
+                    mx = mx.max(density[(i, j)].abs());
+                }
+            }
+            m[(sa, sb)] = mx;
+        }
+    }
+    m
 }
 
 /// As [`build_jk`] but reusing a prepared [`EriEngine`].
 pub fn build_jk_with(engine: &EriEngine<'_>, density: &Mat, screen: f64) -> (Mat, Mat) {
     let q = schwarz_matrix_with(engine);
-    build_jk_inner(engine, &q, density, screen)
+    build_jk_inner(engine, &q, density, screen, None)
 }
 
-fn build_jk_inner(engine: &EriEngine<'_>, q: &Mat, density: &Mat, screen: f64) -> (Mat, Mat) {
+fn build_jk_inner(
+    engine: &EriEngine<'_>,
+    q: &Mat,
+    density: &Mat,
+    screen: f64,
+    dmax: Option<&Mat>,
+) -> (Mat, Mat) {
     let basis = engine.basis();
     let n = basis.nao();
     assert_eq!(density.nrows(), n);
@@ -72,7 +111,20 @@ fn build_jk_inner(engine: &EriEngine<'_>, q: &Mat, density: &Mat, screen: f64) -
                         let sd_max = if sc == sa { sb } else { sc };
                         for sd in 0..=sd_max {
                             debug_assert!(pair_idx(sc, sd) <= ab);
-                            if qab * q[(sc, sd)] < screen {
+                            let bound = qab * q[(sc, sd)];
+                            // Density weighting covers every block the
+                            // quartet reads through J (D_ab, D_cd) or K
+                            // (the four cross pairings).
+                            let weight = match dmax {
+                                None => 1.0,
+                                Some(dm) => dm[(sa, sb)]
+                                    .max(dm[(sc, sd)])
+                                    .max(dm[(sa, sc)])
+                                    .max(dm[(sa, sd)])
+                                    .max(dm[(sb, sc)])
+                                    .max(dm[(sb, sd)]),
+                            };
+                            if bound * weight < screen {
                                 continue;
                             }
                             engine.shell_quartet_into(sa, sb, sc, sd, scratch, block);
@@ -269,6 +321,27 @@ mod tests {
         let (j1, k1) = build_jk(&basis, &d, 1e-9);
         assert!(j0.sub(&j1).fro_norm() < 1e-6);
         assert!(k0.sub(&k1).fro_norm() < 1e-6);
+    }
+
+    #[test]
+    fn density_screened_build_matches_plain_build() {
+        let mol = systems::water();
+        let basis = Basis::sto3g(&mol);
+        let builder = JkBuilder::new(&basis);
+        let d = test_density(basis.nao(), 3);
+        let (j0, k0) = builder.build(&d, 1e-11);
+        let (j1, k1) = builder.build_density_screened(&d, 1e-11);
+        assert!(j0.sub(&j1).fro_norm() < 1e-8);
+        assert!(k0.sub(&k1).fro_norm() < 1e-8);
+        // A small difference density (the incremental-Fock workload):
+        // screened result still matches the unscreened reference to the
+        // tolerance, even though the density weighting now drops most
+        // quartets.
+        let delta = d.scale(1e-7);
+        let (jd, kd) = builder.build_density_screened(&delta, 1e-11);
+        let (jr, kr) = build_jk(&basis, &delta, 0.0);
+        assert!(jd.sub(&jr).fro_norm() < 1e-9, "{}", jd.sub(&jr).fro_norm());
+        assert!(kd.sub(&kr).fro_norm() < 1e-9, "{}", kd.sub(&kr).fro_norm());
     }
 
     #[test]

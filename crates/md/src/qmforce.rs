@@ -78,6 +78,133 @@ impl ForceProvider for RhfForces {
     }
 }
 
+/// Born–Oppenheimer forces from the *grid-exchange* SCF with an
+/// incremental-exchange cache per finite-difference slot — the MD setting
+/// the incremental scheme is built for: between consecutive steps (and
+/// between the `±h` displacements of one step) the localized orbitals
+/// barely move, so most pair-Poisson solves are replaced by cache hits.
+///
+/// The box frame is **fixed at the first call** (molecule centered once,
+/// never re-centered): a drifting frame would move every orbital field in
+/// grid coordinates and defeat the fingerprint comparison. Each of the
+/// `6N + 1` energy evaluations per step owns its own
+/// [`liair_core::IncrementalExchange`] and warm-starts from its previous
+/// converged orbitals, so slot `k` of step `t + 1` diffs against slot `k`
+/// of step `t`.
+pub struct IncrementalGridForces {
+    /// Grid points per axis.
+    pub n: usize,
+    /// Fixed cubic box edge (Bohr); must contain the trajectory.
+    pub edge: f64,
+    /// Finite-difference displacement (Bohr).
+    pub h: f64,
+    /// SCF iteration cap and energy tolerance.
+    pub max_iter: usize,
+    /// SCF energy tolerance (Hartree).
+    pub tol: f64,
+    /// Pair-screening threshold (also turns on localization).
+    pub eps: f64,
+    /// Reuse tolerance schedule fed to each slot's cache every iteration.
+    pub inc_schedule: liair_core::IncSchedule,
+    state: std::sync::Mutex<IncGridState>,
+}
+
+struct IncGridState {
+    /// `(shift, grid, solver)` frozen at the first call.
+    frame: Option<(Vec3, liair_grid::RealGrid, liair_grid::PoissonSolver)>,
+    /// One cache + warm-start orbitals per FD slot (slot 0 = undisplaced).
+    slots: Vec<(liair_core::IncrementalExchange, Option<liair_math::Mat>)>,
+}
+
+impl IncrementalGridForces {
+    /// A provider with the given grid/box and sensible SCF defaults.
+    pub fn new(n: usize, edge: f64, inc_schedule: liair_core::IncSchedule) -> Self {
+        Self {
+            n,
+            edge,
+            h: 1e-2,
+            max_iter: 40,
+            tol: 1e-8,
+            eps: 1e-4,
+            inc_schedule,
+            state: std::sync::Mutex::new(IncGridState {
+                frame: None,
+                slots: Vec::new(),
+            }),
+        }
+    }
+
+    /// Cumulative reuse counters over every slot since construction.
+    pub fn reuse_totals(&self) -> liair_core::IncStats {
+        let st = self.state.lock().unwrap();
+        let mut t = liair_core::IncStats::default();
+        for (inc, _) in &st.slots {
+            t.accumulate(&inc.totals);
+        }
+        t
+    }
+
+    /// One grid SCF in the fixed frame using (and updating) slot `slot`.
+    fn slot_energy(&self, st: &mut IncGridState, mol_c: &Molecule, slot: usize) -> f64 {
+        let (_, grid, solver) = st.frame.as_ref().unwrap();
+        let (inc, guess) = &mut st.slots[slot];
+        let r = liair_core::rhf_with_grid_exchange_in_cell(
+            mol_c,
+            grid,
+            solver,
+            self.max_iter,
+            self.tol,
+            liair_core::EpsSchedule::fixed(self.eps),
+            Some((inc, self.inc_schedule)),
+            guess.as_ref(),
+        );
+        assert!(r.converged, "grid SCF failed for {}", mol_c.formula());
+        *guess = Some(r.c_occ);
+        r.energy
+    }
+}
+
+impl ForceProvider for IncrementalGridForces {
+    fn compute(&self, mol: &Molecule, _cell: Option<&Cell>) -> (f64, Vec<Vec3>) {
+        let mut st = self.state.lock().unwrap();
+        if st.frame.is_none() {
+            let shift = Vec3::splat(self.edge / 2.0) - mol.centroid();
+            let grid = liair_grid::RealGrid::cubic(Cell::cubic(self.edge), self.n);
+            let solver = liair_grid::PoissonSolver::isolated(grid);
+            st.frame = Some((shift, grid, solver));
+        }
+        let nslots = 1 + 6 * mol.natoms();
+        if st.slots.len() != nslots {
+            st.slots = (0..nslots)
+                .map(|_| (liair_core::IncrementalExchange::new(0.0, 0), None))
+                .collect();
+        }
+        let shift = st.frame.as_ref().unwrap().0;
+        let mut mol_c = mol.clone();
+        mol_c.translate(shift);
+
+        let e0 = self.slot_energy(&mut st, &mol_c, 0);
+        // Sequential FD loop: each displaced geometry diffs against the
+        // *same* displacement of the previous step, where almost nothing
+        // moved — the incremental caches turn most of the 6N extra SCFs
+        // into cache-dominated reruns.
+        let mut forces = vec![Vec3::ZERO; mol.natoms()];
+        for atom in 0..mol.natoms() {
+            for axis in 0..3 {
+                let mut ep_em = [0.0; 2];
+                for (sign, e) in ep_em.iter_mut().enumerate() {
+                    let mut m = mol_c.clone();
+                    m.atoms[atom].pos[axis] += if sign == 0 { self.h } else { -self.h };
+                    let slot = 1 + atom * 6 + axis * 2 + sign;
+                    *e = self.slot_energy(&mut st, &m, slot);
+                }
+                forces[atom][axis] = -(ep_em[0] - ep_em[1]) / (2.0 * self.h);
+            }
+        }
+        (e0, forces)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +267,38 @@ mod tests {
         state.run(&provider, &opts, 12);
         let drift = (state.total_energy() - e0).abs();
         assert!(drift < 1e-4, "BOMD drift {drift} Ha over 12 steps");
+    }
+
+    #[test]
+    fn incremental_grid_forces_reuse_across_steps() {
+        // Grid-exchange BOMD provider with per-slot incremental caches: a
+        // compressed H2 pushes apart, and a repeated step (nothing moved)
+        // is served almost entirely from the caches.
+        let sched = liair_core::IncSchedule::fixed(1e-4, 0);
+        let provider = IncrementalGridForces::new(20, 12.0, sched);
+        let mut short = systems::h2();
+        short.atoms[1].pos.x = 1.1;
+        let (e1, f1) = provider.compute(&short, None);
+        assert!(e1.is_finite());
+        assert!(f1[1].x > 0.0, "compressed: {}", f1[1].x);
+        let t1 = provider.reuse_totals();
+        // Identical geometry: every FD slot diffs against itself.
+        let (e2, f2) = provider.compute(&short, None);
+        let t2 = provider.reuse_totals();
+        assert!(
+            (e1 - e2).abs() < 1e-8,
+            "repeat step energy moved: {e1} vs {e2}"
+        );
+        assert!(
+            (f1[1].x - f2[1].x).abs() < 1e-6,
+            "repeat step force moved: {} vs {}",
+            f1[1].x,
+            f2[1].x
+        );
+        assert!(
+            t2.pairs_reused > t1.pairs_reused,
+            "no cross-step reuse: {t1:?} then {t2:?}"
+        );
     }
 
     #[test]

@@ -36,6 +36,13 @@ pub struct ScfOptions {
     pub grid_radial: usize,
     /// θ points of the angular product grid (φ uses 2×this).
     pub grid_theta: usize,
+    /// Build J/K incrementally from difference densities `ΔD = D_n −
+    /// D_{n−1}` (density-weighted Schwarz screening drops most quartets
+    /// as ΔD shrinks toward convergence). Exact up to `schwarz_tol`.
+    pub incremental_fock: bool,
+    /// Full (non-incremental) Fock rebuild every N iterations, resetting
+    /// the accumulated screening error. Only used with `incremental_fock`.
+    pub fock_rebuild_every: usize,
 }
 
 impl Default for ScfOptions {
@@ -48,6 +55,8 @@ impl Default for ScfOptions {
             schwarz_tol: 1e-11,
             grid_radial: 40,
             grid_theta: 8,
+            incremental_fock: false,
+            fock_rebuild_every: 8,
         }
     }
 }
@@ -130,6 +139,12 @@ fn scf(mol: &Molecule, basis: &Basis, opts: &ScfOptions, method: Method) -> ScfR
     // Initial guess: core Hamiltonian.
     let mut density = density_from_fock(&h, &x, nocc);
     let mut diis = Diis::new(opts.diis_depth);
+    // Incremental-Fock state: J/K accumulated from difference densities
+    // against the density they were last built for.
+    let mut d_ref: Option<Mat> = None;
+    let mut j_acc = Mat::zeros(n, n);
+    let mut k_acc = Mat::zeros(n, n);
+    let mut builds_since_full = 0usize;
     let mut energy = 0.0;
     let mut breakdown = EnergyBreakdown {
         e_nuc,
@@ -142,7 +157,27 @@ fn scf(mol: &Molecule, basis: &Basis, opts: &ScfOptions, method: Method) -> ScfR
 
     for it in 1..=opts.max_iter {
         iterations = it;
-        let (j, k) = jk_builder.build(&density, opts.schwarz_tol);
+        let (j, k) = if opts.incremental_fock {
+            let full = d_ref.is_none()
+                || (opts.fock_rebuild_every > 0
+                    && builds_since_full + 1 >= opts.fock_rebuild_every);
+            if full {
+                let (jf, kf) = jk_builder.build(&density, opts.schwarz_tol);
+                j_acc = jf;
+                k_acc = kf;
+                builds_since_full = 0;
+            } else {
+                let delta = density.sub(d_ref.as_ref().unwrap());
+                let (dj, dk) = jk_builder.build_density_screened(&delta, opts.schwarz_tol);
+                j_acc.axpy(1.0, &dj);
+                k_acc.axpy(1.0, &dk);
+                builds_since_full += 1;
+            }
+            d_ref = Some(density.clone());
+            (j_acc.clone(), k_acc.clone())
+        } else {
+            jk_builder.build(&density, opts.schwarz_tol)
+        };
         let (fock, e_elec, bd) = match method {
             Method::Rhf => {
                 let mut f = h.clone();
@@ -387,6 +422,33 @@ mod tests {
             "H2O/6-31G E = {}",
             wres.energy
         );
+    }
+
+    #[test]
+    fn incremental_fock_matches_full_rebuild() {
+        // Difference-density Fock builds must land on the same converged
+        // energy as full rebuilds, for both a small and a heavier system.
+        for mol in [systems::h2(), systems::water()] {
+            let basis = Basis::sto3g(&mol);
+            let full = rhf(&mol, &basis, &ScfOptions::default());
+            let inc = rhf(
+                &mol,
+                &basis,
+                &ScfOptions {
+                    incremental_fock: true,
+                    fock_rebuild_every: 6,
+                    ..ScfOptions::default()
+                },
+            );
+            assert!(full.converged && inc.converged, "{}", mol.formula());
+            assert!(
+                approx_eq(full.energy, inc.energy, 1e-7),
+                "{}: {} vs {}",
+                mol.formula(),
+                full.energy,
+                inc.energy
+            );
+        }
     }
 
     #[test]
