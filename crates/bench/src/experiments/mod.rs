@@ -6,12 +6,13 @@ pub mod battery;
 pub mod incremental;
 pub mod node;
 pub mod scaling;
+pub mod simd;
 pub mod validation;
 
 use crate::Table;
 
 /// All experiment ids in the DESIGN.md order.
-pub const ALL_IDS: [&str; 18] = [
+pub const ALL_IDS: [&str; 19] = [
     "fig-strong-scaling",
     "fig-weak-scaling",
     "fig-baseline-scaling",
@@ -30,6 +31,7 @@ pub const ALL_IDS: [&str; 18] = [
     "fig-md-water",
     "bench-pair-kernel",
     "bench-incremental",
+    "bench-simd",
 ];
 
 /// Run one experiment by id. `fast` trims the heaviest sweeps to keep the
@@ -54,6 +56,7 @@ pub fn run(id: &str, fast: bool) -> Vec<Table> {
         "fig-md-water" => battery::fig_md_water(fast),
         "bench-pair-kernel" => node::bench_pair_kernel(fast),
         "bench-incremental" => incremental::bench_incremental(fast),
+        "bench-simd" => simd::bench_simd(fast),
         other => panic!("unknown experiment id '{other}' (see ALL_IDS)"),
     }
 }

@@ -11,7 +11,8 @@
 use crate::balance::{assign_pairs, BalanceStrategy};
 use crate::hfx::HfxResult;
 use crate::screening::PairList;
-use liair_grid::{PoissonSolver, RealGrid};
+use liair_grid::{PoissonSolver, PoissonWorkspace, RealGrid};
+use liair_math::simd;
 use liair_runtime::{run_spmd, Comm};
 
 /// Compute the exchange energy with `nranks` virtual ranks.
@@ -19,8 +20,14 @@ use liair_runtime::{run_spmd, Comm};
 /// Deterministic: every rank derives the same assignment from the shared
 /// pair list, so no task-coordination messages are needed — only the final
 /// energy reduction.
+///
+/// Each rank owns one grow-once pair-density buffer and Poisson workspace
+/// and runs the energy-only (forward-transform-only) pair kernel, so the
+/// per-pair loop is allocation-free in steady state — the same hot path
+/// as the threaded executor, instead of the full potential solve with a
+/// fresh density vector per pair it used to run.
 pub fn distributed_exchange(
-    _grid: &RealGrid,
+    grid: &RealGrid,
     solver: &PoissonSolver,
     orbitals: &[Vec<f64>],
     pairs: &PairList,
@@ -28,19 +35,18 @@ pub fn distributed_exchange(
     strategy: BalanceStrategy,
 ) -> HfxResult {
     let assignment = assign_pairs(pairs, nranks, strategy);
+    let level = simd::level();
+    let n = grid.len();
     let results = run_spmd(nranks, |comm| {
         let mine = &assignment.per_rank[comm.rank()];
+        let mut rho = vec![0.0; n];
+        let mut ws = PoissonWorkspace::new();
         let mut partial = 0.0;
         for &t in mine {
             let p = pairs.pairs[t];
             let (i, j) = (p.i as usize, p.j as usize);
-            let rho: Vec<f64> = orbitals[i]
-                .iter()
-                .zip(&orbitals[j])
-                .map(|(a, b)| a * b)
-                .collect();
-            let (e_pair, _) = solver.exchange_pair(&rho);
-            partial -= p.weight * e_pair;
+            simd::mul_into_with(level, &mut rho, &orbitals[i], &orbitals[j]);
+            partial -= p.weight * solver.exchange_pair_energy_with(level, &rho, &mut ws);
         }
         // The single collective of the build.
         let mut buf = [partial];

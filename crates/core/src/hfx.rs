@@ -13,6 +13,7 @@ use crate::incremental::IncStats;
 use crate::screening::{build_pair_list, OrbitalInfo, Pair, PairList};
 use liair_basis::{Basis, Cell, Molecule};
 use liair_grid::{foster_boys, orbitals_on_grid, PoissonSolver, PoissonWorkspace, RealGrid};
+use liair_math::simd::{self, SimdLevel};
 use liair_math::Mat;
 use liair_scf::ScfResult;
 use rayon::prelude::*;
@@ -45,9 +46,35 @@ enum PairPath {
     Batched,
 }
 
-type PathCache = Mutex<HashMap<(usize, usize, usize), PairPath>>;
+/// The full per-grid-shape kernel decision: which pair path to run *and*
+/// at which SIMD level. Both axes interact — the batched c2c path moves
+/// twice the data of the r2c path, so vectorization shifts the crossover —
+/// which is why the autotuner measures the (path, level) combinations
+/// jointly instead of picking each independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct KernelChoice {
+    path: PairPath,
+    simd: SimdLevel,
+}
 
-static PAIR_PATH_CACHE: OnceLock<PathCache> = OnceLock::new();
+type ChoiceCache = Mutex<HashMap<(usize, usize, usize), KernelChoice>>;
+
+static KERNEL_CHOICE_CACHE: OnceLock<ChoiceCache> = OnceLock::new();
+
+/// SIMD levels the autotuner may choose from: the `LIAIR_SIMD` override
+/// alone when set (measurement skipped for that axis), otherwise the
+/// chunked scalar fallback vs the best detected vector level.
+fn simd_candidates() -> Vec<SimdLevel> {
+    if let Some(forced) = simd::env_override() {
+        return vec![forced];
+    }
+    let detected = simd::detect();
+    if detected == SimdLevel::Scalar {
+        vec![SimdLevel::Scalar]
+    } else {
+        vec![SimdLevel::Scalar, detected]
+    }
+}
 
 /// Parse a `LIAIR_AUTOTUNE_REPS` value: best-of-N repetitions per path,
 /// N ≥ 1 (default 2).
@@ -77,51 +104,74 @@ fn path_override() -> Option<PairPath> {
     *OVERRIDE.get_or_init(|| parse_path_override(std::env::var("LIAIR_PAIR_PATH").ok().as_deref()))
 }
 
-/// Time both pair paths on seeded synthetic data and pick the winner.
-/// Deterministic inputs (fixed SplitMix64 seed) and best-of-`reps` timing
-/// keep the measurement reproducible under test; the chosen path is then
-/// frozen in [`PAIR_PATH_CACHE`] for the process lifetime.
-fn measure_pair_path(solver: &PoissonSolver, grid: &RealGrid, reps: usize) -> PairPath {
+/// Time every (pair path, SIMD level) combination on seeded synthetic
+/// data and pick the winner. Deterministic inputs (fixed SplitMix64 seed)
+/// and best-of-`reps` timing keep the measurement reproducible under
+/// test; the chosen combination is then frozen in [`KERNEL_CHOICE_CACHE`]
+/// for the process lifetime.
+fn measure_kernel_choice(solver: &PoissonSolver, grid: &RealGrid, reps: usize) -> KernelChoice {
     let mut rng = liair_math::rng::SplitMix64::new(0x9a1c);
     let a: Vec<f64> = (0..grid.len()).map(|_| rng.next_f64() - 0.5).collect();
     let b: Vec<f64> = (0..grid.len()).map(|_| rng.next_f64() - 0.5).collect();
     let mut ws = PoissonWorkspace::new();
-    // Warm both paths (plan build, scratch growth), then time the best of
-    // `reps` repetitions each.
-    solver.exchange_pair_energy(&a, &mut ws);
-    solver.exchange_pair_energy_batched(&a, &b, &mut ws);
-    let mut t_single = f64::INFINITY;
-    let mut t_batched = f64::INFINITY;
-    for _ in 0..reps {
-        let t0 = std::time::Instant::now();
-        solver.exchange_pair_energy(&a, &mut ws);
-        solver.exchange_pair_energy(&b, &mut ws);
-        t_single = t_single.min(t0.elapsed().as_secs_f64());
-        let t0 = std::time::Instant::now();
-        solver.exchange_pair_energy_batched(&a, &b, &mut ws);
-        t_batched = t_batched.min(t0.elapsed().as_secs_f64());
+    let mut best = KernelChoice {
+        path: PairPath::Single,
+        simd: SimdLevel::Scalar,
+    };
+    let mut t_best = f64::INFINITY;
+    for level in simd_candidates() {
+        // Warm both paths (plan build, scratch growth), then time the
+        // best of `reps` repetitions each.
+        solver.exchange_pair_energy_with(level, &a, &mut ws);
+        solver.exchange_pair_energy_batched_with(level, &a, &b, &mut ws);
+        let mut t_single = f64::INFINITY;
+        let mut t_batched = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = std::time::Instant::now();
+            solver.exchange_pair_energy_with(level, &a, &mut ws);
+            solver.exchange_pair_energy_with(level, &b, &mut ws);
+            t_single = t_single.min(t0.elapsed().as_secs_f64());
+            let t0 = std::time::Instant::now();
+            solver.exchange_pair_energy_batched_with(level, &a, &b, &mut ws);
+            t_batched = t_batched.min(t0.elapsed().as_secs_f64());
+        }
+        if t_single < t_best {
+            t_best = t_single;
+            best = KernelChoice {
+                path: PairPath::Single,
+                simd: level,
+            };
+        }
+        if t_batched < t_best {
+            t_best = t_batched;
+            best = KernelChoice {
+                path: PairPath::Batched,
+                simd: level,
+            };
+        }
     }
-    if t_batched < t_single {
-        PairPath::Batched
-    } else {
-        PairPath::Single
-    }
+    best
 }
 
-/// Measure both pair paths once for this grid shape and remember the
-/// winner (a few transforms — noise next to one SCF step). Later calls
-/// for the same shape always return the cached choice, so the path is
-/// stable for the process lifetime even if a re-measurement would flip.
-fn pair_path_for(solver: &PoissonSolver, grid: &RealGrid) -> PairPath {
-    if let Some(forced) = path_override() {
-        return forced;
+/// Measure the kernel combinations once for this grid shape and remember
+/// the winner (a few transforms — noise next to one SCF step). Later
+/// calls for the same shape always return the cached choice, so the path
+/// is stable for the process lifetime even if a re-measurement would
+/// flip. `LIAIR_PAIR_PATH` and `LIAIR_SIMD` each pin their axis.
+fn kernel_choice_for(solver: &PoissonSolver, grid: &RealGrid) -> KernelChoice {
+    // Both axes pinned → fully deterministic, no measurement at all.
+    if let (Some(path), Some(level)) = (path_override(), simd::env_override()) {
+        return KernelChoice { path, simd: level };
     }
     let key = grid.dims;
-    let cache = PAIR_PATH_CACHE.get_or_init(Default::default);
-    if let Some(&p) = cache.lock().unwrap().get(&key) {
-        return p;
+    let cache = KERNEL_CHOICE_CACHE.get_or_init(Default::default);
+    if let Some(&c) = cache.lock().unwrap().get(&key) {
+        return c;
     }
-    let chosen = measure_pair_path(solver, grid, autotune_reps());
+    let mut chosen = measure_kernel_choice(solver, grid, autotune_reps());
+    if let Some(forced) = path_override() {
+        chosen.path = forced;
+    }
     *cache.lock().unwrap().entry(key).or_insert(chosen)
 }
 
@@ -143,10 +193,8 @@ impl HfxScratch {
     }
 }
 
-fn form_pair_density(out: &mut [f64], phi_i: &[f64], phi_j: &[f64]) {
-    for ((r, &a), &b) in out.iter_mut().zip(phi_i).zip(phi_j) {
-        *r = a * b;
-    }
+fn form_pair_density(level: SimdLevel, out: &mut [f64], phi_i: &[f64], phi_j: &[f64]) {
+    simd::mul_into_with(level, out, phi_i, phi_j);
 }
 
 /// Evaluate one chunk of ≤ 2 pairs, returning the weighted contribution
@@ -156,34 +204,40 @@ fn form_pair_density(out: &mut [f64], phi_i: &[f64], phi_j: &[f64]) {
 fn eval_pair_chunk(
     sc: &mut HfxScratch,
     chunk: &[Pair],
-    path: PairPath,
+    choice: KernelChoice,
     solver: &PoissonSolver,
     orbitals: &[Vec<f64>],
 ) -> (f64, f64) {
+    let level = choice.simd;
     match chunk {
-        [p, q] if path == PairPath::Batched => {
+        [p, q] if choice.path == PairPath::Batched => {
             form_pair_density(
+                level,
                 &mut sc.rho_a,
                 &orbitals[p.i as usize],
                 &orbitals[p.j as usize],
             );
             form_pair_density(
+                level,
                 &mut sc.rho_b,
                 &orbitals[q.i as usize],
                 &orbitals[q.j as usize],
             );
-            let (ea, eb) = solver.exchange_pair_energy_batched(&sc.rho_a, &sc.rho_b, &mut sc.ws);
+            let (ea, eb) =
+                solver.exchange_pair_energy_batched_with(level, &sc.rho_a, &sc.rho_b, &mut sc.ws);
             (-p.weight * ea, -q.weight * eb)
         }
         _ => {
             let mut out = [0.0, 0.0];
             for (slot, p) in chunk.iter().enumerate() {
                 form_pair_density(
+                    level,
                     &mut sc.rho_a,
                     &orbitals[p.i as usize],
                     &orbitals[p.j as usize],
                 );
-                out[slot] = -p.weight * solver.exchange_pair_energy(&sc.rho_a, &mut sc.ws);
+                out[slot] =
+                    -p.weight * solver.exchange_pair_energy_with(level, &sc.rho_a, &mut sc.ws);
             }
             (out[0], out[1])
         }
@@ -200,7 +254,7 @@ pub(crate) fn exchange_pair_contribs(
     orbitals: &[Vec<f64>],
     pairs: &[Pair],
 ) -> Vec<f64> {
-    let path = pair_path_for(solver, grid);
+    let choice = kernel_choice_for(solver, grid);
     let n = grid.len();
     let nchunks = pairs.len().div_ceil(2);
     let per_chunk: Vec<(f64, f64)> = (0..nchunks)
@@ -208,7 +262,7 @@ pub(crate) fn exchange_pair_contribs(
         .map_init(HfxScratch::default, |sc, ci| {
             sc.ensure(n);
             let chunk = &pairs[2 * ci..(2 * ci + 2).min(pairs.len())];
-            eval_pair_chunk(sc, chunk, path, solver, orbitals)
+            eval_pair_chunk(sc, chunk, choice, solver, orbitals)
         })
         .collect();
     let mut out = Vec::with_capacity(pairs.len());
@@ -238,14 +292,14 @@ pub fn exchange_energy(
     for o in orbitals {
         assert_eq!(o.len(), grid.len(), "orbital field size mismatch");
     }
-    let path = pair_path_for(solver, grid);
+    let choice = kernel_choice_for(solver, grid);
     let n = grid.len();
     let energy: f64 = pairs
         .pairs
         .par_chunks(2)
         .map_init(HfxScratch::default, |sc, chunk| {
             sc.ensure(n);
-            let (a, b) = eval_pair_chunk(sc, chunk, path, solver, orbitals);
+            let (a, b) = eval_pair_chunk(sc, chunk, choice, solver, orbitals);
             a + b
         })
         .sum();
@@ -450,30 +504,42 @@ mod tests {
     }
 
     #[test]
-    fn pair_path_is_stable_for_repeated_grid_shape() {
+    fn kernel_choice_is_stable_for_repeated_grid_shape() {
         // The cache must freeze the first measurement: repeated queries for
-        // the same grid shape return the same path even if a fresh timing
-        // run would flip the decision.
+        // the same grid shape return the same (path, SIMD level) even if a
+        // fresh timing run would flip the decision.
         let grid = RealGrid::cubic(Cell::cubic(8.0), 18);
         let solver = PoissonSolver::isolated(grid);
-        let first = pair_path_for(&solver, &grid);
+        let first = kernel_choice_for(&solver, &grid);
         for _ in 0..5 {
-            assert_eq!(pair_path_for(&solver, &grid), first);
+            assert_eq!(kernel_choice_for(&solver, &grid), first);
         }
         // Same shape, fresh solver: still the cached decision.
         let solver2 = PoissonSolver::isolated(grid);
-        assert_eq!(pair_path_for(&solver2, &grid), first);
+        assert_eq!(kernel_choice_for(&solver2, &grid), first);
     }
 
     #[test]
-    fn measure_pair_path_runs_with_any_reps() {
+    fn measure_kernel_choice_runs_with_any_reps() {
         // The measurement itself must work for N = 1 and larger N (the
         // LIAIR_AUTOTUNE_REPS knob); inputs are seeded so this is
-        // reproducible.
+        // reproducible, and the chosen SIMD level must be runnable here.
         let grid = RealGrid::cubic(Cell::cubic(6.0), 16);
         let solver = PoissonSolver::isolated(grid);
-        let _ = measure_pair_path(&solver, &grid, 1);
-        let _ = measure_pair_path(&solver, &grid, 3);
+        let c1 = measure_kernel_choice(&solver, &grid, 1);
+        let c3 = measure_kernel_choice(&solver, &grid, 3);
+        for c in [c1, c3] {
+            assert!(simd::available_levels().contains(&c.simd), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn simd_candidates_are_runnable() {
+        let cands = simd_candidates();
+        assert!(!cands.is_empty());
+        for c in cands {
+            assert!(simd::available_levels().contains(&c), "{c:?}");
+        }
     }
 
     #[test]

@@ -8,11 +8,24 @@
 use crate::grid::RealGrid;
 use liair_basis::shell::cart_components;
 use liair_basis::Basis;
-use liair_math::Mat;
+use liair_math::{simd, Mat};
 use rayon::prelude::*;
+
+/// Grid points evaluated per block in [`ao_values`]: large enough to fill
+/// the vector units, small enough that the per-block displacement/angular/
+/// radial arrays stay resident in L1.
+const AO_BLOCK: usize = 128;
 
 /// Evaluate every AO at every grid point; returns `nao` fields of
 /// `grid.len()` values each.
+///
+/// Evaluation is point-blocked: each block first gathers the min-image
+/// displacements, then runs the angular and radial factors as contiguous
+/// per-block loops (the `exp`-heavy radial loop iterates primitives
+/// outermost so each pass over the block is a single fused
+/// multiply-accumulate stream), and finally combines the factors with the
+/// SIMD elementwise product. Per-point arithmetic is unchanged from the
+/// straight-line form, so results are bit-identical to it.
 pub fn ao_values(basis: &Basis, grid: &RealGrid) -> Vec<Vec<f64>> {
     // Precompute per-AO primitive data: (center, [(exp, normalized coef)], powers)
     struct AoData {
@@ -37,19 +50,39 @@ pub fn ao_values(basis: &Basis, grid: &RealGrid) -> Vec<Vec<f64>> {
             });
         }
     }
+    let n = grid.len();
     aos.par_iter()
         .map(|ao| {
-            (0..grid.len())
-                .map(|i| {
-                    let d = grid.cell.min_image(ao.center, grid.point_flat(i));
-                    let r2 = d.norm_sqr();
-                    let ang = d.x.powi(ao.powers.0 as i32)
-                        * d.y.powi(ao.powers.1 as i32)
-                        * d.z.powi(ao.powers.2 as i32);
-                    let radial: f64 = ao.prims.iter().map(|&(a, c)| c * (-a * r2).exp()).sum();
-                    ang * radial
-                })
-                .collect()
+            let mut out = vec![0.0; n];
+            let (px, py, pz) = (ao.powers.0 as i32, ao.powers.1 as i32, ao.powers.2 as i32);
+            let mut dx = [0.0f64; AO_BLOCK];
+            let mut dy = [0.0f64; AO_BLOCK];
+            let mut dz = [0.0f64; AO_BLOCK];
+            let mut r2 = [0.0f64; AO_BLOCK];
+            let mut ang = [0.0f64; AO_BLOCK];
+            let mut radial = [0.0f64; AO_BLOCK];
+            for (block, chunk) in out.chunks_mut(AO_BLOCK).enumerate() {
+                let base = block * AO_BLOCK;
+                let m = chunk.len();
+                for t in 0..m {
+                    let d = grid.cell.min_image(ao.center, grid.point_flat(base + t));
+                    dx[t] = d.x;
+                    dy[t] = d.y;
+                    dz[t] = d.z;
+                    r2[t] = d.norm_sqr();
+                }
+                for t in 0..m {
+                    ang[t] = dx[t].powi(px) * dy[t].powi(py) * dz[t].powi(pz);
+                }
+                radial[..m].fill(0.0);
+                for &(a, c) in &ao.prims {
+                    for t in 0..m {
+                        radial[t] += c * (-a * r2[t]).exp();
+                    }
+                }
+                simd::mul_into(chunk, &ang[..m], &radial[..m]);
+            }
+            out
         })
         .collect()
 }
@@ -69,9 +102,7 @@ pub fn orbitals_on_grid(basis: &Basis, c: &Mat, nmo: usize, grid: &RealGrid) -> 
                 if coef.abs() < 1e-14 {
                     continue;
                 }
-                for (p, &v) in phi.iter_mut().zip(ao) {
-                    *p += coef * v;
-                }
+                simd::axpy(&mut phi, coef, ao);
             }
             phi
         })

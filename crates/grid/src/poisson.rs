@@ -28,8 +28,9 @@
 //! `v(−G) = v(G)`).
 
 use crate::grid::RealGrid;
-use liair_math::fft3::fft3_serial_slice;
-use liair_math::rfft::{half_len, irfft3, irfft3_into, rfft3, rfft3_into};
+use liair_math::fft3::fft3_serial_slice_with;
+use liair_math::rfft::{half_len, irfft3, irfft3_into_with, rfft3, rfft3_into_with};
+use liair_math::simd::{self, SimdLevel};
 use liair_math::Complex64;
 use std::f64::consts::PI;
 
@@ -113,6 +114,13 @@ pub struct PoissonSolver {
     kernel: Vec<f64>,
     /// Kernel over the Hermitian half-spectrum `(nx, ny, nz/2 + 1)`.
     kernel_half: Vec<f64>,
+    /// Half-spectrum kernel with the Hermitian double-count weight folded
+    /// in: `w·v(G)` with `w = 1` on the self-conjugate z-planes and `w = 2`
+    /// elsewhere. Multiplying by `w ∈ {1, 2}` is exact, so the energy
+    /// contraction over this table reproduces the unfolded
+    /// `w·(v·|ρ̂|²)` loop bit for bit while exposing one flat
+    /// weighted-sum that the SIMD layer can consume directly.
+    kernel_half_weighted: Vec<f64>,
 }
 
 impl PoissonSolver {
@@ -137,10 +145,30 @@ impl PoissonSolver {
                 }
             }
         }
+        let nyquist = if nz.is_multiple_of(2) {
+            nzh - 1
+        } else {
+            usize::MAX
+        };
+        let table_weighted: Vec<f64> = table_half
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let iz = i % nzh;
+                // ×2 is exact, so folding the weight in here keeps the
+                // Parseval contraction bit-identical to the seed loop.
+                if iz == 0 || iz == nyquist {
+                    v
+                } else {
+                    2.0 * v
+                }
+            })
+            .collect();
         Self {
             grid,
             kernel: table,
             kernel_half: table_half,
+            kernel_half_weighted: table_weighted,
         }
     }
 
@@ -172,20 +200,28 @@ impl PoissonSolver {
     /// no rayon, zero steady-state heap allocation. Returns the potential
     /// borrowed from the workspace.
     pub fn solve_into<'w>(&self, rho: &[f64], ws: &'w mut PoissonWorkspace) -> &'w [f64] {
+        self.solve_into_with(simd::level(), rho, ws)
+    }
+
+    /// [`Self::solve_into`] at an explicit SIMD level.
+    pub fn solve_into_with<'w>(
+        &self,
+        level: SimdLevel,
+        rho: &[f64],
+        ws: &'w mut PoissonWorkspace,
+    ) -> &'w [f64] {
         assert_eq!(rho.len(), self.grid.len());
         ws.ensure_half(self.grid.dims);
         ws.ensure_v(self.grid.len());
-        rfft3_into(rho, self.grid.dims, &mut ws.half);
-        self.apply_kernel_half(&mut ws.half);
-        irfft3_into(&mut ws.half, self.grid.dims, &mut ws.v);
+        rfft3_into_with(level, rho, self.grid.dims, &mut ws.half);
+        simd::scale_by_table_with(level, &mut ws.half, &self.kernel_half);
+        irfft3_into_with(level, &mut ws.half, self.grid.dims, &mut ws.v);
         &ws.v
     }
 
     #[inline]
     fn apply_kernel_half(&self, half: &mut [Complex64]) {
-        for (z, &k) in half.iter_mut().zip(&self.kernel_half) {
-            *z = z.scale(k);
-        }
+        simd::scale_by_table(half, &self.kernel_half);
     }
 
     /// Electrostatic interaction energy `∬ ρ₁(r) ρ₂(r') v_C dr dr'`.
@@ -212,27 +248,22 @@ impl PoissonSolver {
     /// `(ij|ij) = (dV/N) Σ_k v(G_k) |ρ̂_k|²` over half-spectrum bins with
     /// weight 2 off the self-conjugate z-planes.
     pub fn exchange_pair_energy(&self, rho_ij: &[f64], ws: &mut PoissonWorkspace) -> f64 {
+        self.exchange_pair_energy_with(simd::level(), rho_ij, ws)
+    }
+
+    /// [`Self::exchange_pair_energy`] at an explicit SIMD level.
+    pub fn exchange_pair_energy_with(
+        &self,
+        level: SimdLevel,
+        rho_ij: &[f64],
+        ws: &mut PoissonWorkspace,
+    ) -> f64 {
         assert_eq!(rho_ij.len(), self.grid.len());
         ws.ensure_half(self.grid.dims);
-        rfft3_into(rho_ij, self.grid.dims, &mut ws.half);
-        let nz = self.grid.dims.2;
-        let nzh = nz / 2 + 1;
-        let nyquist = if nz.is_multiple_of(2) {
-            nzh - 1
-        } else {
-            usize::MAX
-        };
-        let mut acc = 0.0;
-        for (row, krow) in ws
-            .half
-            .chunks_exact(nzh)
-            .zip(self.kernel_half.chunks_exact(nzh))
-        {
-            for iz in 0..nzh {
-                let w = if iz == 0 || iz == nyquist { 1.0 } else { 2.0 };
-                acc += w * krow[iz] * row[iz].norm_sqr();
-            }
-        }
+        rfft3_into_with(level, rho_ij, self.grid.dims, &mut ws.half);
+        // The double-count weight is pre-folded into the table (exactly, as
+        // ×1/×2), so the whole Parseval sum is one flat contraction.
+        let acc = simd::weighted_energy_with(level, &ws.half, &self.kernel_half_weighted);
         acc * self.grid.dvol() / self.grid.len() as f64
     }
 
@@ -246,6 +277,17 @@ impl PoissonSolver {
         rho_b: &[f64],
         ws: &mut PoissonWorkspace,
     ) -> (f64, f64) {
+        self.exchange_pair_energy_batched_with(simd::level(), rho_a, rho_b, ws)
+    }
+
+    /// [`Self::exchange_pair_energy_batched`] at an explicit SIMD level.
+    pub fn exchange_pair_energy_batched_with(
+        &self,
+        level: SimdLevel,
+        rho_a: &[f64],
+        rho_b: &[f64],
+        ws: &mut PoissonWorkspace,
+    ) -> (f64, f64) {
         assert_eq!(rho_a.len(), self.grid.len());
         assert_eq!(rho_b.len(), self.grid.len());
         let dims = self.grid.dims;
@@ -253,7 +295,7 @@ impl PoissonSolver {
         for ((z, &a), &b) in ws.full.iter_mut().zip(rho_a).zip(rho_b) {
             *z = Complex64::new(a, b);
         }
-        fft3_serial_slice(&mut ws.full, dims);
+        fft3_serial_slice_with(level, &mut ws.full, dims);
         let (nx, ny, nz) = dims;
         let (mut ea, mut eb) = (0.0, 0.0);
         let mut idx = 0;

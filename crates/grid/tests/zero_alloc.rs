@@ -86,6 +86,42 @@ fn pair_energy_paths_are_allocation_free_after_warmup() {
     }
 }
 
+/// The SIMD-dispatched pair path stays zero-alloc at *every* level the
+/// host supports: the vector kernels work strictly in the caller's
+/// workspace, so switching `off`/`scalar`/`avx2` cannot reintroduce heap
+/// traffic into the hot loop.
+#[test]
+fn simd_pair_paths_are_allocation_free_after_warmup() {
+    use liair_math::simd;
+    let _guard = SERIAL.lock().unwrap();
+    let grid = RealGrid::cubic(Cell::cubic(12.0), 32);
+    let solver = PoissonSolver::isolated(grid);
+    let a = random_field(grid.len(), 5);
+    let b = random_field(grid.len(), 6);
+    let mut ws = PoissonWorkspace::new();
+    for level in simd::available_levels() {
+        // Warm-up at this level: plans, grow-once workspace, scratch.
+        let warm = solver.exchange_pair_energy_with(level, &a, &mut ws);
+        let _ = solver.exchange_pair_energy_batched_with(level, &a, &b, &mut ws);
+
+        let before = alloc_count();
+        let mut acc = 0.0;
+        for _ in 0..10 {
+            acc += solver.exchange_pair_energy_with(level, &a, &mut ws);
+            let (ea, eb) = solver.exchange_pair_energy_batched_with(level, &a, &b, &mut ws);
+            acc += ea + eb;
+        }
+        let delta = alloc_count() - before;
+        assert_eq!(
+            delta,
+            0,
+            "{}: {delta} heap allocations in 10 steady-state SIMD pair solves",
+            level.name()
+        );
+        assert!(acc.is_finite() && warm >= 0.0);
+    }
+}
+
 #[test]
 fn patched_pair_path_is_allocation_free_after_warmup() {
     let _guard = SERIAL.lock().unwrap();

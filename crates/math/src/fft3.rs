@@ -22,6 +22,7 @@
 use crate::array3::Array3;
 use crate::complex::Complex64;
 use crate::plan::{plan, FftPlan};
+use crate::simd::{self, SimdLevel};
 use rayon::prelude::*;
 use std::cell::RefCell;
 
@@ -45,47 +46,66 @@ pub fn ifft3(a: &mut Array3<Complex64>) {
 /// parallel loops that already own one transform per task.
 pub fn fft3_serial(a: &mut Array3<Complex64>) {
     let dims = a.dims();
-    transform3_serial(a.as_mut_slice(), dims, false);
+    transform3_serial(simd::level(), a.as_mut_slice(), dims, false);
 }
 
 /// Serial inverse 3-D FFT with `1/(nx·ny·nz)` normalization; see
 /// [`fft3_serial`].
 pub fn ifft3_serial(a: &mut Array3<Complex64>) {
     let dims = a.dims();
-    transform3_serial(a.as_mut_slice(), dims, true);
+    transform3_serial(simd::level(), a.as_mut_slice(), dims, true);
 }
 
 /// [`fft3_serial`] over a bare slice in `Array3` layout (z contiguous),
 /// for callers that keep reusable flat workspaces.
 pub fn fft3_serial_slice(data: &mut [Complex64], dims: (usize, usize, usize)) {
-    transform3_serial(data, dims, false);
+    transform3_serial(simd::level(), data, dims, false);
+}
+
+/// [`fft3_serial_slice`] at an explicit SIMD level.
+pub fn fft3_serial_slice_with(
+    level: SimdLevel,
+    data: &mut [Complex64],
+    dims: (usize, usize, usize),
+) {
+    transform3_serial(level, data, dims, false);
 }
 
 /// [`ifft3_serial`] over a bare slice in `Array3` layout.
 pub fn ifft3_serial_slice(data: &mut [Complex64], dims: (usize, usize, usize)) {
-    transform3_serial(data, dims, true);
+    transform3_serial(simd::level(), data, dims, true);
+}
+
+/// [`ifft3_serial_slice`] at an explicit SIMD level.
+pub fn ifft3_serial_slice_with(
+    level: SimdLevel,
+    data: &mut [Complex64],
+    dims: (usize, usize, usize),
+) {
+    transform3_serial(level, data, dims, true);
 }
 
 #[inline]
-fn line_transform(p: &FftPlan, inverse: bool, row: &mut [Complex64]) {
+fn line_transform(p: &FftPlan, level: SimdLevel, inverse: bool, row: &mut [Complex64]) {
     if inverse {
-        p.ifft(row);
+        p.ifft_with(level, row);
     } else {
-        p.fft(row);
+        p.fft_with(level, row);
     }
 }
 
 fn transform3(a: &mut Array3<Complex64>, inverse: bool) {
     let (nx, ny, nz) = a.dims();
-    // One cache lookup per axis, not one per line.
+    // One cache lookup per axis, not one per line; one SIMD-level resolve.
     let (px, py, pz) = (plan(nx), plan(ny), plan(nz));
+    let level = simd::level();
 
     // --- z axis: contiguous rows ---
     {
         let pz = &pz;
         a.as_mut_slice()
             .par_chunks_mut(nz)
-            .for_each(|row| line_transform(pz, inverse, row));
+            .for_each(|row| line_transform(pz, level, inverse, row));
     }
 
     // --- y axis: per-x slab, strided by nz ---
@@ -98,7 +118,7 @@ fn transform3(a: &mut Array3<Complex64>, inverse: bool) {
                     for iy in 0..ny {
                         scratch[iy] = slab[iy * nz + iz];
                     }
-                    line_transform(py, inverse, scratch);
+                    line_transform(py, level, inverse, scratch);
                     for iy in 0..ny {
                         slab[iy * nz + iz] = scratch[iy];
                     }
@@ -122,7 +142,7 @@ fn transform3(a: &mut Array3<Complex64>, inverse: bool) {
         {
             let px = &px;
             t.par_chunks_mut(nx)
-                .for_each(|row| line_transform(px, inverse, row));
+                .for_each(|row| line_transform(px, level, inverse, row));
         }
         {
             let dst = a.as_mut_slice();
@@ -143,14 +163,19 @@ fn transform3(a: &mut Array3<Complex64>, inverse: bool) {
 /// thread-local gather/scatter line instead of a full transpose buffer, so
 /// the only memory touched beyond the array itself is `max(nx, ny)`
 /// complex numbers of reusable scratch.
-fn transform3_serial(data: &mut [Complex64], dims: (usize, usize, usize), inverse: bool) {
+fn transform3_serial(
+    level: SimdLevel,
+    data: &mut [Complex64],
+    dims: (usize, usize, usize),
+    inverse: bool,
+) {
     let (nx, ny, nz) = dims;
     assert_eq!(data.len(), nx * ny * nz, "slice does not match dims");
     let (px, py, pz) = (plan(nx), plan(ny), plan(nz));
 
     // --- z axis: contiguous rows ---
     for row in data.chunks_exact_mut(nz) {
-        line_transform(&pz, inverse, row);
+        line_transform(&pz, level, inverse, row);
     }
 
     LINE_SCRATCH.with(|cell| {
@@ -167,7 +192,7 @@ fn transform3_serial(data: &mut [Complex64], dims: (usize, usize, usize), invers
                 for iy in 0..ny {
                     line[iy] = slab[iy * nz + iz];
                 }
-                line_transform(&py, inverse, line);
+                line_transform(&py, level, inverse, line);
                 for iy in 0..ny {
                     slab[iy * nz + iz] = line[iy];
                 }
@@ -182,7 +207,7 @@ fn transform3_serial(data: &mut [Complex64], dims: (usize, usize, usize), invers
                 for ix in 0..nx {
                     line[ix] = data[ix * plane + p];
                 }
-                line_transform(&px, inverse, line);
+                line_transform(&px, level, inverse, line);
                 for ix in 0..nx {
                     data[ix * plane + p] = line[ix];
                 }

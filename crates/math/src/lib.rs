@@ -13,6 +13,9 @@
 //!   LU solves, and matrix products sized for quantum-chemistry workloads.
 //! * [`special`] — the Boys function (the workhorse of Gaussian integral
 //!   evaluation), `erf`, incomplete gamma functions and factorial tables.
+//! * [`simd`] — runtime-dispatched vector kernels (AVX2+FMA with a chunked
+//!   scalar fallback) for the exchange hot loops: butterfly passes, kernel
+//!   multiplies, energy contractions, pair-density products and axpy.
 //! * [`quadrature`] — Gauss–Legendre nodes/weights.
 //! * [`stats`] — small statistics helpers used by the benchmark harness.
 //! * [`rng`] — a deterministic SplitMix64 generator for reproducible
@@ -33,6 +36,7 @@ pub mod plan;
 pub mod quadrature;
 pub mod rfft;
 pub mod rng;
+pub mod simd;
 pub mod special;
 pub mod stats;
 pub mod vec3;

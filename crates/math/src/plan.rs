@@ -21,6 +21,7 @@
 //! scratch lives in a grow-only thread local.
 
 use crate::complex::Complex64;
+use crate::simd::{self, SimdLevel};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -100,8 +101,11 @@ impl FftPlan {
                 b_inv[m - j] = chirp[j];
             }
         }
-        sub.pow2_transform(&mut b_fwd, false);
-        sub.pow2_transform(&mut b_inv, false);
+        // Chirp spectra are part of the cached plan: build them at the Off
+        // level so the plan is identical no matter which level built it
+        // (levels are bit-identical anyway; this makes it true by fiat).
+        sub.pow2_transform(SimdLevel::Off, &mut b_fwd, false);
+        sub.pow2_transform(SimdLevel::Off, &mut b_inv, false);
         FftPlan {
             n,
             tw_fwd,
@@ -129,33 +133,41 @@ impl FftPlan {
 
     /// In-place forward DFT `X_k = Σ_j x_j e^{-2πijk/n}` (unnormalized).
     pub fn fft(&self, data: &mut [Complex64]) {
-        self.transform(data, false);
+        self.fft_with(simd::level(), data);
+    }
+
+    /// [`FftPlan::fft`] at an explicit SIMD level.
+    pub fn fft_with(&self, level: SimdLevel, data: &mut [Complex64]) {
+        self.transform(level, data, false);
     }
 
     /// In-place inverse DFT with `1/n` normalization.
     pub fn ifft(&self, data: &mut [Complex64]) {
-        self.transform(data, true);
-        let inv_n = 1.0 / self.n as f64;
-        for z in data.iter_mut() {
-            *z = z.scale(inv_n);
-        }
+        self.ifft_with(simd::level(), data);
     }
 
-    fn transform(&self, data: &mut [Complex64], inverse: bool) {
+    /// [`FftPlan::ifft`] at an explicit SIMD level.
+    pub fn ifft_with(&self, level: SimdLevel, data: &mut [Complex64]) {
+        self.transform(level, data, true);
+        simd::scale_complex_with(level, data, 1.0 / self.n as f64);
+    }
+
+    fn transform(&self, level: SimdLevel, data: &mut [Complex64], inverse: bool) {
         assert_eq!(data.len(), self.n, "data length does not match plan");
         if self.n <= 1 {
             return;
         }
         if self.bluestein.is_none() {
-            self.pow2_transform(data, inverse);
+            self.pow2_transform(level, data, inverse);
         } else {
-            self.bluestein_transform(data, inverse);
+            self.bluestein_transform(level, data, inverse);
         }
     }
 
     /// Iterative radix-2 Cooley–Tukey using the cached permutation and
-    /// twiddles (`n` power of two).
-    fn pow2_transform(&self, data: &mut [Complex64], inverse: bool) {
+    /// twiddles (`n` power of two). The butterfly passes dispatch through
+    /// [`simd::butterfly_pass_with`]; every level is bit-identical.
+    fn pow2_transform(&self, level: SimdLevel, data: &mut [Complex64], inverse: bool) {
         let n = self.n;
         debug_assert!(n.is_power_of_two() && data.len() == n);
         for (i, &jr) in self.bitrev.iter().enumerate() {
@@ -167,18 +179,7 @@ impl FftPlan {
         let tw = if inverse { &self.tw_inv } else { &self.tw_fwd };
         let mut len = 2;
         while len <= n {
-            let half = len / 2;
-            let step = n / len;
-            for block in data.chunks_exact_mut(len) {
-                let (lo, hi) = block.split_at_mut(half);
-                for j in 0..half {
-                    let w = tw[j * step];
-                    let u = lo[j];
-                    let v = hi[j] * w;
-                    lo[j] = u + v;
-                    hi[j] = u - v;
-                }
-            }
+            simd::butterfly_pass_with(level, data, tw, len, n / len);
             len *= 2;
         }
     }
@@ -186,7 +187,7 @@ impl FftPlan {
     /// Bluestein chirp-z via one cached-spectrum cyclic convolution: only
     /// two `m`-point transforms per call (the seed needed three, plus two
     /// fresh `m`-point buffers; here the single scratch is thread-local).
-    fn bluestein_transform(&self, data: &mut [Complex64], inverse: bool) {
+    fn bluestein_transform(&self, level: SimdLevel, data: &mut [Complex64], inverse: bool) {
         let bs = self.bluestein.as_ref().expect("bluestein plan");
         CONV_SCRATCH.with(|cell| {
             let mut buf = cell.borrow_mut();
@@ -203,12 +204,12 @@ impl FftPlan {
                 a[j] = data[j] * c;
             }
             a[self.n..].fill(Complex64::ZERO);
-            bs.sub.pow2_transform(a, false);
+            bs.sub.pow2_transform(level, a, false);
             let spec = if inverse { &bs.spec_inv } else { &bs.spec_fwd };
             for (x, s) in a.iter_mut().zip(spec) {
                 *x *= *s;
             }
-            bs.sub.pow2_transform(a, true);
+            bs.sub.pow2_transform(level, a, true);
             let inv_m = 1.0 / bs.m as f64;
             for k in 0..self.n {
                 let c = if inverse {

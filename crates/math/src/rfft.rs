@@ -26,6 +26,7 @@
 use crate::array3::Array3;
 use crate::complex::Complex64;
 use crate::plan::{plan, FftPlan};
+use crate::simd::{self, SimdLevel};
 use rayon::prelude::*;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -85,6 +86,11 @@ impl RealFftPlan {
     /// Forward r2c: `out[k] = Σ_j x_j e^{-2πijk/n}` for `k ≤ n/2`
     /// (unnormalized; identical to the first `n/2 + 1` bins of [`crate::fft::fft`]).
     pub fn rfft(&self, input: &[f64], out: &mut [Complex64]) {
+        self.rfft_with(simd::level(), input, out);
+    }
+
+    /// [`RealFftPlan::rfft`] at an explicit SIMD level.
+    pub fn rfft_with(&self, level: SimdLevel, input: &[f64], out: &mut [Complex64]) {
         assert_eq!(input.len(), self.n, "input length does not match plan");
         assert_eq!(out.len(), self.half_len(), "output must hold n/2 + 1 bins");
         if self.n == 1 {
@@ -100,10 +106,8 @@ impl RealFftPlan {
             let z = &mut buf[..need];
             if self.even {
                 let h = self.h;
-                for (j, zj) in z.iter_mut().enumerate() {
-                    *zj = Complex64::new(input[2 * j], input[2 * j + 1]);
-                }
-                self.sub.fft(z);
+                simd::pack_complex_with(level, z, input);
+                self.sub.fft_with(level, z);
                 // Untangle: E_k + W_k·O_k with Z_h ≡ Z_0 (periodicity).
                 for (k, ok) in out.iter_mut().enumerate() {
                     let zk = z[k % h];
@@ -116,7 +120,7 @@ impl RealFftPlan {
                 for (zj, &xj) in z.iter_mut().zip(input) {
                     *zj = Complex64::real(xj);
                 }
-                self.sub.fft(z);
+                self.sub.fft_with(level, z);
                 out.copy_from_slice(&z[..self.half_len()]);
             }
         });
@@ -126,6 +130,11 @@ impl RealFftPlan {
     /// Only the stored half-spectrum is read; the redundant half is implied
     /// by Hermitian symmetry.
     pub fn irfft(&self, spec: &[Complex64], out: &mut [f64]) {
+        self.irfft_with(simd::level(), spec, out);
+    }
+
+    /// [`RealFftPlan::irfft`] at an explicit SIMD level.
+    pub fn irfft_with(&self, level: SimdLevel, spec: &[Complex64], out: &mut [f64]) {
         assert_eq!(
             spec.len(),
             self.half_len(),
@@ -154,18 +163,15 @@ impl RealFftPlan {
                 }
                 // The sub-plan's 1/h normalization is exactly the inverse of
                 // the packed forward transform — no extra scale.
-                self.sub.ifft(z);
-                for (j, zj) in z.iter().enumerate() {
-                    out[2 * j] = zj.re;
-                    out[2 * j + 1] = zj.im;
-                }
+                self.sub.ifft_with(level, z);
+                simd::unpack_complex_with(level, out, z);
             } else {
                 let n = self.n;
                 z[..spec.len()].copy_from_slice(spec);
                 for k in self.half_len()..n {
                     z[k] = spec[n - k].conj();
                 }
-                self.sub.ifft(z);
+                self.sub.ifft_with(level, z);
                 for (o, zj) in out.iter_mut().zip(z.iter()) {
                     *o = zj.re;
                 }
@@ -201,6 +207,16 @@ pub fn half_len(dims: (usize, usize, usize)) -> usize {
 /// Forward 3-D r2c on the calling thread, writing the `(nx, ny, nz/2+1)`
 /// half-spectrum into `half`. Zero steady-state heap allocation.
 pub fn rfft3_into(real: &[f64], dims: (usize, usize, usize), half: &mut [Complex64]) {
+    rfft3_into_with(simd::level(), real, dims, half);
+}
+
+/// [`rfft3_into`] at an explicit SIMD level.
+pub fn rfft3_into_with(
+    level: SimdLevel,
+    real: &[f64],
+    dims: (usize, usize, usize),
+    half: &mut [Complex64],
+) {
     let (nx, ny, nz) = dims;
     let nzh = nz / 2 + 1;
     assert_eq!(real.len(), nx * ny * nz, "real field does not match dims");
@@ -209,15 +225,25 @@ pub fn rfft3_into(real: &[f64], dims: (usize, usize, usize), half: &mut [Complex
     // z axis: r2c row by row.
     let rp = real_plan(nz);
     for (row_in, row_out) in real.chunks_exact(nz).zip(half.chunks_exact_mut(nzh)) {
-        rp.rfft(row_in, row_out);
+        rp.rfft_with(level, row_in, row_out);
     }
     // y and x axes: ordinary complex transforms over the half array.
-    complex_axes_serial(half, (nx, ny, nzh), false);
+    complex_axes_serial(level, half, (nx, ny, nzh), false);
 }
 
 /// Inverse of [`rfft3_into`]: consumes (destroys) the half-spectrum and
 /// writes the recovered real field. Zero steady-state heap allocation.
 pub fn irfft3_into(half: &mut [Complex64], dims: (usize, usize, usize), real_out: &mut [f64]) {
+    irfft3_into_with(simd::level(), half, dims, real_out);
+}
+
+/// [`irfft3_into`] at an explicit SIMD level.
+pub fn irfft3_into_with(
+    level: SimdLevel,
+    half: &mut [Complex64],
+    dims: (usize, usize, usize),
+    real_out: &mut [f64],
+) {
     let (nx, ny, nz) = dims;
     let nzh = nz / 2 + 1;
     assert_eq!(
@@ -227,16 +253,21 @@ pub fn irfft3_into(half: &mut [Complex64], dims: (usize, usize, usize), real_out
     );
     assert_eq!(half.len(), nx * ny * nzh, "half buffer does not match dims");
 
-    complex_axes_serial(half, (nx, ny, nzh), true);
+    complex_axes_serial(level, half, (nx, ny, nzh), true);
     let rp = real_plan(nz);
     for (row_in, row_out) in half.chunks_exact(nzh).zip(real_out.chunks_exact_mut(nz)) {
-        rp.irfft(row_in, row_out);
+        rp.irfft_with(level, row_in, row_out);
     }
 }
 
 /// Complex transforms along the `y` then `x` axes of a `z`-contiguous
 /// array (serial, thread-local scratch). The `z` axis is untouched.
-fn complex_axes_serial(data: &mut [Complex64], dims: (usize, usize, usize), inverse: bool) {
+fn complex_axes_serial(
+    level: SimdLevel,
+    data: &mut [Complex64],
+    dims: (usize, usize, usize),
+    inverse: bool,
+) {
     let (nx, ny, nzc) = dims;
     let (px, py) = (plan(nx), plan(ny));
     AXIS_SCRATCH.with(|cell| {
@@ -252,7 +283,7 @@ fn complex_axes_serial(data: &mut [Complex64], dims: (usize, usize, usize), inve
                 for iy in 0..ny {
                     line[iy] = slab[iy * nzc + iz];
                 }
-                axis_line(&py, inverse, line);
+                axis_line(&py, level, inverse, line);
                 for iy in 0..ny {
                     slab[iy * nzc + iz] = line[iy];
                 }
@@ -266,7 +297,7 @@ fn complex_axes_serial(data: &mut [Complex64], dims: (usize, usize, usize), inve
                 for ix in 0..nx {
                     line[ix] = data[ix * plane + p];
                 }
-                axis_line(&px, inverse, line);
+                axis_line(&px, level, inverse, line);
                 for ix in 0..nx {
                     data[ix * plane + p] = line[ix];
                 }
@@ -276,11 +307,11 @@ fn complex_axes_serial(data: &mut [Complex64], dims: (usize, usize, usize), inve
 }
 
 #[inline]
-fn axis_line(p: &FftPlan, inverse: bool, row: &mut [Complex64]) {
+fn axis_line(p: &FftPlan, level: SimdLevel, inverse: bool, row: &mut [Complex64]) {
     if inverse {
-        p.ifft(row);
+        p.ifft_with(level, row);
     } else {
-        p.fft(row);
+        p.fft_with(level, row);
     }
 }
 
@@ -330,6 +361,8 @@ pub fn irfft3(mut half: Array3<Complex64>, dims: (usize, usize, usize)) -> Vec<f
 fn complex_axes_parallel(data: &mut [Complex64], dims: (usize, usize, usize), inverse: bool) {
     let (nx, ny, nzc) = dims;
     let (px, py) = (plan(nx), plan(ny));
+    // Resolve the process default once, outside the rayon tasks.
+    let level = simd::level();
     {
         let py = &py;
         data.par_chunks_mut(ny * nzc).for_each_init(
@@ -339,7 +372,7 @@ fn complex_axes_parallel(data: &mut [Complex64], dims: (usize, usize, usize), in
                     for iy in 0..ny {
                         scratch[iy] = slab[iy * nzc + iz];
                     }
-                    axis_line(py, inverse, scratch);
+                    axis_line(py, level, inverse, scratch);
                     for iy in 0..ny {
                         slab[iy * nzc + iz] = scratch[iy];
                     }
@@ -361,7 +394,7 @@ fn complex_axes_parallel(data: &mut [Complex64], dims: (usize, usize, usize), in
         {
             let px = &px;
             t.par_chunks_mut(nx)
-                .for_each(|row| axis_line(px, inverse, row));
+                .for_each(|row| axis_line(px, level, inverse, row));
         }
         data.par_chunks_mut(plane)
             .enumerate()
