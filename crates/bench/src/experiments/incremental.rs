@@ -94,6 +94,8 @@ pub fn bench_incremental(fast: bool) -> Vec<Table> {
             "speedup",
             "|dE|",
             "bound",
+            "t_exec [ms]",
+            "cache hits",
         ],
     );
     let mut json_rows: Vec<String> = Vec::new();
@@ -178,6 +180,8 @@ pub fn bench_incremental(fast: bool) -> Vec<Table> {
                 } else {
                     "exact".into()
                 },
+                format!("{:.2}", r.profile.t_exec_s * 1e3),
+                format!("{}", r.profile.cache_hits),
             ]);
             json_rows.push(format!(
                 "    {{\"system\": \"{}\", \"eps_inc\": {:e}, \"pairs_reused\": {}, \"pairs_recomputed\": {}, \"pairs_invalidated\": {}, \"t_scratch_ms\": {:.3}, \"t_incremental_ms\": {:.3}, \"speedup\": {:.2}, \"abs_energy_error\": {:.3e}, \"error_bound\": {:.3e}}}",
@@ -202,7 +206,13 @@ pub fn bench_incremental(fast: bool) -> Vec<Table> {
     // iteration (two separated H2, converged orbitals, nothing moved).
     let mut t2 = Table::new(
         "bench-incremental — K operator, near-converged iteration",
-        &["build", "time", "tasks (eval/reused)", "speedup"],
+        &[
+            "build",
+            "time",
+            "tasks (eval/reused)",
+            "speedup",
+            "t_ao/t_exec [ms]",
+        ],
     );
     let mut mol = systems::h2();
     let mut far = systems::h2();
@@ -216,9 +226,9 @@ pub fn bench_incremental(fast: bool) -> Vec<Table> {
     let kgrid = RealGrid::cubic(Cell::cubic(edge), if fast { 24 } else { 40 });
     let ksolver = PoissonSolver::isolated(kgrid);
     let eps = 1e-4;
-    let (_, ev, _) = liair_core::operator::exchange_operator_grid_screened(
-        &basis, &scf.c, scf.nocc, &kgrid, &ksolver, eps,
-    );
+    let full_outcome =
+        liair_core::ExchangeEngine::new(&kgrid, &ksolver).k_operator(&basis, &scf.c, scf.nocc, eps);
+    let ev = full_outcome.evaluated;
     let t_full = time_ms(&mut || {
         liair_core::operator::exchange_operator_grid_screened(
             &basis, &scf.c, scf.nocc, &kgrid, &ksolver, eps,
@@ -240,12 +250,22 @@ pub fn bench_incremental(fast: bool) -> Vec<Table> {
         format!("{t_full:.2} ms"),
         format!("{ev}/0"),
         "1.0x".into(),
+        format!(
+            "{:.2}/{:.2}",
+            full_outcome.profile.t_ao_eval_s * 1e3,
+            full_outcome.profile.t_exec_s * 1e3
+        ),
     ]);
     t2.row(vec![
         "incremental (all clean)".into(),
         format!("{t_clean:.2} ms"),
         format!("{ev}/{reused_tasks}"),
         format!("{k_speedup:.1}x"),
+        format!(
+            "{:.2}/{:.2}",
+            kinc.last_profile.t_ao_eval_s * 1e3,
+            kinc.last_profile.t_exec_s * 1e3
+        ),
     ]);
     t2.note = "clean rebuild pays localization + fingerprints, zero Poisson solves".into();
 

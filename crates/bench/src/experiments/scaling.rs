@@ -53,6 +53,7 @@ pub fn fig_strong_scaling(fast: bool) -> Vec<Table> {
             "speedup",
             "efficiency",
             "group",
+            "t_fft/t_reduce [ms]",
         ],
     );
     let t0 = outcomes[0].time;
@@ -65,6 +66,11 @@ pub fn fig_strong_scaling(fast: bool) -> Vec<Table> {
             format!("{:.1}x", t0 / o.time),
             format!("{:.1}%", e * 100.0),
             format!("{}", o.group_size),
+            format!(
+                "{:.3}/{:.3}",
+                o.profile.t_fft_s * 1e3,
+                o.profile.t_reduce_s * 1e3
+            ),
         ]);
     }
     t.note = "paper claim: near-perfect parallel efficiency at 6,291,456 threads (96 racks)".into();

@@ -50,8 +50,20 @@ pub fn tab_hfx_validation(fast: bool) -> Vec<Table> {
             "E_x grid [Ha]",
             "E_x analytic [Ha]",
             "|err| [Ha]",
+            "t_exec [s]",
+            "t_fft [s]",
+            "pairs comp/scr",
+            "allocs",
         ],
     );
+    let profile_cols = |p: &liair_core::BuildProfile| -> Vec<String> {
+        vec![
+            format!("{:.3}", p.t_exec_s),
+            format!("{:.3}", p.t_fft_s),
+            format!("{}/{}", p.pairs_computed, p.pairs_screened),
+            format!("{}", p.steady_allocs),
+        ]
+    };
     {
         // H2: all orbitals, resolution sweep.
         let mol = systems::h2();
@@ -61,13 +73,15 @@ pub fn tab_hfx_validation(fast: bool) -> Vec<Table> {
         let grids: &[usize] = if fast { &[32, 64] } else { &[24, 48, 96] };
         for &n in grids {
             let out = grid_exchange_for_molecule(&mol, &basis, &scf, n, 7.0, 0.0, 0.0);
-            t2.row(vec![
+            let mut row = vec![
                 "H2".into(),
                 format!("{n}^3"),
                 format!("{:.6}", out.result.energy),
                 format!("{:.6}", want),
                 format!("{:.1e}", (out.result.energy - want).abs()),
-            ]);
+            ];
+            row.extend(profile_cols(&out.result.profile));
+            t2.row(row);
         }
     }
     {
@@ -78,13 +92,15 @@ pub fn tab_hfx_validation(fast: bool) -> Vec<Table> {
         let n = if fast { 64 } else { 80 };
         let out = grid_exchange_for_molecule(&mol, &basis, &scf, n, 7.0, 0.0, 0.4);
         let want = analytic_exchange_orbitals(&out.basis_centered, &out.c_kept, out.c_kept.ncols());
-        t2.row(vec![
+        let mut row = vec![
             "H2O (valence)".into(),
             format!("{n}^3"),
             format!("{:.6}", out.result.energy),
             format!("{:.6}", want),
             format!("{:.1e}", (out.result.energy - want).abs()),
-        ]);
+        ];
+        row.extend(profile_cols(&out.result.profile));
+        t2.row(row);
     }
     t2.note =
         "same pair tasks the parallel scheme distributes; errors are pure grid resolution".into();
@@ -107,6 +123,10 @@ mod tests {
         for row in &tables[1].rows {
             let err: f64 = row[4].parse().unwrap();
             assert!(err < 2e-2, "{row:?}");
+            // Every build row carries a populated profile.
+            let t_exec: f64 = row[5].parse().unwrap();
+            assert!(t_exec > 0.0, "unpopulated profile in {row:?}");
+            assert!(row[7].contains('/'), "{row:?}");
         }
     }
 }

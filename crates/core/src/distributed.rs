@@ -1,31 +1,32 @@
-//! The pair-distributed exchange over the message-passing runtime.
+//! The pair-distributed exchange over the message-passing runtime — thin
+//! configurations of [`crate::engine::ExchangeEngine`] on the
+//! [`ExecBackend::Comm`] backend.
 //!
 //! Every rank holds the (replicated) orbital fields, claims its share of
-//! the balanced pair list, computes partial exchange energies with the
-//! node-local kernel, and a single allreduce combines them — one collective
-//! per build, the communication-avoiding structure of the paper. Run over
+//! the balanced chunk list, computes its contributions with the node-local
+//! kernel, and a single gather per build lands them on the root — the
+//! communication-avoiding structure of the paper. Run over
 //! `liair-runtime`'s threaded backend, this is the *correctness* proof of
 //! the distributed algorithm; the BG/Q-scale behaviour of the identical
-//! task lists is priced in [`crate::simulate`].
+//! task lists is priced in [`crate::simulate`]. Because the engine
+//! distributes whole pair chunks and reassembles canonical order before
+//! the ordered reduction, the distributed energies and K matrices are
+//! bit-identical to the serial backend.
 
-use crate::balance::{assign_pairs, BalanceStrategy};
+use crate::balance::BalanceStrategy;
+use crate::engine::{ExchangeEngine, ExecBackend};
 use crate::hfx::HfxResult;
 use crate::screening::PairList;
-use liair_grid::{PoissonSolver, PoissonWorkspace, RealGrid};
-use liair_math::simd;
-use liair_runtime::{run_spmd, Comm};
+use liair_grid::{PoissonSolver, RealGrid};
 
 /// Compute the exchange energy with `nranks` virtual ranks.
 ///
-/// Deterministic: every rank derives the same assignment from the shared
-/// pair list, so no task-coordination messages are needed — only the final
-/// energy reduction.
-///
-/// Each rank owns one grow-once pair-density buffer and Poisson workspace
-/// and runs the energy-only (forward-transform-only) pair kernel, so the
-/// per-pair loop is allocation-free in steady state — the same hot path
-/// as the threaded executor, instead of the full potential solve with a
-/// fresh density vector per pair it used to run.
+/// Deterministic: every rank derives the same chunk assignment from the
+/// shared pair list, so no task-coordination messages are needed — only
+/// the final gather. Each rank owns one grow-once pair-density scratch
+/// and runs the autotuned pair kernel, so the per-pair loop is
+/// allocation-free in steady state — the same hot path as the threaded
+/// executor.
 pub fn distributed_exchange(
     grid: &RealGrid,
     solver: &PoissonSolver,
@@ -34,45 +35,18 @@ pub fn distributed_exchange(
     nranks: usize,
     strategy: BalanceStrategy,
 ) -> HfxResult {
-    let assignment = assign_pairs(pairs, nranks, strategy);
-    let level = simd::level();
-    let n = grid.len();
-    let results = run_spmd(nranks, |comm| {
-        let mine = &assignment.per_rank[comm.rank()];
-        let mut rho = vec![0.0; n];
-        let mut ws = PoissonWorkspace::new();
-        let mut partial = 0.0;
-        for &t in mine {
-            let p = pairs.pairs[t];
-            let (i, j) = (p.i as usize, p.j as usize);
-            simd::mul_into_with(level, &mut rho, &orbitals[i], &orbitals[j]);
-            partial -= p.weight * solver.exchange_pair_energy_with(level, &rho, &mut ws);
-        }
-        // The single collective of the build.
-        let mut buf = [partial];
-        comm.allreduce_sum(&mut buf);
-        buf[0]
-    });
-    // Every rank must agree on the reduced value.
-    let energy = results[0];
-    for (r, &e) in results.iter().enumerate() {
-        assert!(
-            (e - energy).abs() <= 1e-12 * (1.0 + energy.abs()),
-            "rank {r} disagrees: {e} vs {energy}"
-        );
-    }
-    HfxResult {
-        energy,
-        pairs_evaluated: pairs.len(),
-        pairs_screened: pairs.n_candidates - pairs.len(),
-        inc: crate::incremental::IncStats::default(),
-    }
+    ExchangeEngine::new(grid, solver)
+        .with_backend(ExecBackend::Comm { nranks, strategy })
+        .energy(orbitals, pairs)
 }
 
 /// Distributed build of the grid exchange *operator*: the `(occupied j,
-/// AO ν)` solve tasks are split round-robin over ranks; the partial K
-/// matrices combine in one allreduce — the message-passing twin of
-/// [`crate::operator::exchange_operator_grid`].
+/// AO ν)` solve tasks are split round-robin over ranks; per-task output
+/// columns combine on the root in canonical task order — the
+/// message-passing twin of [`crate::operator::exchange_operator_grid`],
+/// bit-identical to it. Each rank reuses one grow-once density buffer and
+/// Poisson workspace across its whole share of tasks (the per-task
+/// allocations of the earlier implementation are gone).
 pub fn distributed_exchange_operator(
     basis: &liair_basis::Basis,
     c_occ: &liair_math::Mat,
@@ -81,46 +55,13 @@ pub fn distributed_exchange_operator(
     solver: &PoissonSolver,
     nranks: usize,
 ) -> liair_math::Mat {
-    use liair_grid::{ao_values, orbitals_on_grid};
-    let nao = basis.nao();
-    let aos = ao_values(basis, grid);
-    let orbitals = orbitals_on_grid(basis, c_occ, nocc, grid);
-    let results = run_spmd(nranks, |comm| {
-        let mut partial = vec![0.0; nao * nao];
-        let mut task = 0usize;
-        for j in 0..nocc {
-            for nu in 0..nao {
-                if task % comm.size() == comm.rank() {
-                    let rho: Vec<f64> = orbitals[j]
-                        .iter()
-                        .zip(&aos[nu])
-                        .map(|(a, b)| a * b)
-                        .collect();
-                    let v = solver.solve(&rho);
-                    for mu in 0..nao {
-                        let mut acc = 0.0;
-                        for p in 0..grid.len() {
-                            acc += aos[mu][p] * orbitals[j][p] * v[p];
-                        }
-                        partial[mu * nao + nu] += acc * grid.dvol();
-                    }
-                }
-                task += 1;
-            }
-        }
-        comm.allreduce_sum(&mut partial);
-        partial
-    });
-    let mut k = liair_math::Mat::from_vec(nao, nao, results.into_iter().next().unwrap());
-    // Symmetrize, matching the shared-memory builder.
-    for mu in 0..nao {
-        for nu in (mu + 1)..nao {
-            let s = 0.5 * (k[(mu, nu)] + k[(nu, mu)]);
-            k[(mu, nu)] = s;
-            k[(nu, mu)] = s;
-        }
-    }
-    k
+    ExchangeEngine::new(grid, solver)
+        .with_backend(ExecBackend::Comm {
+            nranks,
+            strategy: BalanceStrategy::RoundRobin,
+        })
+        .k_operator(basis, c_occ, nocc, 0.0)
+        .k
 }
 
 #[cfg(test)]
@@ -235,5 +176,7 @@ mod tests {
         let dist = distributed_exchange(&grid, &solver, &fields, &pairs, 2, BalanceStrategy::Block);
         assert!(dist.energy < 0.0);
         assert_eq!(dist.pairs_evaluated, pairs.len());
+        assert!(dist.profile.is_populated(), "Comm build must fill profile");
+        assert!(dist.profile.bytes_reduced > 0, "gather bytes unaccounted");
     }
 }

@@ -1,0 +1,326 @@
+//! The K-operator stage of the engine: `K_{μν} = Σ_j (μj|jν)` built as
+//! one Poisson solve per `(occupied j, AO ν)` task, on any
+//! [`ExecBackend`](super::ExecBackend).
+//!
+//! The task list is canonical (j-major, ν-ascending, ε-screened), per-task
+//! output columns are reassembled in that order on every backend, each
+//! orbital's `ΔK_j` accumulates its columns in task order, and `K = Σ_j
+//! ΔK_j` sums ascending-j before the final symmetrization — the fixed
+//! floating-point sequence that makes the rayon build, the message-passing
+//! build, and the incremental build with `eps_inc = 0` bit-identical.
+
+use super::{BuildProfile, ExchangeEngine, ExecBackend};
+use crate::balance::assign;
+use liair_basis::Basis;
+use liair_grid::{ao_values, orbitals_on_grid, KernelTimings, PoissonWorkspace, RealGrid};
+use liair_math::Mat;
+use liair_runtime::{run_spmd, Comm};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Everything the per-orbital K tasks need that does not depend on which
+/// orbitals are dirty: AO and orbital fields on the grid plus the
+/// screening metadata. Shared by the from-scratch and incremental builds.
+pub(crate) struct KBuildSetup {
+    pub(crate) nao: usize,
+    pub(crate) nocc: usize,
+    /// Localization centers/spreads of the (localized) occupied orbitals;
+    /// empty when `eps = 0` (no localization, nothing to screen).
+    pub(crate) orb_info: Vec<crate::screening::OrbitalInfo>,
+    /// Screening metadata of the AOs (empty when `eps = 0`).
+    pub(crate) ao_info: Vec<crate::screening::OrbitalInfo>,
+    /// Occupied orbital fields on the grid (localized when `eps > 0`).
+    pub(crate) orbitals: Vec<Vec<f64>>,
+    /// AO fields on the grid.
+    pub(crate) aos: Vec<Vec<f64>>,
+}
+
+/// Evaluate the orbital fields and screening metadata for a K build.
+///
+/// Canonical orbitals are delocalized and unscreenable; K is invariant
+/// under rotations within the occupied space, so when screening is on we
+/// localize first (exactly what the paper's scheme does each step).
+pub(crate) fn k_build_setup(
+    basis: &Basis,
+    c_occ: &Mat,
+    nocc: usize,
+    grid: &RealGrid,
+    eps: f64,
+) -> KBuildSetup {
+    let nao = basis.nao();
+    assert_eq!(c_occ.nrows(), nao);
+    assert!(nocc <= c_occ.ncols());
+    let aos = ao_values(basis, grid);
+    let (c_work, orb_info, ao_info) = if eps > 0.0 {
+        let loc = liair_grid::foster_boys(basis, c_occ, nocc, 60);
+        let orbs: Vec<crate::screening::OrbitalInfo> = loc
+            .centers
+            .iter()
+            .zip(&loc.spreads)
+            .map(|(&center, &s)| crate::screening::OrbitalInfo {
+                center,
+                spread: s.max(0.3),
+            })
+            .collect();
+        let aos_s: Vec<crate::screening::OrbitalInfo> = basis
+            .aos
+            .iter()
+            .map(|ao| {
+                let sh = &basis.shells[ao.shell];
+                let alpha_min = sh.prims.iter().map(|p| p.exp).fold(f64::INFINITY, f64::min);
+                crate::screening::OrbitalInfo {
+                    center: sh.center,
+                    spread: (1.0 / (2.0 * alpha_min)).sqrt().max(0.3),
+                }
+            })
+            .collect();
+        (loc.c_loc, orbs, aos_s)
+    } else {
+        (c_occ.clone(), Vec::new(), Vec::new())
+    };
+    let orbitals = orbitals_on_grid(basis, &c_work, nocc, grid);
+    KBuildSetup {
+        nao,
+        nocc,
+        orb_info,
+        ao_info,
+        orbitals,
+        aos,
+    }
+}
+
+/// Average away the 1e-6-level asymmetry grid quadrature leaves in K.
+pub(crate) fn symmetrize(k: &mut Mat) {
+    let nao = k.nrows();
+    for mu in 0..nao {
+        for nu in (mu + 1)..nao {
+            let s = 0.5 * (k[(mu, nu)] + k[(nu, mu)]);
+            k[(mu, nu)] = s;
+            k[(nu, mu)] = s;
+        }
+    }
+}
+
+/// Per-worker scratch of the K task loop: one pair-density buffer and one
+/// Poisson workspace, grow-once (only the nao-length output column is
+/// allocated per task).
+#[derive(Default)]
+struct KTaskScratch {
+    rho: Vec<f64>,
+    ws: PoissonWorkspace,
+}
+
+impl KTaskScratch {
+    fn ensure(&mut self, n: usize) -> bool {
+        if self.rho.len() != n {
+            self.rho.resize(n, 0.0);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Output of [`ExchangeEngine::k_operator`].
+#[derive(Debug, Clone)]
+pub struct KBuildOutcome {
+    /// The symmetrized exchange operator `Σ_j (μj|jν)`.
+    pub k: Mat,
+    /// `(j, ν)` tasks evaluated through a Poisson solve.
+    pub evaluated: usize,
+    /// Tasks dropped by the ε screen.
+    pub skipped: usize,
+    /// Per-phase instrumentation of this build.
+    pub profile: BuildProfile,
+}
+
+impl ExchangeEngine<'_> {
+    /// Build the AO-basis exchange operator on the configured backend.
+    ///
+    /// `c_occ` holds the occupied MO coefficients (`nao × nocc`) in the
+    /// same (box-centered) basis the grid discretizes; `eps` drops `(j, ν)`
+    /// tasks whose Gaussian-overlap bound falls below it (localizing
+    /// first when `eps > 0`).
+    pub fn k_operator(&self, basis: &Basis, c_occ: &Mat, nocc: usize, eps: f64) -> KBuildOutcome {
+        let mut profile = BuildProfile::default();
+        let t_ao = Instant::now();
+        let setup = k_build_setup(basis, c_occ, nocc, self.grid, eps);
+        profile.t_ao_eval_s += t_ao.elapsed().as_secs_f64();
+        let slots: Vec<usize> = (0..nocc).collect();
+        let results = self.k_orbital_contribs(&setup, eps, &slots, &mut profile);
+        let tr = Instant::now();
+        let mut k = Mat::zeros(setup.nao, setup.nao);
+        let mut evaluated = 0;
+        let mut skipped = 0;
+        for ((_, dk), (ev, sk)) in &results {
+            k.axpy(1.0, dk);
+            evaluated += ev;
+            skipped += sk;
+        }
+        symmetrize(&mut k);
+        profile.t_reduce_s += tr.elapsed().as_secs_f64();
+        profile.bytes_reduced += results.len() * setup.nao * setup.nao * std::mem::size_of::<f64>();
+        profile.pairs_computed = evaluated;
+        profile.pairs_screened = skipped;
+        KBuildOutcome {
+            k,
+            evaluated,
+            skipped,
+            profile,
+        }
+    }
+
+    /// Run the surviving `(j, ν)` Poisson tasks of the orbitals in `slots`
+    /// on the configured backend and return, per requested orbital, its
+    /// unsymmetrized contribution `ΔK_j` plus `(evaluated, skipped)` task
+    /// counts. `K = Σ_j ΔK_j` over all occupied orbitals. Execute-phase
+    /// profile fields are accumulated into `profile`.
+    pub(crate) fn k_orbital_contribs(
+        &self,
+        setup: &KBuildSetup,
+        eps: f64,
+        slots: &[usize],
+        profile: &mut BuildProfile,
+    ) -> Vec<((usize, Mat), (usize, usize))> {
+        let nao = setup.nao;
+        // For each (j, ν): v_jν = Poisson[φ_j χ_ν]; then
+        // K_μν += ∫ χ_μ φ_j v_jν — the pair-task structure of the energy
+        // path. The task list is canonical: j-major, ν-ascending.
+        let tasks: Vec<(usize, usize)> = slots
+            .iter()
+            .flat_map(|&j| (0..nao).map(move |nu| (j, nu)))
+            .filter(|&(j, nu)| {
+                eps <= 0.0
+                    || crate::screening::pair_bound(&setup.orb_info[j], &setup.ao_info[nu], None)
+                        >= eps
+            })
+            .collect();
+        let t0 = Instant::now();
+        let cols = self.run_k_tasks(setup, &tasks, profile);
+        profile.t_exec_s += t0.elapsed().as_secs_f64();
+        let mut slot_of = vec![usize::MAX; setup.nocc];
+        for (s, &j) in slots.iter().enumerate() {
+            slot_of[j] = s;
+        }
+        let mut out: Vec<((usize, Mat), (usize, usize))> = slots
+            .iter()
+            .map(|&j| ((j, Mat::zeros(nao, nao)), (0, nao)))
+            .collect();
+        // Accumulate columns in canonical task order — the fixed sequence
+        // shared by every backend and the incremental rebuild.
+        for (t, col) in cols.iter().enumerate() {
+            let (j, nu) = tasks[t];
+            let ((_, dk), (ev, sk)) = &mut out[slot_of[j]];
+            for mu in 0..nao {
+                dk[(mu, nu)] += col[mu];
+            }
+            *ev += 1;
+            *sk -= 1;
+        }
+        out
+    }
+
+    /// Execute the task list on the configured backend, returning the
+    /// nao-length output columns in canonical task order.
+    fn run_k_tasks(
+        &self,
+        setup: &KBuildSetup,
+        tasks: &[(usize, usize)],
+        profile: &mut BuildProfile,
+    ) -> Vec<Vec<f64>> {
+        let nao = setup.nao;
+        let npts = self.grid.len();
+        let dvol = self.grid.dvol();
+        let level = self.simd_choice();
+        let solver = self.full_solver();
+        let eval = |sc: &mut KTaskScratch, t: usize| -> (Vec<f64>, KernelTimings, usize) {
+            let (j, nu) = tasks[t];
+            let grew = sc.ensure(npts) as usize;
+            let KTaskScratch { rho, ws } = sc;
+            for ((r, &a), &b) in rho.iter_mut().zip(&setup.orbitals[j]).zip(&setup.aos[nu]) {
+                *r = a * b;
+            }
+            let v = solver.solve_into_with(level, rho, ws);
+            // column ν of ΔK_j gets ⟨χ_μ φ_j | v_jν⟩ for every μ.
+            let col: Vec<f64> = (0..nao)
+                .map(|mu| {
+                    let mut acc = 0.0;
+                    for p in 0..npts {
+                        acc += setup.aos[mu][p] * setup.orbitals[j][p] * v[p];
+                    }
+                    acc * dvol
+                })
+                .collect();
+            (col, sc.ws.take_timings(), grew)
+        };
+        match self.backend() {
+            ExecBackend::Serial => {
+                let mut sc = KTaskScratch::default();
+                let mut cols = Vec::with_capacity(tasks.len());
+                for t in 0..tasks.len() {
+                    let (col, tim, grew) = eval(&mut sc, t);
+                    profile.t_fft_s += tim.fft_s;
+                    profile.t_kernel_s += tim.kernel_s;
+                    profile.steady_allocs += grew;
+                    cols.push(col);
+                }
+                cols
+            }
+            ExecBackend::Rayon => {
+                let results: Vec<(Vec<f64>, KernelTimings, usize)> = (0..tasks.len())
+                    .into_par_iter()
+                    .map_init(KTaskScratch::default, |sc, t| eval(sc, t))
+                    .collect();
+                let mut cols = Vec::with_capacity(tasks.len());
+                for (col, tim, grew) in results {
+                    profile.t_fft_s += tim.fft_s;
+                    profile.t_kernel_s += tim.kernel_s;
+                    profile.steady_allocs += grew;
+                    cols.push(col);
+                }
+                cols
+            }
+            ExecBackend::Comm { nranks, strategy } => {
+                assert!(nranks >= 1, "need at least one rank");
+                let costs = vec![1.0; tasks.len()];
+                let assignment = assign(&costs, nranks, strategy);
+                let gathered = run_spmd(nranks, |comm| {
+                    let mine = &assignment.per_rank[comm.rank()];
+                    let mut sc = KTaskScratch::default();
+                    let mut tim = KernelTimings::default();
+                    let mut grew = 0usize;
+                    let mut flat = Vec::with_capacity(nao * mine.len() + 3);
+                    for &t in mine {
+                        let (col, dt, g) = eval(&mut sc, t);
+                        flat.extend_from_slice(&col);
+                        tim.merge(dt);
+                        grew += g;
+                    }
+                    flat.push(tim.fft_s);
+                    flat.push(tim.kernel_s);
+                    flat.push(grew as f64);
+                    // The single collective of the build.
+                    comm.gather(0, flat)
+                });
+                let parts = gathered
+                    .into_iter()
+                    .next()
+                    .expect("nranks >= 1")
+                    .expect("rank 0 is the gather root");
+                let mut cols = vec![Vec::new(); tasks.len()];
+                for (r, part) in parts.iter().enumerate() {
+                    let mine = &assignment.per_rank[r];
+                    for (slot, &t) in mine.iter().enumerate() {
+                        cols[t] = part[slot * nao..(slot + 1) * nao].to_vec();
+                    }
+                    let base = nao * mine.len();
+                    profile.t_fft_s += part[base];
+                    profile.t_kernel_s += part[base + 1];
+                    profile.steady_allocs += part[base + 2] as usize;
+                    profile.bytes_reduced += part.len() * std::mem::size_of::<f64>();
+                }
+                cols
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! The uniform per-build instrumentation record every [`super::ExchangeEngine`]
+//! build produces, replacing the ad-hoc per-driver counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Phase-resolved wall times and work counters of one exchange build.
+///
+/// Every driver that routes through the engine — energy-only, patched,
+/// K-operator, message-passing, incremental — fills the same fields, so
+/// `repro` tables and downstream tooling can compare builds without
+/// knowing which driver produced them. Times are wall seconds; the FFT and
+/// kernel phases are summed *across workers* (they can exceed `t_exec_s`
+/// on a multi-core build), while `t_exec_s` and `t_reduce_s` are elapsed
+/// times of the whole stage.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct BuildProfile {
+    /// AO/orbital field evaluation (and localization) ahead of the pair loop.
+    pub t_ao_eval_s: f64,
+    /// Forward/inverse FFT time summed over all workers.
+    pub t_fft_s: f64,
+    /// Reciprocal-space kernel multiply / energy-contraction time summed
+    /// over all workers.
+    pub t_kernel_s: f64,
+    /// Elapsed wall time of the execute stage (pair/task loop, all backends).
+    pub t_exec_s: f64,
+    /// Elapsed wall time of the reduction stage (ordered contribution sum,
+    /// column accumulation, or the Comm gather).
+    pub t_reduce_s: f64,
+    /// Pairs (or K tasks) dropped by ε screening before execution.
+    pub pairs_screened: usize,
+    /// Pairs (or K tasks) actually computed through a Poisson solve.
+    pub pairs_computed: usize,
+    /// Pairs (or K tasks) served from the incremental cache instead.
+    pub pairs_reused: usize,
+    /// Incremental cache hits (entries consulted and found clean).
+    pub cache_hits: usize,
+    /// Bytes that flowed through the reduction stage (contribution vectors,
+    /// gathered columns, allreduce payloads).
+    pub bytes_reduced: usize,
+    /// Steady-state scratch growth events during execution (0 once every
+    /// worker's grow-once buffers are warm).
+    pub steady_allocs: usize,
+}
+
+impl BuildProfile {
+    /// Accumulate another build's profile into this one (times and
+    /// counters both add — used by SCF loops that profile per iteration).
+    pub fn merge(&mut self, other: &BuildProfile) {
+        self.t_ao_eval_s += other.t_ao_eval_s;
+        self.t_fft_s += other.t_fft_s;
+        self.t_kernel_s += other.t_kernel_s;
+        self.t_exec_s += other.t_exec_s;
+        self.t_reduce_s += other.t_reduce_s;
+        self.pairs_screened += other.pairs_screened;
+        self.pairs_computed += other.pairs_computed;
+        self.pairs_reused += other.pairs_reused;
+        self.cache_hits += other.cache_hits;
+        self.bytes_reduced += other.bytes_reduced;
+        self.steady_allocs += other.steady_allocs;
+    }
+
+    /// Whether this profile carries any evidence of a build (a populated
+    /// profile has either elapsed execute time or non-zero work counters).
+    pub fn is_populated(&self) -> bool {
+        self.t_exec_s > 0.0
+            || self.pairs_computed > 0
+            || self.pairs_reused > 0
+            || self.pairs_screened > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_times_and_counters() {
+        let mut a = BuildProfile {
+            t_exec_s: 1.0,
+            pairs_computed: 3,
+            ..Default::default()
+        };
+        let b = BuildProfile {
+            t_exec_s: 0.5,
+            t_fft_s: 0.25,
+            pairs_computed: 2,
+            pairs_reused: 7,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.t_exec_s, 1.5);
+        assert_eq!(a.t_fft_s, 0.25);
+        assert_eq!(a.pairs_computed, 5);
+        assert_eq!(a.pairs_reused, 7);
+    }
+
+    #[test]
+    fn default_profile_is_unpopulated() {
+        let p = BuildProfile::default();
+        assert!(!p.is_populated());
+        let q = BuildProfile {
+            pairs_computed: 1,
+            ..Default::default()
+        };
+        assert!(q.is_populated());
+    }
+}

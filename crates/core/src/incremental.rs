@@ -40,6 +40,7 @@
 //! build is exactly the from-scratch one (bit-identical for the operator
 //! path — property-tested).
 
+use crate::engine::{BuildProfile, ExchangeEngine, KernelChoice};
 use crate::screening::{OrbitalInfo, Pair, PairList};
 use liair_grid::{PoissonSolver, RealGrid};
 use liair_math::{Mat, Vec3};
@@ -191,6 +192,11 @@ pub struct IncrementalExchange {
     k: Option<KCache>,
     /// Cumulative counters across all builds since construction.
     pub totals: IncStats,
+    /// Per-phase instrumentation of the most recent build (either path).
+    pub last_profile: BuildProfile,
+    /// Pinned kernel choice for the dirty recompute (None = autotune),
+    /// see [`IncrementalExchange::force_kernel_choice`].
+    kernel_choice: Option<KernelChoice>,
     // Grow-once scratch reused across builds (zero allocations in the
     // all-clean steady state).
     fp_scratch: Vec<Fingerprint>,
@@ -220,6 +226,8 @@ impl IncrementalExchange {
             energy: None,
             k: None,
             totals: IncStats::default(),
+            last_profile: BuildProfile::default(),
+            kernel_choice: None,
             fp_scratch: Vec::new(),
             dirty_orb: Vec::new(),
             dirty_pairs: Vec::new(),
@@ -231,6 +239,28 @@ impl IncrementalExchange {
     pub fn invalidate(&mut self) {
         self.energy = None;
         self.k = None;
+    }
+
+    /// Pin the kernel (pair path, SIMD level) of the dirty recompute
+    /// instead of autotuning — needed when one process must compare an
+    /// incremental build bit-for-bit against an engine build running a
+    /// specific choice. Invalidates the cache: contributions computed
+    /// under a different kernel would no longer be bit-compatible.
+    pub fn force_kernel_choice(&mut self, choice: KernelChoice) {
+        if self.kernel_choice != Some(choice) {
+            self.kernel_choice = Some(choice);
+            self.invalidate();
+        }
+    }
+
+    /// The configured engine over `grid`/`solver` (rayon backend, pinned
+    /// kernel choice when one was forced).
+    fn engine<'a>(&self, grid: &'a RealGrid, solver: &'a PoissonSolver) -> ExchangeEngine<'a> {
+        let engine = ExchangeEngine::new(grid, solver);
+        match self.kernel_choice {
+            Some(c) => engine.with_kernel_choice(c),
+            None => engine,
+        }
     }
 
     /// Incremental twin of [`crate::hfx::exchange_energy`]: clean pairs
@@ -247,7 +277,6 @@ impl IncrementalExchange {
         pairs: &PairList,
     ) -> crate::hfx::HfxResult {
         assert_eq!(orbitals.len(), infos.len());
-        let t0 = Instant::now();
         let norb = orbitals.len();
         self.fingerprint_all(grid, orbitals, Some(infos));
 
@@ -299,11 +328,15 @@ impl IncrementalExchange {
             }
         }
 
-        // Recompute the dirty pairs through the workspace fast path.
+        // Recompute the dirty pairs through the engine (rayon backend,
+        // same chunking and kernel choice as a from-scratch build, so the
+        // dirty contributions are bit-identical to that build's).
         let n_dirty = self.dirty_pairs.len();
+        let mut profile = BuildProfile::default();
         let t_dirty0 = Instant::now();
         let contribs = if n_dirty > 0 {
-            crate::hfx::exchange_pair_contribs(grid, solver, orbitals, &self.dirty_pairs)
+            self.engine(grid, solver)
+                .pair_contribs(orbitals, &self.dirty_pairs, &mut profile)
         } else {
             Vec::new()
         };
@@ -350,12 +383,18 @@ impl IncrementalExchange {
             time_saved_s: reused as f64 * cache.cost_per_pair,
         };
         self.totals.accumulate(&stats);
-        let _ = t0;
+        profile.pairs_computed = n_dirty;
+        profile.pairs_reused = reused;
+        profile.cache_hits = reused;
+        profile.pairs_screened = pairs.n_candidates - pairs.len();
+        profile.bytes_reduced += contribs.len() * std::mem::size_of::<f64>();
+        self.last_profile = profile;
         crate::hfx::HfxResult {
             energy: clean_sum + dirty_sum,
             pairs_evaluated: pairs.len(),
             pairs_screened: pairs.n_candidates - pairs.len(),
             inc: stats,
+            profile,
         }
     }
 
@@ -378,7 +417,10 @@ impl IncrementalExchange {
         solver: &PoissonSolver,
         eps: f64,
     ) -> (Mat, usize, usize, IncStats) {
-        let setup = crate::operator::k_build_setup(basis, c_occ, nocc, grid, eps);
+        let mut profile = BuildProfile::default();
+        let t_ao = Instant::now();
+        let setup = crate::engine::kpath::k_build_setup(basis, c_occ, nocc, grid, eps);
+        profile.t_ao_eval_s += t_ao.elapsed().as_secs_f64();
         let nao = basis.nao();
         let infos = if setup.orb_info.is_empty() {
             None
@@ -410,8 +452,12 @@ impl IncrementalExchange {
             .extend((0..nocc).filter(|&j| self.dirty_orb[j]));
 
         let t_dirty0 = Instant::now();
-        let dirty_results =
-            crate::operator::k_orbital_contribs(&setup, grid, solver, eps, &self.dirty_slots);
+        let dirty_results = self.engine(grid, solver).k_orbital_contribs(
+            &setup,
+            eps,
+            &self.dirty_slots,
+            &mut profile,
+        );
         let dt_dirty = t_dirty0.elapsed().as_secs_f64();
 
         // Install recomputed contributions, then assemble K = Σ_j ΔK_j in
@@ -453,7 +499,7 @@ impl IncrementalExchange {
                 reused_tasks += cache.tasks[j].0;
             }
         }
-        crate::operator::symmetrize(&mut k);
+        crate::engine::kpath::symmetrize(&mut k);
 
         cache.builds_since_full = if full { 0 } else { cache.builds_since_full + 1 };
         let stats = IncStats {
@@ -463,6 +509,11 @@ impl IncrementalExchange {
             time_saved_s: reused_tasks as f64 * cache.cost_per_task,
         };
         self.totals.accumulate(&stats);
+        profile.pairs_computed = recomputed_tasks;
+        profile.pairs_reused = reused_tasks;
+        profile.cache_hits = reused_tasks;
+        profile.pairs_screened = skipped;
+        self.last_profile = profile;
         (k, evaluated, skipped, stats)
     }
 

@@ -25,11 +25,17 @@
 //! (correctness at laptop scale); [`simulate`] prices the same task lists
 //! on the BG/Q model (performance at paper scale), alongside the two
 //! baselines the paper compares against.
+//!
+//! All of the above are thin configurations of one staged driver:
+//! [`engine::ExchangeEngine`] owns the canonical build pipeline (pair
+//! source → execute backend → ordered accumulate), the autotuned kernel
+//! choice, and the per-phase [`engine::BuildProfile`] instrumentation.
 
 #![allow(clippy::needless_range_loop)] // index loops are the clearer idiom in this numeric code
 
 pub mod balance;
 pub mod distributed;
+pub mod engine;
 pub mod hfx;
 pub mod incremental;
 pub mod operator;
@@ -38,6 +44,9 @@ pub mod simulate;
 pub mod workload;
 
 pub use balance::{assign_pairs, Assignment, BalanceStrategy};
+pub use engine::{
+    BuildProfile, EngineScratch, ExchangeEngine, ExecBackend, KBuildOutcome, KernelChoice, PairPath,
+};
 pub use hfx::{exchange_energy, exchange_energy_patched, HfxResult};
 pub use incremental::{Fingerprint, IncStats, IncrementalExchange};
 pub use operator::{

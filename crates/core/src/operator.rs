@@ -7,19 +7,21 @@
 //! `K_{μν} = Σ_{j occ} (μ j | j ν)
 //!         = Σ_j ∬ χ_μ(r) φ_j(r) v_C(r,r') φ_j(r') χ_ν(r')`,
 //!
-//! built here as one Poisson solve per `(occupied j, AO ν)` pair density —
-//! the same work unit the parallel scheme distributes (in CPMD terms: the
-//! exchange potentials `v_jν` acting back on the orbitals). The
-//! [`rhf_with_grid_exchange`] driver then converges an SCF in which *all*
+//! built as one Poisson solve per `(occupied j, AO ν)` pair density — the
+//! same work unit the parallel scheme distributes (in CPMD terms: the
+//! exchange potentials `v_jν` acting back on the orbitals). The build
+//! itself lives in the engine ([`ExchangeEngine::k_operator`]); the entry
+//! points here are thin rayon-backend configurations of it, and the
+//! [`rhf_with_grid_exchange`] driver converges an SCF in which *all*
 //! exact exchange comes from the grid path, validating the full pipeline
 //! against the purely analytic RHF.
 
+use crate::engine::{BuildProfile, ExchangeEngine};
 use liair_basis::{Basis, Cell, Molecule};
-use liair_grid::{ao_values, orbitals_on_grid, PoissonSolver, PoissonWorkspace, RealGrid};
+use liair_grid::{PoissonSolver, RealGrid};
 use liair_integrals::{kinetic_matrix, nuclear_matrix, overlap_matrix, JkBuilder};
 use liair_math::linalg::{eigh, sym_inv_sqrt};
 use liair_math::Mat;
-use rayon::prelude::*;
 
 /// Build `K_{μν}` on the grid from occupied orbital fields.
 ///
@@ -39,6 +41,7 @@ pub fn exchange_operator_grid(
 /// Gaussian-overlap bound falls below `eps` (the same knob as the energy
 /// path). Returns `(K, tasks_evaluated, tasks_skipped)`.
 ///
+/// Thin wrapper over [`ExchangeEngine::k_operator`] on the rayon backend.
 /// Built as `K = Σ_j ΔK_j` from per-orbital contributions — the same
 /// assembly the incremental path ([`crate::incremental::IncrementalExchange`])
 /// uses, so an incremental build with `eps_inc = 0` is bit-identical.
@@ -50,171 +53,8 @@ pub fn exchange_operator_grid_screened(
     solver: &PoissonSolver,
     eps: f64,
 ) -> (Mat, usize, usize) {
-    let setup = k_build_setup(basis, c_occ, nocc, grid, eps);
-    let slots: Vec<usize> = (0..nocc).collect();
-    let results = k_orbital_contribs(&setup, grid, solver, eps, &slots);
-    let mut k = Mat::zeros(setup.nao, setup.nao);
-    let mut evaluated = 0;
-    let mut skipped = 0;
-    for ((_, dk), (ev, sk)) in &results {
-        k.axpy(1.0, dk);
-        evaluated += ev;
-        skipped += sk;
-    }
-    symmetrize(&mut k);
-    (k, evaluated, skipped)
-}
-
-/// Everything the per-orbital K tasks need that does not depend on which
-/// orbitals are dirty: AO and orbital fields on the grid plus the
-/// screening metadata. Shared by the from-scratch and incremental builds.
-pub(crate) struct KBuildSetup {
-    pub(crate) nao: usize,
-    pub(crate) nocc: usize,
-    /// Localization centers/spreads of the (localized) occupied orbitals;
-    /// empty when `eps = 0` (no localization, nothing to screen).
-    pub(crate) orb_info: Vec<crate::screening::OrbitalInfo>,
-    /// Screening metadata of the AOs (empty when `eps = 0`).
-    pub(crate) ao_info: Vec<crate::screening::OrbitalInfo>,
-    /// Occupied orbital fields on the grid (localized when `eps > 0`).
-    pub(crate) orbitals: Vec<Vec<f64>>,
-    /// AO fields on the grid.
-    pub(crate) aos: Vec<Vec<f64>>,
-}
-
-/// Evaluate the orbital fields and screening metadata for a K build.
-///
-/// Canonical orbitals are delocalized and unscreenable; K is invariant
-/// under rotations within the occupied space, so when screening is on we
-/// localize first (exactly what the paper's scheme does each step).
-pub(crate) fn k_build_setup(
-    basis: &Basis,
-    c_occ: &Mat,
-    nocc: usize,
-    grid: &RealGrid,
-    eps: f64,
-) -> KBuildSetup {
-    let nao = basis.nao();
-    assert_eq!(c_occ.nrows(), nao);
-    assert!(nocc <= c_occ.ncols());
-    let aos = ao_values(basis, grid);
-    let (c_work, orb_info, ao_info) = if eps > 0.0 {
-        let loc = liair_grid::foster_boys(basis, c_occ, nocc, 60);
-        let orbs: Vec<crate::screening::OrbitalInfo> = loc
-            .centers
-            .iter()
-            .zip(&loc.spreads)
-            .map(|(&center, &s)| crate::screening::OrbitalInfo {
-                center,
-                spread: s.max(0.3),
-            })
-            .collect();
-        let aos_s: Vec<crate::screening::OrbitalInfo> = basis
-            .aos
-            .iter()
-            .map(|ao| {
-                let sh = &basis.shells[ao.shell];
-                let alpha_min = sh.prims.iter().map(|p| p.exp).fold(f64::INFINITY, f64::min);
-                crate::screening::OrbitalInfo {
-                    center: sh.center,
-                    spread: (1.0 / (2.0 * alpha_min)).sqrt().max(0.3),
-                }
-            })
-            .collect();
-        (loc.c_loc, orbs, aos_s)
-    } else {
-        (c_occ.clone(), Vec::new(), Vec::new())
-    };
-    let orbitals = orbitals_on_grid(basis, &c_work, nocc, grid);
-    KBuildSetup {
-        nao,
-        nocc,
-        orb_info,
-        ao_info,
-        orbitals,
-        aos,
-    }
-}
-
-/// Run the surviving `(j, ν)` Poisson tasks of the orbitals in `slots`
-/// (rayon-parallel over that task list only) and return, per requested
-/// orbital, its unsymmetrized contribution `ΔK_j` plus `(evaluated,
-/// skipped)` task counts. `K = Σ_j ΔK_j` over all occupied orbitals.
-pub(crate) fn k_orbital_contribs(
-    setup: &KBuildSetup,
-    grid: &RealGrid,
-    solver: &PoissonSolver,
-    eps: f64,
-    slots: &[usize],
-) -> Vec<((usize, Mat), (usize, usize))> {
-    let nao = setup.nao;
-    // For each (j, ν): v_jν = Poisson[φ_j χ_ν]; then
-    // K_μν += ∫ χ_μ φ_j v_jν — the pair-task structure of the energy path.
-    let tasks: Vec<(usize, usize)> = slots
-        .iter()
-        .flat_map(|&j| (0..nao).map(move |nu| (j, nu)))
-        .filter(|&(j, nu)| {
-            eps <= 0.0
-                || crate::screening::pair_bound(&setup.orb_info[j], &setup.ao_info[nu], None) >= eps
-        })
-        .collect();
-    // Each worker owns one pair-density buffer and one Poisson workspace
-    // for its whole share of tasks: the grid-sized allocations the seed
-    // paid per (j, ν) task are gone (only the nao-length output column
-    // remains per task).
-    let contributions: Vec<(usize, usize, Vec<f64>)> = (0..tasks.len())
-        .into_par_iter()
-        .map_init(
-            || (vec![0.0; grid.len()], PoissonWorkspace::new()),
-            |(rho, ws), t| {
-                let (j, nu) = tasks[t];
-                for ((r, &a), &b) in rho.iter_mut().zip(&setup.orbitals[j]).zip(&setup.aos[nu]) {
-                    *r = a * b;
-                }
-                let v = solver.solve_into(rho, ws);
-                // column ν of ΔK_j gets ⟨χ_μ φ_j | v_jν⟩ for every μ.
-                let col: Vec<f64> = (0..nao)
-                    .map(|mu| {
-                        let mut acc = 0.0;
-                        for p in 0..grid.len() {
-                            acc += setup.aos[mu][p] * setup.orbitals[j][p] * v[p];
-                        }
-                        acc * grid.dvol()
-                    })
-                    .collect();
-                (j, nu, col)
-            },
-        )
-        .collect();
-    let mut slot_of = vec![usize::MAX; setup.nocc];
-    for (s, &j) in slots.iter().enumerate() {
-        slot_of[j] = s;
-    }
-    let mut out: Vec<((usize, Mat), (usize, usize))> = slots
-        .iter()
-        .map(|&j| ((j, Mat::zeros(nao, nao)), (0, nao)))
-        .collect();
-    for (j, nu, col) in contributions {
-        let ((_, dk), (ev, sk)) = &mut out[slot_of[j]];
-        for mu in 0..nao {
-            dk[(mu, nu)] += col[mu];
-        }
-        *ev += 1;
-        *sk -= 1;
-    }
-    out
-}
-
-/// Average away the 1e-6-level asymmetry grid quadrature leaves in K.
-pub(crate) fn symmetrize(k: &mut Mat) {
-    let nao = k.nrows();
-    for mu in 0..nao {
-        for nu in (mu + 1)..nao {
-            let s = 0.5 * (k[(mu, nu)] + k[(nu, mu)]);
-            k[(mu, nu)] = s;
-            k[(nu, mu)] = s;
-        }
-    }
+    let out = ExchangeEngine::new(grid, solver).k_operator(basis, c_occ, nocc, eps);
+    (out.k, out.evaluated, out.skipped)
 }
 
 /// Result of the grid-exchange SCF.
@@ -235,6 +75,9 @@ pub struct GridScfResult {
     /// Tasks satisfied from the incremental cache instead of a Poisson
     /// solve (0 for non-incremental runs; included in `tasks_evaluated`).
     pub tasks_reused: usize,
+    /// Per-phase build instrumentation accumulated over every K build of
+    /// the SCF (times and counters sum across iterations).
+    pub profile: BuildProfile,
 }
 
 /// Restricted Hartree–Fock in which the exchange matrix is built on the
@@ -352,6 +195,7 @@ pub fn rhf_with_grid_exchange_in_cell(
     let x = sym_inv_sqrt(&s);
     let e_nuc = mol_c.nuclear_repulsion();
     let jk = JkBuilder::new(&basis);
+    let engine = ExchangeEngine::new(grid, solver);
 
     // Core guess, unless the caller warm-starts from a previous step's
     // converged orbitals (an MD loop: iteration 1 then starts next to the
@@ -366,6 +210,7 @@ pub fn rhf_with_grid_exchange_in_cell(
     let mut tasks_evaluated = 0;
     let mut tasks_skipped = 0;
     let mut tasks_reused = 0;
+    let mut profile = BuildProfile::default();
     for it in 1..=max_iter {
         iterations = it;
         let density = density_of(&c_occ, nocc);
@@ -381,9 +226,14 @@ pub fn rhf_with_grid_exchange_in_cell(
                 let (k, evaluated, skipped, stats) =
                     state.exchange_operator(&basis, &c_occ, nocc, grid, solver, eps);
                 tasks_reused += stats.pairs_reused;
+                profile.merge(&state.last_profile);
                 (k, evaluated, skipped)
             }
-            None => exchange_operator_grid_screened(&basis, &c_occ, nocc, grid, solver, eps),
+            None => {
+                let out = engine.k_operator(&basis, &c_occ, nocc, eps);
+                profile.merge(&out.profile);
+                (out.k, out.evaluated, out.skipped)
+            }
         };
         tasks_evaluated += evaluated;
         tasks_skipped += skipped;
@@ -409,6 +259,7 @@ pub fn rhf_with_grid_exchange_in_cell(
         tasks_evaluated,
         tasks_skipped,
         tasks_reused,
+        profile,
     }
 }
 
@@ -484,6 +335,12 @@ mod tests {
             grid_scf.energy,
             reference.energy
         );
+        assert!(
+            grid_scf.profile.is_populated(),
+            "SCF must accumulate build profiles: {:?}",
+            grid_scf.profile
+        );
+        assert_eq!(grid_scf.profile.pairs_computed, grid_scf.tasks_evaluated);
     }
 
     #[test]
@@ -547,6 +404,7 @@ mod tests {
         );
         assert!(incr.tasks_reused > 0, "no tasks reused: {incr:?}");
         assert_eq!(incr.tasks_reused, inc.totals.pairs_reused);
+        assert_eq!(incr.tasks_reused, incr.profile.pairs_reused);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //!   conventional quantum-chemistry route), included for context.
 
 use crate::balance::{assign_pairs, BalanceStrategy};
+use crate::engine::BuildProfile;
 use crate::workload::Workload;
 use liair_bgq::bsp::{comm_time, simulate, BspPhase, BspReport, CommOp, PhaseCompute, PhaseTiming};
 use liair_bgq::collectives::{self, CollectiveAlgo};
@@ -86,6 +87,10 @@ pub struct SimOutcome {
     pub group_size: usize,
     /// Phase-resolved report.
     pub report: BspReport,
+    /// Modelled build profile on the same axes as measured builds, so the
+    /// repro tables can report one uniform schema for simulated and real
+    /// executions.
+    pub profile: BuildProfile,
 }
 
 /// Pick the node-group size: smallest power of two giving each group at
@@ -196,6 +201,14 @@ pub fn simulate_hfx_build(
                 },
                 imbalance: compute_report.imbalance,
             };
+            let profile = BuildProfile {
+                t_fft_s: makespan,
+                t_exec_s: makespan + exposed_comm,
+                t_reduce_s: t_allreduce,
+                pairs_computed: w.pairs.len(),
+                bytes_reduced: 8,
+                ..BuildProfile::default()
+            };
             SimOutcome {
                 scheme: scheme.name().into(),
                 nodes,
@@ -203,6 +216,7 @@ pub fn simulate_hfx_build(
                 time: total,
                 group_size: g,
                 report,
+                profile,
             }
         }
         Scheme::FullGridPairs => {
@@ -269,6 +283,14 @@ pub fn simulate_hfx_build(
                 },
                 imbalance: compute_report.imbalance,
             };
+            let profile = BuildProfile {
+                t_fft_s: makespan,
+                t_exec_s: makespan + exposed_comm,
+                t_reduce_s: t_allreduce,
+                pairs_computed: w.pairs.len(),
+                bytes_reduced: 8,
+                ..BuildProfile::default()
+            };
             SimOutcome {
                 scheme: scheme.name().into(),
                 nodes,
@@ -276,6 +298,7 @@ pub fn simulate_hfx_build(
                 time: total,
                 group_size: 1,
                 report,
+                profile,
             }
         }
         Scheme::PwDistributed => {
@@ -301,6 +324,16 @@ pub fn simulate_hfx_build(
                 compute_utilization: busy_fraction,
                 imbalance: nodes as f64 / used as f64,
             };
+            let profile = BuildProfile {
+                t_fft_s: total,
+                t_exec_s: total,
+                pairs_computed: w.pairs.len(),
+                // Pencil FFTs pay an all-to-all inside every transform; the
+                // moved bytes are folded into t_fft here, but the volume is
+                // still worth reporting.
+                bytes_reduced: w.pairs.len() * w.full_grid * w.full_grid * w.full_grid * 8,
+                ..BuildProfile::default()
+            };
             SimOutcome {
                 scheme: scheme.name().into(),
                 nodes,
@@ -308,6 +341,7 @@ pub fn simulate_hfx_build(
                 time: total,
                 group_size: used,
                 report,
+                profile,
             }
         }
         Scheme::ReplicatedDirect => {
@@ -339,6 +373,14 @@ pub fn simulate_hfx_build(
                 compute_utilization: t_compute / total,
                 imbalance: 1.0,
             };
+            let profile = BuildProfile {
+                t_kernel_s: t_compute,
+                t_exec_s: t_compute,
+                t_reduce_s: t_reduce,
+                pairs_computed: (sig_pairs * sig_pairs) as usize,
+                bytes_reduced: k_bytes as usize,
+                ..BuildProfile::default()
+            };
             SimOutcome {
                 scheme: scheme.name().into(),
                 nodes,
@@ -346,6 +388,7 @@ pub fn simulate_hfx_build(
                 time: total,
                 group_size: 1,
                 report,
+                profile,
             }
         }
     }
@@ -461,6 +504,8 @@ mod tests {
             ours.report.compute_total(),
             ours.report.comm_total()
         );
+        assert!(ours.profile.is_populated());
+        assert_eq!(ours.profile.pairs_computed, w.pairs.len());
     }
 
     #[test]

@@ -1,0 +1,312 @@
+//! Cross-driver equivalence suite for the staged [`ExchangeEngine`]: every
+//! execution backend (serial, rayon, message-passing `Comm`) must produce
+//! **bit-identical** energies and K matrices for every runnable SIMD level
+//! and both pair-kernel paths, and the incremental driver with
+//! `eps_inc = 0` must reproduce the from-scratch build exactly.
+//!
+//! The kernel choice is pinned through [`ExchangeEngine::with_kernel_choice`]
+//! / [`IncrementalExchange::force_kernel_choice`] rather than `LIAIR_SIMD`
+//! (the env override is latched once per process), so one test binary can
+//! sweep all levels. CI additionally runs the whole binary under a
+//! `LIAIR_SIMD` matrix to exercise the env-driven defaults.
+
+use liair_basis::{systems, Basis, Cell};
+use liair_core::screening::{build_pair_list, OrbitalInfo, PairList};
+use liair_core::{
+    BalanceStrategy, ExchangeEngine, ExecBackend, IncrementalExchange, KernelChoice, PairPath,
+};
+use liair_grid::{PoissonSolver, RealGrid};
+use liair_math::rng::SplitMix64;
+use liair_math::simd::available_levels;
+use liair_math::Vec3;
+
+/// Smooth synthetic "orbitals": normalized Gaussians at random centers.
+fn synthetic_setup(
+    norb: usize,
+    n: usize,
+) -> (
+    RealGrid,
+    PoissonSolver,
+    Vec<Vec<f64>>,
+    Vec<OrbitalInfo>,
+    PairList,
+) {
+    let l = 14.0;
+    let grid = RealGrid::cubic(Cell::cubic(l), n);
+    let solver = PoissonSolver::isolated(grid);
+    let mut rng = SplitMix64::new(171);
+    let centers: Vec<Vec3> = (0..norb)
+        .map(|_| {
+            Vec3::new(
+                rng.range_f64(4.0, 10.0),
+                rng.range_f64(4.0, 10.0),
+                rng.range_f64(4.0, 10.0),
+            )
+        })
+        .collect();
+    let fields: Vec<Vec<f64>> = centers
+        .iter()
+        .map(|&c| {
+            let alpha: f64 = 1.1;
+            let norm = (2.0 * alpha / std::f64::consts::PI).powf(0.75);
+            (0..grid.len())
+                .map(|i| {
+                    let d = grid.cell.min_image(c, grid.point_flat(i));
+                    norm * (-alpha * d.norm_sqr()).exp()
+                })
+                .collect()
+        })
+        .collect();
+    let infos: Vec<OrbitalInfo> = centers
+        .iter()
+        .map(|&c| OrbitalInfo {
+            center: c,
+            spread: 0.7,
+        })
+        .collect();
+    let pairs = build_pair_list(&infos, 0.0, Some(&grid.cell));
+    (grid, solver, fields, infos, pairs)
+}
+
+/// Every (SIMD level, pair path) combination runnable on this machine.
+fn kernel_choices() -> Vec<KernelChoice> {
+    let mut out = Vec::new();
+    for simd in available_levels() {
+        for path in [PairPath::Single, PairPath::Batched] {
+            out.push(KernelChoice { path, simd });
+        }
+    }
+    out
+}
+
+#[test]
+fn energy_bit_identical_across_backends() {
+    let (grid, solver, fields, _infos, pairs) = synthetic_setup(4, 20);
+    for choice in kernel_choices() {
+        let base = ExchangeEngine::new(&grid, &solver).with_kernel_choice(choice);
+        let serial = base
+            .with_backend(ExecBackend::Serial)
+            .energy(&fields, &pairs);
+        assert!(serial.energy < 0.0);
+        assert!(serial.profile.is_populated());
+
+        let rayon = base
+            .with_backend(ExecBackend::Rayon)
+            .energy(&fields, &pairs);
+        assert_eq!(
+            serial.energy.to_bits(),
+            rayon.energy.to_bits(),
+            "serial vs rayon differ for {choice:?}: {} vs {}",
+            serial.energy,
+            rayon.energy
+        );
+
+        for nranks in [1, 3, 4] {
+            for strategy in [
+                BalanceStrategy::RoundRobin,
+                BalanceStrategy::Block,
+                BalanceStrategy::GreedyLpt,
+            ] {
+                let comm = base
+                    .with_backend(ExecBackend::Comm { nranks, strategy })
+                    .energy(&fields, &pairs);
+                assert_eq!(
+                    serial.energy.to_bits(),
+                    comm.energy.to_bits(),
+                    "serial vs comm(nranks={nranks}, {strategy:?}) differ for {choice:?}: \
+                     {} vs {}",
+                    serial.energy,
+                    comm.energy
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn incremental_eps0_energy_bit_identical_per_kernel() {
+    let (grid, solver, fields, infos, pairs) = synthetic_setup(4, 20);
+    for choice in kernel_choices() {
+        // The incremental driver executes dirty work on the default Rayon
+        // backend, so that is the reference.
+        let reference = ExchangeEngine::new(&grid, &solver)
+            .with_kernel_choice(choice)
+            .energy(&fields, &pairs);
+
+        let mut inc = IncrementalExchange::new(0.0, 0);
+        inc.force_kernel_choice(choice);
+        // Cold build: everything dirty.
+        let cold = inc.exchange_energy(&grid, &solver, &fields, &infos, &pairs);
+        assert_eq!(
+            reference.energy.to_bits(),
+            cold.energy.to_bits(),
+            "cold incremental differs for {choice:?}"
+        );
+        // Rebuild on identical fields: eps_inc = 0 must recompute, not reuse.
+        let rebuilt = inc.exchange_energy(&grid, &solver, &fields, &infos, &pairs);
+        assert_eq!(rebuilt.inc.pairs_reused, 0);
+        assert_eq!(
+            reference.energy.to_bits(),
+            rebuilt.energy.to_bits(),
+            "eps_inc=0 rebuild differs for {choice:?}"
+        );
+    }
+}
+
+/// SCF-quality H2 setup for the K-operator paths.
+fn h2_setup() -> (Basis, liair_math::Mat, usize, RealGrid, PoissonSolver) {
+    let edge = 14.0;
+    let mut mol = systems::h2();
+    mol.translate(liair_math::Vec3::splat(edge / 2.0) - mol.centroid());
+    let basis = Basis::sto3g(&mol);
+    let scf = liair_scf::rhf(&mol, &basis, &liair_scf::ScfOptions::default());
+    let grid = RealGrid::cubic(Cell::cubic(edge), 24);
+    let solver = PoissonSolver::isolated(grid);
+    (basis, scf.c, scf.nocc, grid, solver)
+}
+
+#[test]
+fn k_operator_bit_identical_across_backends() {
+    let (basis, c_occ, nocc, grid, solver) = h2_setup();
+    for simd in available_levels() {
+        let choice = KernelChoice {
+            path: PairPath::Single,
+            simd,
+        };
+        let base = ExchangeEngine::new(&grid, &solver).with_kernel_choice(choice);
+        let serial = base
+            .with_backend(ExecBackend::Serial)
+            .k_operator(&basis, &c_occ, nocc, 0.0);
+        assert!(serial.profile.is_populated());
+        assert_eq!(serial.evaluated, nocc * basis.nao());
+
+        let rayon = base
+            .with_backend(ExecBackend::Rayon)
+            .k_operator(&basis, &c_occ, nocc, 0.0);
+        let d = rayon.k.sub(&serial.k).fro_norm();
+        assert_eq!(d, 0.0, "serial vs rayon K differ at level {simd:?}: {d:e}");
+
+        for nranks in [1, 3] {
+            let comm = base
+                .with_backend(ExecBackend::Comm {
+                    nranks,
+                    strategy: BalanceStrategy::RoundRobin,
+                })
+                .k_operator(&basis, &c_occ, nocc, 0.0);
+            let d = comm.k.sub(&serial.k).fro_norm();
+            assert_eq!(
+                d, 0.0,
+                "serial vs comm(nranks={nranks}) K differ at level {simd:?}: {d:e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn public_wrappers_match_pinned_default_engine() {
+    // The thin public entry points must equal an engine configured the way
+    // the wrappers configure it — same autotuned/default kernel choice,
+    // same backend — down to the last bit.
+    let (grid, solver, fields, _infos, pairs) = synthetic_setup(3, 20);
+    let wrapper = liair_core::exchange_energy(&grid, &solver, &fields, &pairs);
+    let engine = ExchangeEngine::new(&grid, &solver).energy(&fields, &pairs);
+    assert_eq!(wrapper.energy.to_bits(), engine.energy.to_bits());
+
+    let dist = liair_core::distributed::distributed_exchange(
+        &grid,
+        &solver,
+        &fields,
+        &pairs,
+        3,
+        BalanceStrategy::GreedyLpt,
+    );
+    assert_eq!(wrapper.energy.to_bits(), dist.energy.to_bits());
+
+    let (basis, c_occ, nocc, kgrid, ksolver) = h2_setup();
+    let (k_ref, ev, sk) = liair_core::operator::exchange_operator_grid_screened(
+        &basis, &c_occ, nocc, &kgrid, &ksolver, 0.0,
+    );
+    let out = ExchangeEngine::new(&kgrid, &ksolver).k_operator(&basis, &c_occ, nocc, 0.0);
+    assert_eq!(out.evaluated, ev);
+    assert_eq!(out.skipped, sk);
+    assert_eq!(out.k.sub(&k_ref).fro_norm(), 0.0);
+
+    let k_dist = liair_core::distributed::distributed_exchange_operator(
+        &basis, &c_occ, nocc, &kgrid, &ksolver, 3,
+    );
+    assert_eq!(k_dist.sub(&k_ref).fro_norm(), 0.0);
+}
+
+#[test]
+fn incremental_eps0_k_bit_identical_per_level() {
+    let (basis, c_occ, nocc, grid, solver) = h2_setup();
+    for simd in available_levels() {
+        let choice = KernelChoice {
+            path: PairPath::Single,
+            simd,
+        };
+        let reference = ExchangeEngine::new(&grid, &solver)
+            .with_kernel_choice(choice)
+            .k_operator(&basis, &c_occ, nocc, 0.0);
+        let mut inc = IncrementalExchange::new(0.0, 0);
+        inc.force_kernel_choice(choice);
+        let (k_inc, ev, sk, stats) =
+            inc.exchange_operator(&basis, &c_occ, nocc, &grid, &solver, 0.0);
+        assert_eq!(ev, reference.evaluated);
+        assert_eq!(sk, reference.skipped);
+        assert_eq!(stats.pairs_reused, 0);
+        assert_eq!(
+            k_inc.sub(&reference.k).fro_norm(),
+            0.0,
+            "incremental eps_inc=0 K differs at level {simd:?}"
+        );
+    }
+}
+
+#[test]
+fn simd_level_never_changes_physics() {
+    // Different SIMD levels are *not* expected to be bitwise equal to each
+    // other (different summation orders), but they must agree to numerical
+    // round-off — the levels change instruction schedules, not physics.
+    let (grid, solver, fields, _infos, pairs) = synthetic_setup(4, 20);
+    let energies: Vec<f64> = kernel_choices()
+        .iter()
+        .map(|&c| {
+            ExchangeEngine::new(&grid, &solver)
+                .with_kernel_choice(c)
+                .energy(&fields, &pairs)
+                .energy
+        })
+        .collect();
+    for (i, e) in energies.iter().enumerate() {
+        let rel = (e - energies[0]).abs() / energies[0].abs();
+        assert!(
+            rel < 1e-12,
+            "choice #{i} drifted: {e} vs {} ({rel:e})",
+            energies[0]
+        );
+    }
+}
+
+#[test]
+fn comm_backend_reports_gather_volume() {
+    let (grid, solver, fields, _infos, pairs) = synthetic_setup(3, 16);
+    let out = ExchangeEngine::new(&grid, &solver)
+        .with_backend(ExecBackend::Comm {
+            nranks: 2,
+            strategy: BalanceStrategy::Block,
+        })
+        .energy(&fields, &pairs);
+    assert!(out.profile.bytes_reduced > 0);
+    assert_eq!(out.profile.pairs_computed, pairs.len());
+
+    let (basis, c_occ, nocc, kgrid, ksolver) = h2_setup();
+    let k = ExchangeEngine::new(&kgrid, &ksolver)
+        .with_backend(ExecBackend::Comm {
+            nranks: 2,
+            strategy: BalanceStrategy::RoundRobin,
+        })
+        .k_operator(&basis, &c_occ, nocc, 0.0);
+    assert!(k.profile.bytes_reduced > 0);
+    assert!(k.profile.t_ao_eval_s >= 0.0);
+}

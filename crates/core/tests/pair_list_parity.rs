@@ -1,0 +1,82 @@
+//! Property test: the O(N·partners) cell-list pair builder
+//! ([`build_pair_list_celllist`]) must produce exactly the same screened
+//! pair set as the reference O(N²) builder ([`build_pair_list`]) — same
+//! (i, j) pairs, same weights, same bounds — for random orbital layouts,
+//! spreads, box sizes and screening thresholds.
+
+use liair_basis::Cell;
+use liair_core::screening::{build_pair_list, build_pair_list_celllist, OrbitalInfo};
+use liair_math::rng::SplitMix64;
+use liair_math::Vec3;
+use proptest::prelude::*;
+
+fn random_layout(seed: u64, norb: usize, edge: f64, spread_max: f64) -> Vec<OrbitalInfo> {
+    let mut rng = SplitMix64::new(seed);
+    (0..norb)
+        .map(|_| OrbitalInfo {
+            center: Vec3::new(
+                rng.range_f64(0.0, edge),
+                rng.range_f64(0.0, edge),
+                rng.range_f64(0.0, edge),
+            ),
+            spread: rng.range_f64(0.3, spread_max),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn celllist_matches_reference_builder(
+        seed in 0u64..1_000_000,
+        norb in 2usize..40,
+        edge in 8.0f64..30.0,
+        spread_max in 0.5f64..2.0,
+        eps_exp in 1i32..8,
+    ) {
+        let eps = 10f64.powi(-eps_exp);
+        let cell = Cell::cubic(edge);
+        let infos = random_layout(seed, norb, edge, spread_max);
+
+        let reference = build_pair_list(&infos, eps, Some(&cell));
+        let celllist = build_pair_list_celllist(&infos, eps, &cell);
+
+        prop_assert_eq!(reference.n_candidates, celllist.n_candidates);
+        prop_assert_eq!(reference.len(), celllist.len());
+        // Both builders emit (i, j) with i <= j; sort to one canonical
+        // order and compare every field.
+        let mut a = reference.pairs.clone();
+        let mut b = celllist.pairs.clone();
+        a.sort_by_key(|p| (p.i, p.j));
+        b.sort_by_key(|p| (p.i, p.j));
+        for (pa, pb) in a.iter().zip(&b) {
+            prop_assert_eq!((pa.i, pa.j), (pb.i, pb.j));
+            prop_assert_eq!(pa.weight.to_bits(), pb.weight.to_bits());
+            prop_assert_eq!(pa.bound.to_bits(), pb.bound.to_bits());
+        }
+    }
+
+    /// Tightening eps on the same layout can only shrink the survivor set,
+    /// and the cell-list builder tracks it exactly.
+    #[test]
+    fn celllist_is_monotone_in_eps(
+        seed in 0u64..1_000_000,
+        norb in 2usize..24,
+    ) {
+        let edge = 16.0;
+        let cell = Cell::cubic(edge);
+        let infos = random_layout(seed, norb, edge, 1.2);
+        let mut prev = 0usize;
+        for eps_exp in 1..7 {
+            // eps shrinks as the loop runs: 1e-1 first, 1e-6 last.
+            let eps = 10f64.powi(-eps_exp);
+            let n2 = build_pair_list(&infos, eps, Some(&cell)).len();
+            let cl = build_pair_list_celllist(&infos, eps, &cell).len();
+            prop_assert_eq!(n2, cl);
+            // Tighter screening keeps at least as many pairs.
+            prop_assert!(cl >= prev, "survivors shrank: {} -> {} at eps {}", prev, cl, eps);
+            prev = cl;
+        }
+    }
+}

@@ -28,4 +28,4 @@ pub use orbital::{ao_values, ao_values_at_points, density_from_dm_at_points, orb
 pub use patch::{
     isolated_patch_solver, patch_pair_energy, patch_pair_energy_ws, Patch, PatchScratch,
 };
-pub use poisson::{CoulombKernel, PoissonSolver, PoissonWorkspace};
+pub use poisson::{CoulombKernel, KernelTimings, PoissonSolver, PoissonWorkspace};

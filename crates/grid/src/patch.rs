@@ -128,6 +128,12 @@ impl PatchScratch {
         Self::default()
     }
 
+    /// Drain the FFT/kernel phase timings accumulated by the embedded
+    /// Poisson workspace across patched pair solves.
+    pub fn take_timings(&mut self) -> crate::poisson::KernelTimings {
+        self.poisson.take_timings()
+    }
+
     fn ensure(&mut self, n: usize) {
         if self.a.len() != n {
             self.a.resize(n, 0.0);

@@ -65,6 +65,27 @@ impl CoulombKernel {
     }
 }
 
+/// Wall time a workspace has spent in the two compute phases of the pair
+/// kernel: the FFT transforms and the reciprocal-space kernel work
+/// (pointwise multiply / Parseval contraction / spectrum untangle).
+/// Accumulated into the owning [`PoissonWorkspace`] by every instrumented
+/// solve; drained by the exchange engine into its per-build profile.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct KernelTimings {
+    /// Seconds spent in forward/inverse FFTs.
+    pub fft_s: f64,
+    /// Seconds spent in kernel multiplies / energy contractions.
+    pub kernel_s: f64,
+}
+
+impl KernelTimings {
+    /// Add another accumulator into this one.
+    pub fn merge(&mut self, other: KernelTimings) {
+        self.fft_s += other.fft_s;
+        self.kernel_s += other.kernel_s;
+    }
+}
+
 /// Reusable scratch for the solver's zero-allocation entry points. One per
 /// worker thread (grow-only buffers sized on first use); a single
 /// workspace serves any number of solves on any grids.
@@ -76,12 +97,19 @@ pub struct PoissonWorkspace {
     full: Vec<Complex64>,
     /// Real output field (potential) for `solve_into`.
     v: Vec<f64>,
+    /// Phase timings accumulated across all solves through this workspace.
+    timings: KernelTimings,
 }
 
 impl PoissonWorkspace {
     /// An empty workspace; buffers grow on first use and are then reused.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Drain the accumulated phase timings, resetting them to zero.
+    pub fn take_timings(&mut self) -> KernelTimings {
+        std::mem::take(&mut self.timings)
     }
 
     fn ensure_half(&mut self, dims: (usize, usize, usize)) {
@@ -213,9 +241,14 @@ impl PoissonSolver {
         assert_eq!(rho.len(), self.grid.len());
         ws.ensure_half(self.grid.dims);
         ws.ensure_v(self.grid.len());
+        let t0 = std::time::Instant::now();
         rfft3_into_with(level, rho, self.grid.dims, &mut ws.half);
+        let t1 = std::time::Instant::now();
         simd::scale_by_table_with(level, &mut ws.half, &self.kernel_half);
+        let t2 = std::time::Instant::now();
         irfft3_into_with(level, &mut ws.half, self.grid.dims, &mut ws.v);
+        ws.timings.fft_s += (t1 - t0).as_secs_f64() + t2.elapsed().as_secs_f64();
+        ws.timings.kernel_s += (t2 - t1).as_secs_f64();
         &ws.v
     }
 
@@ -260,10 +293,14 @@ impl PoissonSolver {
     ) -> f64 {
         assert_eq!(rho_ij.len(), self.grid.len());
         ws.ensure_half(self.grid.dims);
+        let t0 = std::time::Instant::now();
         rfft3_into_with(level, rho_ij, self.grid.dims, &mut ws.half);
+        let t1 = std::time::Instant::now();
         // The double-count weight is pre-folded into the table (exactly, as
         // ×1/×2), so the whole Parseval sum is one flat contraction.
         let acc = simd::weighted_energy_with(level, &ws.half, &self.kernel_half_weighted);
+        ws.timings.fft_s += (t1 - t0).as_secs_f64();
+        ws.timings.kernel_s += t1.elapsed().as_secs_f64();
         acc * self.grid.dvol() / self.grid.len() as f64
     }
 
@@ -295,7 +332,10 @@ impl PoissonSolver {
         for ((z, &a), &b) in ws.full.iter_mut().zip(rho_a).zip(rho_b) {
             *z = Complex64::new(a, b);
         }
+        let t0 = std::time::Instant::now();
         fft3_serial_slice_with(level, &mut ws.full, dims);
+        let t1 = std::time::Instant::now();
+        ws.timings.fft_s += (t1 - t0).as_secs_f64();
         let (nx, ny, nz) = dims;
         let (mut ea, mut eb) = (0.0, 0.0);
         let mut idx = 0;
@@ -317,6 +357,7 @@ impl PoissonSolver {
                 }
             }
         }
+        ws.timings.kernel_s += t1.elapsed().as_secs_f64();
         let scale = self.grid.dvol() / self.grid.len() as f64;
         (ea * scale, eb * scale)
     }
