@@ -3,6 +3,7 @@
 
 pub mod accuracy;
 pub mod battery;
+pub mod collectives;
 pub mod incremental;
 pub mod node;
 pub mod scaling;
@@ -12,7 +13,7 @@ pub mod validation;
 use crate::Table;
 
 /// All experiment ids in the DESIGN.md order.
-pub const ALL_IDS: [&str; 19] = [
+pub const ALL_IDS: [&str; 20] = [
     "fig-strong-scaling",
     "fig-weak-scaling",
     "fig-baseline-scaling",
@@ -32,6 +33,7 @@ pub const ALL_IDS: [&str; 19] = [
     "bench-pair-kernel",
     "bench-incremental",
     "bench-simd",
+    "bench-collectives",
 ];
 
 /// Run one experiment by id. `fast` trims the heaviest sweeps to keep the
@@ -57,6 +59,7 @@ pub fn run(id: &str, fast: bool) -> Vec<Table> {
         "bench-pair-kernel" => node::bench_pair_kernel(fast),
         "bench-incremental" => incremental::bench_incremental(fast),
         "bench-simd" => simd::bench_simd(fast),
+        "bench-collectives" => collectives::bench_collectives(fast),
         other => panic!("unknown experiment id '{other}' (see ALL_IDS)"),
     }
 }

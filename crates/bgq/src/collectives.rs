@@ -1,6 +1,6 @@
 //! Analytic cost models for collective operations on the 5-D torus.
 //!
-//! Two algorithm families are modelled:
+//! Three algorithm families are modelled:
 //!
 //! * [`CollectiveAlgo::TorusPipelined`] — the topology-aware algorithms the
 //!   BG/Q messaging stack (PAMI) actually uses: dimension-pipelined
@@ -10,6 +10,12 @@
 //!   whose stages each traverse the network's *average* hop distance and
 //!   use a single link — the classic portable-MPI fallback. The
 //!   `fig-torus-mapping` ablation contrasts the two.
+//! * [`CollectiveAlgo::FlatRoot`] — every rank talks to rank 0 directly:
+//!   the root pays one software start-up per peer, so the latency term is
+//!   `(P−1)·α` instead of `⌈log₂P⌉·α`. This is what the runtime's flat
+//!   `CollectiveMode` gathers do, kept as the degenerate baseline the
+//!   `bench-collectives` experiment prices against the hierarchical
+//!   algorithms.
 //!
 //! All times are seconds; message sizes are bytes.
 
@@ -23,6 +29,9 @@ pub enum CollectiveAlgo {
     TorusPipelined,
     /// Topology-oblivious binomial tree.
     BinomialTree,
+    /// Root-sequential flat collectives: `P−1` point-to-point messages
+    /// serialized through rank 0's messaging stack.
+    FlatRoot,
 }
 
 /// Effective number of simultaneously usable links per node (two per
@@ -54,6 +63,14 @@ pub fn allreduce(m: &MachineConfig, algo: CollectiveAlgo, bytes: f64) -> f64 {
                 m.sw_latency + m.hop_latency * m.torus.mean_hops() + bytes / m.link_bandwidth;
             2.0 * stages * per_stage
         }
+        CollectiveAlgo::FlatRoot => {
+            // Root-sequential reduce then root-sequential broadcast: the
+            // root handles P−1 arrivals and P−1 departures one software
+            // start-up at a time — the (P−1)·α wall.
+            let per_peer =
+                m.sw_latency + m.hop_latency * m.torus.mean_hops() + bytes / m.link_bandwidth;
+            2.0 * (p - 1.0) * per_peer
+        }
     }
 }
 
@@ -71,6 +88,49 @@ pub fn broadcast(m: &MachineConfig, algo: CollectiveAlgo, bytes: f64) -> f64 {
         CollectiveAlgo::BinomialTree => {
             let stages = (p.log2()).ceil();
             stages * (m.sw_latency + m.hop_latency * m.torus.mean_hops() + bytes / m.link_bandwidth)
+        }
+        CollectiveAlgo::FlatRoot => {
+            // P−1 serialized sends out of the root's messaging stack.
+            (p - 1.0) * (m.sw_latency + bytes / m.link_bandwidth)
+                + m.hop_latency * m.torus.mean_hops()
+        }
+    }
+}
+
+/// Gather of `bytes_per_rank` from every node onto the root — the one
+/// collective of the engine's exchange build (per-rank contribution
+/// vectors land on rank 0 for the canonical-order reduction).
+///
+/// All algorithms move the same `(P−1)·b` bytes into the root, so the
+/// bandwidth term is shared; what the hierarchy buys is the latency term
+/// (`⌈log₂P⌉·α` against the flat `(P−1)·α`) and, on the torus, ingress
+/// spread over all of the root's links.
+pub fn gather(m: &MachineConfig, algo: CollectiveAlgo, bytes_per_rank: f64) -> f64 {
+    let p = m.torus.nodes() as f64;
+    if p <= 1.0 {
+        return 0.0;
+    }
+    let ingress = (p - 1.0) * bytes_per_rank / m.link_bandwidth;
+    match algo {
+        CollectiveAlgo::TorusPipelined => {
+            // Dimension-ordered funnel: start-up per dimension, wire time
+            // across the diameter, ingress striped over every root link.
+            m.sw_latency * 5.0
+                + m.hop_latency * m.torus.diameter() as f64
+                + ingress / active_links(m)
+        }
+        CollectiveAlgo::BinomialTree => {
+            // ⌈log₂P⌉ stages; subtree payloads double every stage but the
+            // root's total ingress is unchanged, arriving over its links.
+            let stages = (p.log2()).ceil();
+            stages * (m.sw_latency + m.hop_latency * m.torus.mean_hops())
+                + ingress / active_links(m)
+        }
+        CollectiveAlgo::FlatRoot => {
+            // The root fields P−1 separate arrivals through one messaging
+            // stack: (P−1)·α dominates at scale no matter how small the
+            // per-rank payload is.
+            (p - 1.0) * m.sw_latency + m.hop_latency * m.torus.mean_hops() + ingress
         }
     }
 }
@@ -169,6 +229,61 @@ mod tests {
             let b1 = broadcast(&m, algo, 1e6);
             let b2 = broadcast(&m, algo, 1e8);
             assert!(b2 > b1);
+        }
+    }
+
+    #[test]
+    fn flat_root_latency_wall_grows_linearly() {
+        // The (P−1)·α term: quadrupling the machine roughly quadruples the
+        // flat gather time for tiny payloads, while the tree gather's
+        // latency term grows only logarithmically (its shared ingress
+        // term keeps the growth above log but well below linear).
+        let small = MachineConfig::bgq_racks(4);
+        let large = MachineConfig::bgq_racks(16);
+        let b = 80.0;
+        let flat_ratio = gather(&large, CollectiveAlgo::FlatRoot, b)
+            / gather(&small, CollectiveAlgo::FlatRoot, b);
+        let tree_ratio = gather(&large, CollectiveAlgo::BinomialTree, b)
+            / gather(&small, CollectiveAlgo::BinomialTree, b);
+        assert!(flat_ratio > 3.5, "flat ratio {flat_ratio}");
+        assert!(
+            tree_ratio < 0.75 * flat_ratio,
+            "tree ratio {tree_ratio} vs flat {flat_ratio}"
+        );
+    }
+
+    #[test]
+    fn hierarchical_gather_dominates_flat_at_scale() {
+        // The bench-collectives acceptance property at the model level:
+        // from a midplane up, both hierarchical algorithms beat the flat
+        // root gather, and at the full machine the gap is orders of
+        // magnitude.
+        let b = 80.0;
+        for racks in [1, 16, 96] {
+            let m = MachineConfig::bgq_racks(racks);
+            let flat = gather(&m, CollectiveAlgo::FlatRoot, b);
+            assert!(
+                gather(&m, CollectiveAlgo::BinomialTree, b) < flat,
+                "{racks} racks"
+            );
+            assert!(
+                gather(&m, CollectiveAlgo::TorusPipelined, b) < flat,
+                "{racks} racks"
+            );
+        }
+        let full = MachineConfig::bgq_racks(96);
+        let ratio = gather(&full, CollectiveAlgo::FlatRoot, b)
+            / gather(&full, CollectiveAlgo::BinomialTree, b);
+        assert!(ratio > 100.0, "full-machine flat/tree ratio only {ratio}");
+    }
+
+    #[test]
+    fn flat_allreduce_and_broadcast_are_worst() {
+        let m = MachineConfig::bgq_racks(8);
+        let bytes = 1e4;
+        for algo in [CollectiveAlgo::TorusPipelined, CollectiveAlgo::BinomialTree] {
+            assert!(allreduce(&m, algo, bytes) < allreduce(&m, CollectiveAlgo::FlatRoot, bytes));
+            assert!(broadcast(&m, algo, bytes) < broadcast(&m, CollectiveAlgo::FlatRoot, bytes));
         }
     }
 

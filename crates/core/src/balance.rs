@@ -72,7 +72,7 @@ pub fn assign(costs: &[f64], nranks: usize, strategy: BalanceStrategy) -> Assign
         }
         BalanceStrategy::GreedyLpt => {
             let mut order: Vec<usize> = (0..costs.len()).collect();
-            order.sort_by(|&a, &b| costs[b].partial_cmp(&costs[a]).unwrap());
+            order.sort_by(|&a, &b| costs[b].total_cmp(&costs[a]));
             // Binary heap of (load, rank) — BinaryHeap is a max-heap, so
             // store negated loads via Reverse on an ordered-float pattern.
             // With up to ~10⁵ ranks a linear argmin scan per task would be
@@ -89,13 +89,13 @@ pub fn assign(costs: &[f64], nranks: usize, strategy: BalanceStrategy) -> Assign
             }
             impl Ord for Load {
                 fn cmp(&self, o: &Self) -> std::cmp::Ordering {
-                    self.0.partial_cmp(&o.0).unwrap().then(self.1.cmp(&o.1))
+                    self.0.total_cmp(&o.0).then(self.1.cmp(&o.1))
                 }
             }
             let mut heap: BinaryHeap<Reverse<Load>> =
                 (0..nranks).map(|r| Reverse(Load(0.0, r))).collect();
             for k in order {
-                let Reverse(Load(load, r)) = heap.pop().unwrap();
+                let Reverse(Load(load, r)) = heap.pop().expect("heap holds one entry per rank");
                 per_rank[r].push(k);
                 loads[r] = load + costs[k];
                 heap.push(Reverse(Load(loads[r], r)));
@@ -148,7 +148,7 @@ mod tests {
         // tail on the same stride.
         let mut rng = SplitMix64::new(5);
         let mut costs: Vec<f64> = (0..400).map(|_| rng.next_f64().powi(4) * 100.0).collect();
-        costs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        costs.sort_by(|a, b| a.total_cmp(b));
         let rr = assign(&costs, 16, BalanceStrategy::RoundRobin);
         let lpt = assign(&costs, 16, BalanceStrategy::GreedyLpt);
         assert!(lpt.makespan() <= rr.makespan());

@@ -35,8 +35,10 @@ pub fn distributed_exchange(
     nranks: usize,
     strategy: BalanceStrategy,
 ) -> HfxResult {
-    ExchangeEngine::new(grid, solver)
-        .with_backend(ExecBackend::Comm { nranks, strategy })
+    ExchangeEngine::builder(grid, solver)
+        .backend(ExecBackend::Comm { nranks, strategy })
+        .build()
+        .unwrap_or_else(|e| panic!("distributed exchange configuration rejected: {e}"))
         .energy(orbitals, pairs)
 }
 
@@ -55,11 +57,13 @@ pub fn distributed_exchange_operator(
     solver: &PoissonSolver,
     nranks: usize,
 ) -> liair_math::Mat {
-    ExchangeEngine::new(grid, solver)
-        .with_backend(ExecBackend::Comm {
+    ExchangeEngine::builder(grid, solver)
+        .backend(ExecBackend::Comm {
             nranks,
             strategy: BalanceStrategy::RoundRobin,
         })
+        .build()
+        .unwrap_or_else(|e| panic!("distributed K-build configuration rejected: {e}"))
         .k_operator(basis, c_occ, nocc, 0.0)
         .k
 }

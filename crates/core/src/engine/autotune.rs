@@ -85,6 +85,12 @@ fn path_override() -> Option<PairPath> {
     *OVERRIDE.get_or_init(|| parse_path_override(std::env::var("LIAIR_PAIR_PATH").ok().as_deref()))
 }
 
+/// The `LIAIR_PAIR_PATH` override, if any — shared with the engine
+/// builder's partial kernel pinning.
+pub(crate) fn env_pair_path() -> Option<PairPath> {
+    path_override()
+}
+
 /// Time every (pair path, SIMD level) combination on seeded synthetic
 /// data and pick the winner. Deterministic inputs (fixed SplitMix64 seed)
 /// and best-of-`reps` timing keep the measurement reproducible under
@@ -146,14 +152,20 @@ pub fn kernel_choice_for(solver: &PoissonSolver, grid: &RealGrid) -> KernelChoic
     }
     let key = grid.dims;
     let cache = KERNEL_CHOICE_CACHE.get_or_init(Default::default);
-    if let Some(&c) = cache.lock().unwrap().get(&key) {
+    // A panic elsewhere must not wedge the autotuner: the cache only ever
+    // holds complete entries, so a poisoned lock is still safe to read.
+    if let Some(&c) = cache.lock().unwrap_or_else(|p| p.into_inner()).get(&key) {
         return c;
     }
     let mut chosen = measure_kernel_choice(solver, grid, autotune_reps());
     if let Some(forced) = path_override() {
         chosen.path = forced;
     }
-    *cache.lock().unwrap().entry(key).or_insert(chosen)
+    *cache
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .entry(key)
+        .or_insert(chosen)
 }
 
 #[cfg(test)]

@@ -11,12 +11,17 @@
 
 use super::{BuildProfile, ExchangeEngine, ExecBackend};
 use crate::balance::assign;
+use crate::error::{Error, Result};
 use liair_basis::Basis;
 use liair_grid::{ao_values, orbitals_on_grid, KernelTimings, PoissonWorkspace, RealGrid};
 use liair_math::Mat;
-use liair_runtime::{run_spmd, Comm};
+use liair_runtime::{run_spmd_cfg, CommConfig};
 use rayon::prelude::*;
 use std::time::Instant;
+
+/// One orbital's unsymmetrized `ΔK_j` contribution tagged with its slot,
+/// plus that orbital's `(evaluated, skipped)` task counts.
+pub(crate) type OrbitalContrib = ((usize, Mat), (usize, usize));
 
 /// Everything the per-orbital K tasks need that does not depend on which
 /// orbitals are dirty: AO and orbital fields on the grid plus the
@@ -142,12 +147,24 @@ impl ExchangeEngine<'_> {
     /// tasks whose Gaussian-overlap bound falls below it (localizing
     /// first when `eps > 0`).
     pub fn k_operator(&self, basis: &Basis, c_occ: &Mat, nocc: usize, eps: f64) -> KBuildOutcome {
+        self.try_k_operator(basis, c_occ, nocc, eps)
+            .unwrap_or_else(|e| panic!("K-operator build failed: {e}"))
+    }
+
+    /// Fallible twin of [`ExchangeEngine::k_operator`].
+    pub fn try_k_operator(
+        &self,
+        basis: &Basis,
+        c_occ: &Mat,
+        nocc: usize,
+        eps: f64,
+    ) -> Result<KBuildOutcome> {
         let mut profile = BuildProfile::default();
         let t_ao = Instant::now();
         let setup = k_build_setup(basis, c_occ, nocc, self.grid, eps);
         profile.t_ao_eval_s += t_ao.elapsed().as_secs_f64();
         let slots: Vec<usize> = (0..nocc).collect();
-        let results = self.k_orbital_contribs(&setup, eps, &slots, &mut profile);
+        let results = self.k_orbital_contribs(&setup, eps, &slots, &mut profile)?;
         let tr = Instant::now();
         let mut k = Mat::zeros(setup.nao, setup.nao);
         let mut evaluated = 0;
@@ -162,12 +179,12 @@ impl ExchangeEngine<'_> {
         profile.bytes_reduced += results.len() * setup.nao * setup.nao * std::mem::size_of::<f64>();
         profile.pairs_computed = evaluated;
         profile.pairs_screened = skipped;
-        KBuildOutcome {
+        Ok(KBuildOutcome {
             k,
             evaluated,
             skipped,
             profile,
-        }
+        })
     }
 
     /// Run the surviving `(j, ν)` Poisson tasks of the orbitals in `slots`
@@ -181,7 +198,7 @@ impl ExchangeEngine<'_> {
         eps: f64,
         slots: &[usize],
         profile: &mut BuildProfile,
-    ) -> Vec<((usize, Mat), (usize, usize))> {
+    ) -> Result<Vec<OrbitalContrib>> {
         let nao = setup.nao;
         // For each (j, ν): v_jν = Poisson[φ_j χ_ν]; then
         // K_μν += ∫ χ_μ φ_j v_jν — the pair-task structure of the energy
@@ -196,7 +213,7 @@ impl ExchangeEngine<'_> {
             })
             .collect();
         let t0 = Instant::now();
-        let cols = self.run_k_tasks(setup, &tasks, profile);
+        let cols = self.run_k_tasks(setup, &tasks, profile)?;
         profile.t_exec_s += t0.elapsed().as_secs_f64();
         let mut slot_of = vec![usize::MAX; setup.nocc];
         for (s, &j) in slots.iter().enumerate() {
@@ -217,7 +234,7 @@ impl ExchangeEngine<'_> {
             *ev += 1;
             *sk -= 1;
         }
-        out
+        Ok(out)
     }
 
     /// Execute the task list on the configured backend, returning the
@@ -227,7 +244,7 @@ impl ExchangeEngine<'_> {
         setup: &KBuildSetup,
         tasks: &[(usize, usize)],
         profile: &mut BuildProfile,
-    ) -> Vec<Vec<f64>> {
+    ) -> Result<Vec<Vec<f64>>> {
         let nao = setup.nao;
         let npts = self.grid.len();
         let dvol = self.grid.dvol();
@@ -264,7 +281,7 @@ impl ExchangeEngine<'_> {
                     profile.steady_allocs += grew;
                     cols.push(col);
                 }
-                cols
+                Ok(cols)
             }
             ExecBackend::Rayon => {
                 let results: Vec<(Vec<f64>, KernelTimings, usize)> = (0..tasks.len())
@@ -278,13 +295,24 @@ impl ExchangeEngine<'_> {
                     profile.steady_allocs += grew;
                     cols.push(col);
                 }
-                cols
+                Ok(cols)
             }
             ExecBackend::Comm { nranks, strategy } => {
-                assert!(nranks >= 1, "need at least one rank");
+                if nranks == 0 {
+                    return Err(Error::InvalidConfig("need at least one rank".into()));
+                }
                 let costs = vec![1.0; tasks.len()];
                 let assignment = assign(&costs, nranks, strategy);
-                let gathered = run_spmd(nranks, |comm| {
+                let tuning = self.comm_tuning();
+                let cfg = CommConfig {
+                    mode: tuning.collectives,
+                    fault: tuning.fault,
+                    torus: None,
+                };
+                let run = run_spmd_cfg(nranks, cfg, |comm| {
+                    if comm.stalled() {
+                        return Ok(None);
+                    }
                     let mine = &assignment.per_rank[comm.rank()];
                     let mut sc = KTaskScratch::default();
                     let mut tim = KernelTimings::default();
@@ -300,26 +328,52 @@ impl ExchangeEngine<'_> {
                     flat.push(tim.kernel_s);
                     flat.push(grew as f64);
                     // The single collective of the build.
-                    comm.gather(0, flat)
-                });
-                let parts = gathered
+                    comm.gather_partial(0, flat)
+                })
+                .map_err(Error::Comm)?;
+                if let Some((_, _, _, _, retries)) = run.fault_stats {
+                    profile.comm_retries += retries;
+                }
+                let parts = run
+                    .results
                     .into_iter()
                     .next()
                     .expect("nranks >= 1")
-                    .expect("rank 0 is the gather root");
+                    .map_err(Error::Comm)?
+                    .expect("rank 0 never stalls and is the gather root");
                 let mut cols = vec![Vec::new(); tasks.len()];
+                let mut reissue_sc: Option<KTaskScratch> = None;
                 for (r, part) in parts.iter().enumerate() {
                     let mine = &assignment.per_rank[r];
-                    for (slot, &t) in mine.iter().enumerate() {
-                        cols[t] = part[slot * nao..(slot + 1) * nao].to_vec();
+                    match part {
+                        Some(part) => {
+                            for (slot, &t) in mine.iter().enumerate() {
+                                cols[t] = part[slot * nao..(slot + 1) * nao].to_vec();
+                            }
+                            let base = nao * mine.len();
+                            profile.t_fft_s += part[base];
+                            profile.t_kernel_s += part[base + 1];
+                            profile.steady_allocs += part[base + 2] as usize;
+                            profile.bytes_reduced += part.len() * std::mem::size_of::<f64>();
+                        }
+                        None => {
+                            // Graceful degradation: re-run the stalled
+                            // rank's tasks through the identical kernel —
+                            // same columns, bit for bit.
+                            profile.ranks_stalled += 1;
+                            let sc = reissue_sc.get_or_insert_with(KTaskScratch::default);
+                            for &t in mine {
+                                let (col, tim, grew) = eval(sc, t);
+                                profile.t_fft_s += tim.fft_s;
+                                profile.t_kernel_s += tim.kernel_s;
+                                profile.steady_allocs += grew;
+                                profile.chunks_reissued += 1;
+                                cols[t] = col;
+                            }
+                        }
                     }
-                    let base = nao * mine.len();
-                    profile.t_fft_s += part[base];
-                    profile.t_kernel_s += part[base + 1];
-                    profile.steady_allocs += part[base + 2] as usize;
-                    profile.bytes_reduced += part.len() * std::mem::size_of::<f64>();
                 }
-                cols
+                Ok(cols)
             }
         }
     }

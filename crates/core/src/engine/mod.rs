@@ -32,15 +32,19 @@ pub mod profile;
 pub use autotune::{kernel_choice_for, KernelChoice, PairPath};
 pub use kpath::KBuildOutcome;
 pub use profile::BuildProfile;
+// The collective/fault types appear in the builder's public API;
+// re-export them so engine users need not depend on the runtime crate.
+pub use liair_runtime::{CollectiveMode, FaultPlan};
 
 use crate::balance::{assign, BalanceStrategy};
+use crate::error::{Error, Result};
 use crate::hfx::HfxResult;
 use crate::incremental::IncStats;
 use crate::screening::{OrbitalInfo, Pair, PairList};
 use liair_grid::patch::{patch_pair_energy_ws_with, PatchScratch};
 use liair_grid::{KernelTimings, PoissonSolver, PoissonWorkspace, RealGrid};
 use liair_math::simd::{self, SimdLevel};
-use liair_runtime::{run_spmd, Comm};
+use liair_runtime::{run_spmd_cfg, CommConfig};
 use rayon::prelude::*;
 use std::time::Instant;
 
@@ -68,6 +72,41 @@ pub enum ExecBackend {
     },
 }
 
+/// How the distributed backend's collectives run: algorithm family plus
+/// the (optional) fault plan the region executes under.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommTuning {
+    /// Collective algorithm family of the build's gather. Hierarchical
+    /// (binomial tree) is the default — gathers move data without
+    /// arithmetic, so the canonical-order bitwise guarantee is preserved
+    /// while the root's in-degree drops from `P − 1` to `⌈log₂ P⌉`.
+    pub collectives: CollectiveMode,
+    /// Deterministic fault plan the region runs under (`None` = clean).
+    pub fault: Option<FaultPlan>,
+}
+
+impl CommTuning {
+    /// The environment-driven default: `LIAIR_COLLECTIVES` (`flat` |
+    /// `hier`/`hierarchical`, default hierarchical) and the
+    /// `LIAIR_FAULT_SEED` fault matrix knob.
+    pub fn from_env() -> Self {
+        let collectives = match std::env::var("LIAIR_COLLECTIVES") {
+            Ok(v) if v.trim().eq_ignore_ascii_case("flat") => CollectiveMode::Flat,
+            _ => CollectiveMode::Hierarchical,
+        };
+        CommTuning {
+            collectives,
+            fault: FaultPlan::from_env(),
+        }
+    }
+}
+
+impl Default for CommTuning {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
 /// The unified exchange-build driver: borrow a grid and its Poisson
 /// solver, pick a backend, and every exchange product — pair energies,
 /// patched pair energies, the K operator — comes out of the same staged
@@ -80,6 +119,130 @@ pub struct ExchangeEngine<'a> {
     solver: Option<&'a PoissonSolver>,
     backend: ExecBackend,
     choice: Option<KernelChoice>,
+    tuning: CommTuning,
+}
+
+/// Fluent, validated construction of an [`ExchangeEngine`] — the one
+/// place every knob (backend, kernel pinning, pair path, SIMD level,
+/// collective family, fault plan) composes. [`EngineBuilder::build`]
+/// rejects inconsistent configurations as [`Error::InvalidConfig`]
+/// instead of letting them panic mid-build.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineBuilder<'a> {
+    grid: &'a RealGrid,
+    solver: Option<&'a PoissonSolver>,
+    backend: ExecBackend,
+    choice: Option<KernelChoice>,
+    path: Option<PairPath>,
+    simd: Option<SimdLevel>,
+    tuning: CommTuning,
+}
+
+impl<'a> EngineBuilder<'a> {
+    fn new(grid: &'a RealGrid, solver: Option<&'a PoissonSolver>) -> Self {
+        EngineBuilder {
+            grid,
+            solver,
+            backend: ExecBackend::Rayon,
+            choice: None,
+            path: None,
+            simd: None,
+            tuning: CommTuning::from_env(),
+        }
+    }
+
+    /// Run the execute stage on this backend (default: rayon).
+    pub fn backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Pin the whole kernel choice (pair path + SIMD level) instead of
+    /// autotuning. Overrides [`EngineBuilder::pair_path`] /
+    /// [`EngineBuilder::simd`].
+    pub fn kernel_choice(mut self, choice: KernelChoice) -> Self {
+        self.choice = Some(choice);
+        self
+    }
+
+    /// Pin only the pair path (single / batched); the SIMD level stays
+    /// autotuned unless [`EngineBuilder::simd`] pins it too.
+    pub fn pair_path(mut self, path: PairPath) -> Self {
+        self.path = Some(path);
+        self
+    }
+
+    /// Pin only the SIMD level; the pair path stays autotuned unless
+    /// [`EngineBuilder::pair_path`] pins it too.
+    pub fn simd(mut self, level: SimdLevel) -> Self {
+        self.simd = Some(level);
+        self
+    }
+
+    /// Collective algorithm family of the distributed backend.
+    pub fn collectives(mut self, mode: CollectiveMode) -> Self {
+        self.tuning.collectives = mode;
+        self
+    }
+
+    /// Run the distributed backend under this deterministic fault plan.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.tuning.fault = Some(plan);
+        self
+    }
+
+    /// Run fault-free even when `LIAIR_FAULT_SEED` is set (pinned
+    /// baselines).
+    pub fn no_faults(mut self) -> Self {
+        self.tuning.fault = None;
+        self
+    }
+
+    /// Validate and produce the engine.
+    pub fn build(self) -> Result<ExchangeEngine<'a>> {
+        if let ExecBackend::Comm { nranks, .. } = self.backend {
+            if nranks == 0 {
+                return Err(Error::InvalidConfig(
+                    "Comm backend needs at least one rank".into(),
+                ));
+            }
+        }
+        if let Some(plan) = self.tuning.fault {
+            plan.validate().map_err(Error::Comm)?;
+        }
+        if self.choice.is_some() && (self.path.is_some() || self.simd.is_some()) {
+            return Err(Error::InvalidConfig(
+                "kernel_choice() already pins path and SIMD; drop pair_path()/simd()".into(),
+            ));
+        }
+        // A partially-pinned kernel resolves the other half at autotune
+        // time; a fully-pinned pair (path, simd) collapses to a choice.
+        let choice = match (self.choice, self.path, self.simd) {
+            (Some(c), _, _) => Some(c),
+            (None, Some(path), Some(simd)) => Some(KernelChoice { path, simd }),
+            (None, Some(path), None) => Some(KernelChoice {
+                path,
+                simd: simd::level(),
+            }),
+            (None, None, Some(level)) => {
+                let path = match (autotune::env_pair_path(), self.solver) {
+                    (Some(p), _) => p,
+                    (None, Some(solver)) => kernel_choice_for(solver, self.grid).path,
+                    // Patched-only engines never consult the pair path.
+                    (None, None) => PairPath::Batched,
+                };
+                Some(KernelChoice { path, simd: level })
+            }
+            (None, None, None) => None,
+        };
+        Ok(ExchangeEngine {
+            grid: self.grid,
+            solver: self.solver,
+            backend: self.backend,
+            choice,
+            tuning: self.tuning,
+        })
+    }
 }
 
 /// What one chunk of work sends back through the execute stage.
@@ -183,28 +346,45 @@ fn eval_pair_chunk(
 impl<'a> ExchangeEngine<'a> {
     /// Engine over `grid`/`solver` with the rayon backend (the
     /// shared-memory production default) and the autotuned kernel choice.
+    /// Shorthand for `ExchangeEngine::builder(grid, solver).build()`.
     pub fn new(grid: &'a RealGrid, solver: &'a PoissonSolver) -> Self {
         ExchangeEngine {
             grid,
             solver: Some(solver),
             backend: ExecBackend::Rayon,
             choice: None,
+            tuning: CommTuning::from_env(),
         }
     }
 
     /// Engine for the patched energy path only: no full-cell solver is
     /// built or borrowed (each patch shape uses its own cached solver).
-    /// Calling a full-cell path on this engine panics.
+    /// Calling a full-cell path on this engine panics (or returns
+    /// [`Error::MissingSolver`] on the `try_` paths).
     pub fn for_patches(grid: &'a RealGrid) -> Self {
         ExchangeEngine {
             grid,
             solver: None,
             backend: ExecBackend::Rayon,
             choice: None,
+            tuning: CommTuning::from_env(),
         }
     }
 
+    /// Fluent, validated configuration — the front door for every knob
+    /// (backend, kernel pinning, collective family, fault plan).
+    pub fn builder(grid: &'a RealGrid, solver: &'a PoissonSolver) -> EngineBuilder<'a> {
+        EngineBuilder::new(grid, Some(solver))
+    }
+
+    /// Builder for a patched-only engine (see
+    /// [`ExchangeEngine::for_patches`]).
+    pub fn builder_for_patches(grid: &'a RealGrid) -> EngineBuilder<'a> {
+        EngineBuilder::new(grid, None)
+    }
+
     /// Run the execute stage on `backend` instead.
+    #[deprecated(since = "0.1.0", note = "use ExchangeEngine::builder(..).backend(..)")]
     pub fn with_backend(mut self, backend: ExecBackend) -> Self {
         self.backend = backend;
         self
@@ -213,6 +393,10 @@ impl<'a> ExchangeEngine<'a> {
     /// Pin the kernel (pair path, SIMD level) instead of autotuning — the
     /// per-call twin of the `LIAIR_PAIR_PATH`/`LIAIR_SIMD` env knobs,
     /// needed when one process must compare several levels exactly.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ExchangeEngine::builder(..).kernel_choice(..)"
+    )]
     pub fn with_kernel_choice(mut self, choice: KernelChoice) -> Self {
         self.choice = Some(choice);
         self
@@ -223,17 +407,48 @@ impl<'a> ExchangeEngine<'a> {
         self.backend
     }
 
+    /// The collective tuning of the distributed backend.
+    pub fn comm_tuning(&self) -> CommTuning {
+        self.tuning
+    }
+
     /// The full-cell Poisson solver (panics on a patched-only engine).
     pub(crate) fn full_solver(&self) -> &'a PoissonSolver {
         self.solver
             .expect("this engine path needs a full-cell Poisson solver (use ExchangeEngine::new)")
     }
 
+    /// The full-cell Poisson solver as a typed error on a patched-only
+    /// engine.
+    fn try_full_solver(&self) -> Result<&'a PoissonSolver> {
+        self.solver.ok_or(Error::MissingSolver)
+    }
+
+    /// Validate the orbital set against the engine's grid.
+    fn validate_orbitals(&self, orbitals: &[Vec<f64>]) -> Result<()> {
+        if orbitals.is_empty() {
+            return Err(Error::EmptyOrbitals);
+        }
+        let expected = self.grid.len();
+        for (idx, o) in orbitals.iter().enumerate() {
+            if o.len() != expected {
+                return Err(Error::OrbitalSizeMismatch {
+                    expected,
+                    got: o.len(),
+                    orbital: idx,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Kernel choice of the full-cell energy path: pinned, or autotuned
     /// per grid shape (cached for the process lifetime).
-    fn energy_choice(&self) -> KernelChoice {
-        self.choice
-            .unwrap_or_else(|| kernel_choice_for(self.full_solver(), self.grid))
+    fn energy_choice(&self) -> Result<KernelChoice> {
+        match self.choice {
+            Some(c) => Ok(c),
+            None => Ok(kernel_choice_for(self.try_full_solver()?, self.grid)),
+        }
     }
 
     /// SIMD level of the paths that have no batched variant (K tasks,
@@ -255,7 +470,7 @@ impl<'a> ExchangeEngine<'a> {
         init: I,
         eval: F,
         profile: &mut BuildProfile,
-    ) -> Vec<f64>
+    ) -> Result<Vec<f64>>
     where
         S: Send,
         I: Fn() -> S + Send + Sync,
@@ -285,7 +500,7 @@ impl<'a> ExchangeEngine<'a> {
                 out.push(c.b);
             }
         }
-        out
+        Ok(out)
     }
 
     /// The message-passing execute stage: whole chunks are assigned to
@@ -294,6 +509,16 @@ impl<'a> ExchangeEngine<'a> {
     /// a single gather per build moves `[chunk contributions…, fft_s,
     /// kernel_s, growth]` to the root, which reassembles canonical pair
     /// order from the deterministic assignment.
+    ///
+    /// The gather runs the engine's [`CommTuning`]: hierarchical
+    /// (binomial-tree) by default — pure data movement, so the canonical
+    /// reassembly stays bit-identical to the flat algorithm — and
+    /// fault-tolerant when a [`FaultPlan`] is active: a rank that stalls
+    /// past the retry budget leaves a hole in the partial gather, and the
+    /// root re-issues that rank's chunks locally through the *identical*
+    /// kernel (same floating-point sequence, so even a degraded build is
+    /// bitwise-equal to a clean one). Stall/re-issue/retry counts land in
+    /// the [`BuildProfile`].
     fn run_chunks_comm<S, I, F>(
         &self,
         npairs: usize,
@@ -302,17 +527,27 @@ impl<'a> ExchangeEngine<'a> {
         nranks: usize,
         strategy: BalanceStrategy,
         profile: &mut BuildProfile,
-    ) -> Vec<f64>
+    ) -> Result<Vec<f64>>
     where
         S: Send,
         I: Fn() -> S + Send + Sync,
         F: Fn(&mut S, usize) -> ChunkOut + Send + Sync,
     {
-        assert!(nranks >= 1, "need at least one rank");
+        if nranks == 0 {
+            return Err(Error::InvalidConfig("need at least one rank".into()));
+        }
         let nchunks = npairs.div_ceil(2);
         let costs = vec![1.0; nchunks];
         let assignment = assign(&costs, nranks, strategy);
-        let gathered = run_spmd(nranks, |comm| {
+        let cfg = CommConfig {
+            mode: self.tuning.collectives,
+            fault: self.tuning.fault,
+            torus: None,
+        };
+        let run = run_spmd_cfg(nranks, cfg, |comm| {
+            if comm.stalled() {
+                return Ok(None);
+            }
             let mine = &assignment.per_rank[comm.rank()];
             let mut sc = init();
             let mut t = KernelTimings::default();
@@ -329,29 +564,59 @@ impl<'a> ExchangeEngine<'a> {
             flat.push(t.kernel_s);
             flat.push(grew as f64);
             // The single collective of the build.
-            comm.gather(0, flat)
-        });
-        let parts = gathered
+            comm.gather_partial(0, flat)
+        })
+        .map_err(Error::Comm)?;
+        if let Some((_, _, _, _, retries)) = run.fault_stats {
+            profile.comm_retries += retries;
+        }
+        let parts = run
+            .results
             .into_iter()
             .next()
             .expect("nranks >= 1")
-            .expect("rank 0 is the gather root");
+            .map_err(Error::Comm)?
+            .expect("rank 0 never stalls and is the gather root");
         let mut out = vec![0.0; npairs];
+        let mut reissue_sc: Option<S> = None;
         for (r, part) in parts.iter().enumerate() {
             let mine = &assignment.per_rank[r];
-            for (slot, &ci) in mine.iter().enumerate() {
-                out[2 * ci] = part[2 * slot];
-                if 2 * ci + 1 < npairs {
-                    out[2 * ci + 1] = part[2 * slot + 1];
+            match part {
+                Some(part) => {
+                    for (slot, &ci) in mine.iter().enumerate() {
+                        out[2 * ci] = part[2 * slot];
+                        if 2 * ci + 1 < npairs {
+                            out[2 * ci + 1] = part[2 * slot + 1];
+                        }
+                    }
+                    let base = 2 * mine.len();
+                    profile.t_fft_s += part[base];
+                    profile.t_kernel_s += part[base + 1];
+                    profile.steady_allocs += part[base + 2] as usize;
+                    profile.bytes_reduced += part.len() * std::mem::size_of::<f64>();
+                }
+                None => {
+                    // Graceful degradation: the rank stalled (or its
+                    // subtree was lost); recompute its chunks here with
+                    // the same kernel — bit-identical contributions in
+                    // the same canonical slots.
+                    profile.ranks_stalled += 1;
+                    let sc = reissue_sc.get_or_insert_with(init);
+                    for &ci in mine {
+                        let c = eval(sc, ci);
+                        out[2 * ci] = c.a;
+                        if 2 * ci + 1 < npairs {
+                            out[2 * ci + 1] = c.b;
+                        }
+                        profile.t_fft_s += c.t.fft_s;
+                        profile.t_kernel_s += c.t.kernel_s;
+                        profile.steady_allocs += c.grew;
+                        profile.chunks_reissued += 1;
+                    }
                 }
             }
-            let base = 2 * mine.len();
-            profile.t_fft_s += part[base];
-            profile.t_kernel_s += part[base + 1];
-            profile.steady_allocs += part[base + 2] as usize;
-            profile.bytes_reduced += part.len() * std::mem::size_of::<f64>();
         }
-        out
+        Ok(out)
     }
 
     /// Per-pair weighted contributions `−w_ij (ij|ij)` over an explicit
@@ -364,12 +629,25 @@ impl<'a> ExchangeEngine<'a> {
         pairs: &[Pair],
         profile: &mut BuildProfile,
     ) -> Vec<f64> {
-        for o in orbitals {
-            assert_eq!(o.len(), self.grid.len(), "orbital field size mismatch");
+        self.try_pair_contribs(orbitals, pairs, profile)
+            .unwrap_or_else(|e| panic!("exchange pair build failed: {e}"))
+    }
+
+    /// Fallible twin of [`ExchangeEngine::pair_contribs`]: orbital-shape
+    /// and configuration problems, and unrecovered communication
+    /// failures, come back as typed [`Error`]s.
+    pub fn try_pair_contribs(
+        &self,
+        orbitals: &[Vec<f64>],
+        pairs: &[Pair],
+        profile: &mut BuildProfile,
+    ) -> Result<Vec<f64>> {
+        if !orbitals.is_empty() {
+            self.validate_orbitals(orbitals)?;
         }
-        let choice = self.energy_choice();
+        let choice = self.energy_choice()?;
         let n = self.grid.len();
-        let solver = self.full_solver();
+        let solver = self.try_full_solver()?;
         let t0 = Instant::now();
         let contribs = self.run_chunks(
             pairs.len(),
@@ -386,19 +664,25 @@ impl<'a> ExchangeEngine<'a> {
                 }
             },
             profile,
-        );
+        )?;
         profile.t_exec_s += t0.elapsed().as_secs_f64();
-        contribs
+        Ok(contribs)
     }
 
     /// Full-cell exchange energy over a screened pair list: execute on the
     /// configured backend, then reduce with an ordered sequential sum (the
     /// same floating-point sequence on every backend).
     pub fn energy(&self, orbitals: &[Vec<f64>], pairs: &PairList) -> HfxResult {
-        assert!(!orbitals.is_empty());
+        self.try_energy(orbitals, pairs)
+            .unwrap_or_else(|e| panic!("exchange build failed: {e}"))
+    }
+
+    /// Fallible twin of [`ExchangeEngine::energy`].
+    pub fn try_energy(&self, orbitals: &[Vec<f64>], pairs: &PairList) -> Result<HfxResult> {
+        self.validate_orbitals(orbitals)?;
         let mut profile = BuildProfile::default();
-        let contribs = self.pair_contribs(orbitals, &pairs.pairs, &mut profile);
-        self.finish_energy(contribs, pairs, profile)
+        let contribs = self.try_pair_contribs(orbitals, &pairs.pairs, &mut profile)?;
+        Ok(self.finish_energy(contribs, pairs, profile))
     }
 
     /// Exchange energy over *pair-local patches* instead of full-cell
@@ -413,7 +697,25 @@ impl<'a> ExchangeEngine<'a> {
         pairs: &PairList,
         margin: f64,
     ) -> HfxResult {
-        assert_eq!(orbitals.len(), infos.len());
+        self.try_energy_patched(orbitals, infos, pairs, margin)
+            .unwrap_or_else(|e| panic!("patched exchange build failed: {e}"))
+    }
+
+    /// Fallible twin of [`ExchangeEngine::energy_patched`].
+    pub fn try_energy_patched(
+        &self,
+        orbitals: &[Vec<f64>],
+        infos: &[OrbitalInfo],
+        pairs: &PairList,
+        margin: f64,
+    ) -> Result<HfxResult> {
+        if orbitals.len() != infos.len() {
+            return Err(Error::InvalidConfig(format!(
+                "{} orbitals but {} OrbitalInfo records",
+                orbitals.len(),
+                infos.len()
+            )));
+        }
         let level = self.simd_choice();
         let h = self.grid.spacing().x;
         let grid = self.grid;
@@ -452,9 +754,9 @@ impl<'a> ExchangeEngine<'a> {
                 }
             },
             &mut profile,
-        );
+        )?;
         profile.t_exec_s += t0.elapsed().as_secs_f64();
-        self.finish_energy(contribs, pairs, profile)
+        Ok(self.finish_energy(contribs, pairs, profile))
     }
 
     /// Strict zero-allocation energy build: serial execution into a
@@ -467,11 +769,19 @@ impl<'a> ExchangeEngine<'a> {
         pairs: &PairList,
         scratch: &mut EngineScratch,
     ) -> HfxResult {
-        assert!(!orbitals.is_empty());
-        for o in orbitals {
-            assert_eq!(o.len(), self.grid.len(), "orbital field size mismatch");
-        }
-        let choice = self.energy_choice();
+        self.try_energy_into(orbitals, pairs, scratch)
+            .unwrap_or_else(|e| panic!("exchange build failed: {e}"))
+    }
+
+    /// Fallible twin of [`ExchangeEngine::energy_into`].
+    pub fn try_energy_into(
+        &self,
+        orbitals: &[Vec<f64>],
+        pairs: &PairList,
+        scratch: &mut EngineScratch,
+    ) -> Result<HfxResult> {
+        self.validate_orbitals(orbitals)?;
+        let choice = self.energy_choice()?;
         let npairs = pairs.len();
         let mut profile = BuildProfile::default();
         let t0 = Instant::now();
@@ -479,7 +789,7 @@ impl<'a> ExchangeEngine<'a> {
         profile.steady_allocs += (npairs > scratch.contribs.capacity()) as usize;
         scratch.contribs.clear();
         scratch.contribs.resize(npairs, 0.0);
-        let solver = self.full_solver();
+        let solver = self.try_full_solver()?;
         for ci in 0..npairs.div_ceil(2) {
             let chunk = &pairs.pairs[2 * ci..(2 * ci + 2).min(npairs)];
             let (a, b) = eval_pair_chunk(&mut scratch.pair, chunk, choice, solver, orbitals);
@@ -498,13 +808,13 @@ impl<'a> ExchangeEngine<'a> {
         profile.bytes_reduced += npairs * std::mem::size_of::<f64>();
         profile.pairs_computed = npairs;
         profile.pairs_screened = pairs.n_candidates - npairs;
-        HfxResult {
+        Ok(HfxResult {
             energy,
             pairs_evaluated: npairs,
             pairs_screened: pairs.n_candidates - npairs,
             inc: IncStats::default(),
             profile,
-        }
+        })
     }
 
     /// Reduce stage of the energy paths: ordered sequential sum of the

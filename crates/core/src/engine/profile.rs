@@ -40,6 +40,15 @@ pub struct BuildProfile {
     /// Steady-state scratch growth events during execution (0 once every
     /// worker's grow-once buffers are warm).
     pub steady_allocs: usize,
+    /// Ranks that stalled under the fault plan and never delivered their
+    /// share (their chunks were re-issued to the root).
+    pub ranks_stalled: usize,
+    /// Chunks recomputed on the root because their owning rank stalled —
+    /// the graceful-degradation work of a faulty build.
+    pub chunks_reissued: usize,
+    /// Receive attempts that timed out and retried during the build's
+    /// collectives (0 on a fault-free build).
+    pub comm_retries: usize,
 }
 
 impl BuildProfile {
@@ -57,6 +66,9 @@ impl BuildProfile {
         self.cache_hits += other.cache_hits;
         self.bytes_reduced += other.bytes_reduced;
         self.steady_allocs += other.steady_allocs;
+        self.ranks_stalled += other.ranks_stalled;
+        self.chunks_reissued += other.chunks_reissued;
+        self.comm_retries += other.comm_retries;
     }
 
     /// Whether this profile carries any evidence of a build (a populated

@@ -256,11 +256,13 @@ impl IncrementalExchange {
     /// The configured engine over `grid`/`solver` (rayon backend, pinned
     /// kernel choice when one was forced).
     fn engine<'a>(&self, grid: &'a RealGrid, solver: &'a PoissonSolver) -> ExchangeEngine<'a> {
-        let engine = ExchangeEngine::new(grid, solver);
-        match self.kernel_choice {
-            Some(c) => engine.with_kernel_choice(c),
-            None => engine,
+        let mut builder = ExchangeEngine::builder(grid, solver);
+        if let Some(c) = self.kernel_choice {
+            builder = builder.kernel_choice(c);
         }
+        builder
+            .build()
+            .expect("rayon engine with an optional pinned kernel is always a valid configuration")
     }
 
     /// Incremental twin of [`crate::hfx::exchange_energy`]: clean pairs
@@ -296,7 +298,10 @@ impl IncrementalExchange {
         self.dirty_orb.clear();
         self.dirty_orb.resize(norb, true);
         if !full {
-            let cache = self.energy.as_ref().unwrap();
+            let cache = self
+                .energy
+                .as_ref()
+                .expect("a non-full build implies a validated energy cache");
             for j in 0..norb {
                 self.dirty_orb[j] = cache.fps[j].distance(&self.fp_scratch[j]) > self.eps_inc;
             }
@@ -312,7 +317,12 @@ impl IncrementalExchange {
             let cached = if full {
                 None
             } else {
-                self.energy.as_ref().unwrap().contrib.get(&key).copied()
+                self.energy
+                    .as_ref()
+                    .expect("a non-full build implies a validated energy cache")
+                    .contrib
+                    .get(&key)
+                    .copied()
             };
             match cached {
                 Some(c) if !self.dirty_orb[p.i as usize] && !self.dirty_orb[p.j as usize] => {
@@ -356,7 +366,10 @@ impl IncrementalExchange {
                 builds_since_full: 0,
             });
         }
-        let cache = self.energy.as_mut().unwrap();
+        let cache = self
+            .energy
+            .as_mut()
+            .expect("the energy cache was just installed above");
         let mut dirty_sum = 0.0;
         for (p, c) in self.dirty_pairs.iter().zip(&contribs) {
             cache.contrib.insert((p.i, p.j), *c);
@@ -442,7 +455,10 @@ impl IncrementalExchange {
         self.dirty_orb.clear();
         self.dirty_orb.resize(nocc, true);
         if !full {
-            let cache = self.k.as_ref().unwrap();
+            let cache = self
+                .k
+                .as_ref()
+                .expect("a non-full build implies a validated K cache");
             for j in 0..nocc {
                 self.dirty_orb[j] = cache.fps[j].distance(&self.fp_scratch[j]) > self.eps_inc;
             }
@@ -452,12 +468,10 @@ impl IncrementalExchange {
             .extend((0..nocc).filter(|&j| self.dirty_orb[j]));
 
         let t_dirty0 = Instant::now();
-        let dirty_results = self.engine(grid, solver).k_orbital_contribs(
-            &setup,
-            eps,
-            &self.dirty_slots,
-            &mut profile,
-        );
+        let dirty_results = self
+            .engine(grid, solver)
+            .k_orbital_contribs(&setup, eps, &self.dirty_slots, &mut profile)
+            .unwrap_or_else(|e| panic!("incremental K rebuild failed: {e}"));
         let dt_dirty = t_dirty0.elapsed().as_secs_f64();
 
         // Install recomputed contributions, then assemble K = Σ_j ΔK_j in
@@ -476,7 +490,10 @@ impl IncrementalExchange {
                 builds_since_full: 0,
             });
         }
-        let cache = self.k.as_mut().unwrap();
+        let cache = self
+            .k
+            .as_mut()
+            .expect("the K cache was just installed above");
         let mut recomputed_tasks = 0;
         for ((j, dk), counts) in dirty_results {
             recomputed_tasks += counts.0;

@@ -36,6 +36,7 @@
 pub mod balance;
 pub mod distributed;
 pub mod engine;
+pub mod error;
 pub mod hfx;
 pub mod incremental;
 pub mod operator;
@@ -45,8 +46,10 @@ pub mod workload;
 
 pub use balance::{assign_pairs, Assignment, BalanceStrategy};
 pub use engine::{
-    BuildProfile, EngineScratch, ExchangeEngine, ExecBackend, KBuildOutcome, KernelChoice, PairPath,
+    BuildProfile, CollectiveMode, CommTuning, EngineBuilder, EngineScratch, ExchangeEngine,
+    ExecBackend, FaultPlan, KBuildOutcome, KernelChoice, PairPath,
 };
+pub use error::{Error, Result};
 pub use hfx::{exchange_energy, exchange_energy_patched, HfxResult};
 pub use incremental::{Fingerprint, IncStats, IncrementalExchange};
 pub use operator::{

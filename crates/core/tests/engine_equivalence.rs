@@ -1,19 +1,25 @@
 //! Cross-driver equivalence suite for the staged [`ExchangeEngine`]: every
-//! execution backend (serial, rayon, message-passing `Comm`) must produce
-//! **bit-identical** energies and K matrices for every runnable SIMD level
-//! and both pair-kernel paths, and the incremental driver with
-//! `eps_inc = 0` must reproduce the from-scratch build exactly.
+//! execution backend (serial, rayon, message-passing `Comm` under both
+//! collective families) must produce **bit-identical** energies and K
+//! matrices for every runnable SIMD level and both pair-kernel paths, and
+//! the incremental driver with `eps_inc = 0` must reproduce the
+//! from-scratch build exactly. The distributed backend must additionally
+//! hold the guarantee *under injected faults* — dropped, delayed,
+//! duplicated messages and stalled ranks — because retransmission and
+//! chunk re-issue replay the identical kernel.
 //!
-//! The kernel choice is pinned through [`ExchangeEngine::with_kernel_choice`]
-//! / [`IncrementalExchange::force_kernel_choice`] rather than `LIAIR_SIMD`
+//! The kernel choice is pinned through [`EngineBuilder::kernel_choice`] /
+//! [`IncrementalExchange::force_kernel_choice`] rather than `LIAIR_SIMD`
 //! (the env override is latched once per process), so one test binary can
 //! sweep all levels. CI additionally runs the whole binary under a
-//! `LIAIR_SIMD` matrix to exercise the env-driven defaults.
+//! `LIAIR_SIMD` matrix and a `LIAIR_FAULT_SEED` matrix to exercise the
+//! env-driven defaults.
 
 use liair_basis::{systems, Basis, Cell};
 use liair_core::screening::{build_pair_list, OrbitalInfo, PairList};
 use liair_core::{
-    BalanceStrategy, ExchangeEngine, ExecBackend, IncrementalExchange, KernelChoice, PairPath,
+    BalanceStrategy, CollectiveMode, ExchangeEngine, ExecBackend, FaultPlan, IncrementalExchange,
+    KernelChoice, PairPath,
 };
 use liair_grid::{PoissonSolver, RealGrid};
 use liair_math::rng::SplitMix64;
@@ -79,19 +85,27 @@ fn kernel_choices() -> Vec<KernelChoice> {
     out
 }
 
+const MODES: [CollectiveMode; 2] = [CollectiveMode::Flat, CollectiveMode::Hierarchical];
+
 #[test]
 fn energy_bit_identical_across_backends() {
     let (grid, solver, fields, _infos, pairs) = synthetic_setup(4, 20);
     for choice in kernel_choices() {
-        let base = ExchangeEngine::new(&grid, &solver).with_kernel_choice(choice);
+        let base = ExchangeEngine::builder(&grid, &solver)
+            .kernel_choice(choice)
+            .no_faults();
         let serial = base
-            .with_backend(ExecBackend::Serial)
+            .backend(ExecBackend::Serial)
+            .build()
+            .unwrap()
             .energy(&fields, &pairs);
         assert!(serial.energy < 0.0);
         assert!(serial.profile.is_populated());
 
         let rayon = base
-            .with_backend(ExecBackend::Rayon)
+            .backend(ExecBackend::Rayon)
+            .build()
+            .unwrap()
             .energy(&fields, &pairs);
         assert_eq!(
             serial.energy.to_bits(),
@@ -107,49 +121,72 @@ fn energy_bit_identical_across_backends() {
                 BalanceStrategy::Block,
                 BalanceStrategy::GreedyLpt,
             ] {
-                let comm = base
-                    .with_backend(ExecBackend::Comm { nranks, strategy })
-                    .energy(&fields, &pairs);
-                assert_eq!(
-                    serial.energy.to_bits(),
-                    comm.energy.to_bits(),
-                    "serial vs comm(nranks={nranks}, {strategy:?}) differ for {choice:?}: \
-                     {} vs {}",
-                    serial.energy,
-                    comm.energy
-                );
+                for mode in MODES {
+                    let comm = base
+                        .backend(ExecBackend::Comm { nranks, strategy })
+                        .collectives(mode)
+                        .build()
+                        .unwrap()
+                        .energy(&fields, &pairs);
+                    assert_eq!(
+                        serial.energy.to_bits(),
+                        comm.energy.to_bits(),
+                        "serial vs comm(nranks={nranks}, {strategy:?}, {mode:?}) differ \
+                         for {choice:?}: {} vs {}",
+                        serial.energy,
+                        comm.energy
+                    );
+                }
             }
         }
     }
 }
 
 #[test]
-fn incremental_eps0_energy_bit_identical_per_kernel() {
-    let (grid, solver, fields, infos, pairs) = synthetic_setup(4, 20);
-    for choice in kernel_choices() {
-        // The incremental driver executes dirty work on the default Rayon
-        // backend, so that is the reference.
-        let reference = ExchangeEngine::new(&grid, &solver)
-            .with_kernel_choice(choice)
-            .energy(&fields, &pairs);
-
-        let mut inc = IncrementalExchange::new(0.0, 0);
-        inc.force_kernel_choice(choice);
-        // Cold build: everything dirty.
-        let cold = inc.exchange_energy(&grid, &solver, &fields, &infos, &pairs);
-        assert_eq!(
-            reference.energy.to_bits(),
-            cold.energy.to_bits(),
-            "cold incremental differs for {choice:?}"
-        );
-        // Rebuild on identical fields: eps_inc = 0 must recompute, not reuse.
-        let rebuilt = inc.exchange_energy(&grid, &solver, &fields, &infos, &pairs);
-        assert_eq!(rebuilt.inc.pairs_reused, 0);
-        assert_eq!(
-            reference.energy.to_bits(),
-            rebuilt.energy.to_bits(),
-            "eps_inc=0 rebuild differs for {choice:?}"
-        );
+fn energy_bit_identical_under_injected_faults() {
+    // Retransmission (drops/delays/dups) and root-side chunk re-issue
+    // (stalls) must not change a single bit of the result: recovered
+    // messages carry the same payloads, and re-issued chunks replay the
+    // identical kernel.
+    let (grid, solver, fields, _infos, pairs) = synthetic_setup(4, 16);
+    let choice = kernel_choices()[0];
+    let clean = ExchangeEngine::builder(&grid, &solver)
+        .kernel_choice(choice)
+        .no_faults()
+        .backend(ExecBackend::Serial)
+        .build()
+        .unwrap()
+        .energy(&fields, &pairs);
+    for seed in [7u64, 1234] {
+        for plan in [FaultPlan::messages_only(seed), FaultPlan::with_stalls(seed)] {
+            for mode in MODES {
+                let faulty = ExchangeEngine::builder(&grid, &solver)
+                    .kernel_choice(choice)
+                    .backend(ExecBackend::Comm {
+                        nranks: 4,
+                        strategy: BalanceStrategy::GreedyLpt,
+                    })
+                    .collectives(mode)
+                    .fault_plan(plan)
+                    .build()
+                    .unwrap()
+                    .energy(&fields, &pairs);
+                assert_eq!(
+                    clean.energy.to_bits(),
+                    faulty.energy.to_bits(),
+                    "seed {seed} {mode:?}: faulty build drifted: {} vs {}",
+                    clean.energy,
+                    faulty.energy
+                );
+                // A stalled rank shows up in the profile as re-issued work.
+                if faulty.profile.ranks_stalled > 0 {
+                    assert!(
+                        faulty.profile.chunks_reissued > 0,
+                        "stalled ranks must re-issue their chunks"
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -173,32 +210,111 @@ fn k_operator_bit_identical_across_backends() {
             path: PairPath::Single,
             simd,
         };
-        let base = ExchangeEngine::new(&grid, &solver).with_kernel_choice(choice);
+        let base = ExchangeEngine::builder(&grid, &solver)
+            .kernel_choice(choice)
+            .no_faults();
         let serial = base
-            .with_backend(ExecBackend::Serial)
+            .backend(ExecBackend::Serial)
+            .build()
+            .unwrap()
             .k_operator(&basis, &c_occ, nocc, 0.0);
         assert!(serial.profile.is_populated());
         assert_eq!(serial.evaluated, nocc * basis.nao());
 
         let rayon = base
-            .with_backend(ExecBackend::Rayon)
+            .backend(ExecBackend::Rayon)
+            .build()
+            .unwrap()
             .k_operator(&basis, &c_occ, nocc, 0.0);
         let d = rayon.k.sub(&serial.k).fro_norm();
         assert_eq!(d, 0.0, "serial vs rayon K differ at level {simd:?}: {d:e}");
 
         for nranks in [1, 3] {
-            let comm = base
-                .with_backend(ExecBackend::Comm {
-                    nranks,
+            for mode in MODES {
+                let comm = base
+                    .backend(ExecBackend::Comm {
+                        nranks,
+                        strategy: BalanceStrategy::RoundRobin,
+                    })
+                    .collectives(mode)
+                    .build()
+                    .unwrap()
+                    .k_operator(&basis, &c_occ, nocc, 0.0);
+                let d = comm.k.sub(&serial.k).fro_norm();
+                assert_eq!(
+                    d, 0.0,
+                    "serial vs comm(nranks={nranks}, {mode:?}) K differ at level {simd:?}: {d:e}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn k_operator_bit_identical_under_injected_faults() {
+    let (basis, c_occ, nocc, grid, solver) = h2_setup();
+    let choice = KernelChoice {
+        path: PairPath::Single,
+        simd: available_levels()[0],
+    };
+    let clean = ExchangeEngine::builder(&grid, &solver)
+        .kernel_choice(choice)
+        .no_faults()
+        .backend(ExecBackend::Serial)
+        .build()
+        .unwrap()
+        .k_operator(&basis, &c_occ, nocc, 0.0);
+    for plan in [FaultPlan::messages_only(42), FaultPlan::with_stalls(42)] {
+        for mode in MODES {
+            let faulty = ExchangeEngine::builder(&grid, &solver)
+                .kernel_choice(choice)
+                .backend(ExecBackend::Comm {
+                    nranks: 3,
                     strategy: BalanceStrategy::RoundRobin,
                 })
+                .collectives(mode)
+                .fault_plan(plan)
+                .build()
+                .unwrap()
                 .k_operator(&basis, &c_occ, nocc, 0.0);
-            let d = comm.k.sub(&serial.k).fro_norm();
             assert_eq!(
-                d, 0.0,
-                "serial vs comm(nranks={nranks}) K differ at level {simd:?}: {d:e}"
+                faulty.k.sub(&clean.k).fro_norm(),
+                0.0,
+                "{mode:?}: K drifted under faults"
             );
         }
+    }
+}
+
+#[test]
+fn incremental_eps0_energy_bit_identical_per_kernel() {
+    let (grid, solver, fields, infos, pairs) = synthetic_setup(4, 20);
+    for choice in kernel_choices() {
+        // The incremental driver executes dirty work on the default Rayon
+        // backend, so that is the reference.
+        let reference = ExchangeEngine::builder(&grid, &solver)
+            .kernel_choice(choice)
+            .build()
+            .unwrap()
+            .energy(&fields, &pairs);
+
+        let mut inc = IncrementalExchange::new(0.0, 0);
+        inc.force_kernel_choice(choice);
+        // Cold build: everything dirty.
+        let cold = inc.exchange_energy(&grid, &solver, &fields, &infos, &pairs);
+        assert_eq!(
+            reference.energy.to_bits(),
+            cold.energy.to_bits(),
+            "cold incremental differs for {choice:?}"
+        );
+        // Rebuild on identical fields: eps_inc = 0 must recompute, not reuse.
+        let rebuilt = inc.exchange_energy(&grid, &solver, &fields, &infos, &pairs);
+        assert_eq!(rebuilt.inc.pairs_reused, 0);
+        assert_eq!(
+            reference.energy.to_bits(),
+            rebuilt.energy.to_bits(),
+            "eps_inc=0 rebuild differs for {choice:?}"
+        );
     }
 }
 
@@ -238,6 +354,26 @@ fn public_wrappers_match_pinned_default_engine() {
 }
 
 #[test]
+#[allow(deprecated)]
+fn deprecated_shims_match_builder() {
+    // The deprecated construction methods stay functional until removal:
+    // they must configure exactly what the builder configures.
+    let (grid, solver, fields, _infos, pairs) = synthetic_setup(3, 16);
+    let choice = kernel_choices()[0];
+    let via_builder = ExchangeEngine::builder(&grid, &solver)
+        .kernel_choice(choice)
+        .backend(ExecBackend::Serial)
+        .build()
+        .unwrap()
+        .energy(&fields, &pairs);
+    let via_shim = ExchangeEngine::new(&grid, &solver)
+        .with_kernel_choice(choice)
+        .with_backend(ExecBackend::Serial)
+        .energy(&fields, &pairs);
+    assert_eq!(via_builder.energy.to_bits(), via_shim.energy.to_bits());
+}
+
+#[test]
 fn incremental_eps0_k_bit_identical_per_level() {
     let (basis, c_occ, nocc, grid, solver) = h2_setup();
     for simd in available_levels() {
@@ -245,8 +381,10 @@ fn incremental_eps0_k_bit_identical_per_level() {
             path: PairPath::Single,
             simd,
         };
-        let reference = ExchangeEngine::new(&grid, &solver)
-            .with_kernel_choice(choice)
+        let reference = ExchangeEngine::builder(&grid, &solver)
+            .kernel_choice(choice)
+            .build()
+            .unwrap()
             .k_operator(&basis, &c_occ, nocc, 0.0);
         let mut inc = IncrementalExchange::new(0.0, 0);
         inc.force_kernel_choice(choice);
@@ -272,8 +410,10 @@ fn simd_level_never_changes_physics() {
     let energies: Vec<f64> = kernel_choices()
         .iter()
         .map(|&c| {
-            ExchangeEngine::new(&grid, &solver)
-                .with_kernel_choice(c)
+            ExchangeEngine::builder(&grid, &solver)
+                .kernel_choice(c)
+                .build()
+                .unwrap()
                 .energy(&fields, &pairs)
                 .energy
         })
@@ -291,22 +431,46 @@ fn simd_level_never_changes_physics() {
 #[test]
 fn comm_backend_reports_gather_volume() {
     let (grid, solver, fields, _infos, pairs) = synthetic_setup(3, 16);
-    let out = ExchangeEngine::new(&grid, &solver)
-        .with_backend(ExecBackend::Comm {
+    let out = ExchangeEngine::builder(&grid, &solver)
+        .backend(ExecBackend::Comm {
             nranks: 2,
             strategy: BalanceStrategy::Block,
         })
+        .build()
+        .unwrap()
         .energy(&fields, &pairs);
     assert!(out.profile.bytes_reduced > 0);
     assert_eq!(out.profile.pairs_computed, pairs.len());
 
     let (basis, c_occ, nocc, kgrid, ksolver) = h2_setup();
-    let k = ExchangeEngine::new(&kgrid, &ksolver)
-        .with_backend(ExecBackend::Comm {
+    let k = ExchangeEngine::builder(&kgrid, &ksolver)
+        .backend(ExecBackend::Comm {
             nranks: 2,
             strategy: BalanceStrategy::RoundRobin,
         })
+        .build()
+        .unwrap()
         .k_operator(&basis, &c_occ, nocc, 0.0);
     assert!(k.profile.bytes_reduced > 0);
     assert!(k.profile.t_ao_eval_s >= 0.0);
+}
+
+#[test]
+fn builder_rejects_inconsistent_configuration() {
+    let (grid, solver, _fields, _infos, _pairs) = synthetic_setup(2, 12);
+    let choice = kernel_choices()[0];
+    // kernel_choice + pair_path double-pins the path.
+    let err = ExchangeEngine::builder(&grid, &solver)
+        .kernel_choice(choice)
+        .pair_path(PairPath::Single)
+        .build();
+    assert!(err.is_err());
+    // Zero ranks is meaningless.
+    let err = ExchangeEngine::builder(&grid, &solver)
+        .backend(ExecBackend::Comm {
+            nranks: 0,
+            strategy: BalanceStrategy::Block,
+        })
+        .build();
+    assert!(err.is_err());
 }

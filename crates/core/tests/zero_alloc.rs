@@ -167,7 +167,10 @@ fn warm_serial_engine_build_is_allocation_free() {
         .map(|_| (0..grid.len()).map(|_| rng.next_f64() - 0.5).collect())
         .collect();
     let pairs = pair_list(4, 10);
-    let engine = ExchangeEngine::new(&grid, &solver).with_backend(ExecBackend::Serial);
+    let engine = ExchangeEngine::builder(&grid, &solver)
+        .backend(ExecBackend::Serial)
+        .build()
+        .expect("serial engine configuration is always valid");
     let mut scratch = EngineScratch::new();
 
     // Warm-up: grows the scratch, primes FFT plans, autotune, kernel tables.

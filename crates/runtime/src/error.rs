@@ -1,0 +1,123 @@
+//! Typed errors of the communication runtime.
+//!
+//! Every fallible [`crate::Comm`] operation returns [`CommResult`]; the
+//! variants distinguish the failure the caller can act on (a peer timing
+//! out after the retry budget — re-issue its work) from programming errors
+//! surfaced as typed values instead of panics (rank out of range, length
+//! mismatch in a collective).
+
+use std::fmt;
+
+/// Everything that can go wrong in a point-to-point transfer or a
+/// collective.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A receive from `rank` exhausted its retry budget: `attempts`
+    /// tries, each with exponential backoff, saw no message. Under the
+    /// fault model this is the signature of a stalled peer; the caller
+    /// (e.g. the exchange engine) degrades gracefully by re-issuing the
+    /// rank's work to survivors.
+    Timeout {
+        /// The unresponsive peer.
+        rank: usize,
+        /// Receive attempts made before giving up.
+        attempts: usize,
+    },
+    /// The peer's endpoint is gone (its thread exited or panicked).
+    Disconnected {
+        /// The vanished peer.
+        rank: usize,
+    },
+    /// A rank id outside `0..size`.
+    InvalidRank {
+        /// The offending rank.
+        rank: usize,
+        /// Communicator size.
+        size: usize,
+    },
+    /// Self-send / self-receive, which the mailbox transport does not
+    /// route (local data never enters the network).
+    SelfMessage {
+        /// This rank.
+        rank: usize,
+    },
+    /// A collective saw a payload whose length disagrees with the other
+    /// participants (e.g. allreduce over differently-sized vectors).
+    LengthMismatch {
+        /// Length this rank expected.
+        expected: usize,
+        /// Length that arrived.
+        got: usize,
+    },
+    /// A collective precondition failed (documented per operation), e.g.
+    /// reduce-scatter over a vector not divisible by the rank count.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Timeout { rank, attempts } => {
+                write!(f, "rank {rank} unresponsive after {attempts} attempts")
+            }
+            CommError::Disconnected { rank } => write!(f, "rank {rank} disconnected"),
+            CommError::InvalidRank { rank, size } => {
+                write!(
+                    f,
+                    "rank {rank} out of range for communicator of size {size}"
+                )
+            }
+            CommError::SelfMessage { rank } => {
+                write!(f, "rank {rank} attempted a self-send/receive")
+            }
+            CommError::LengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "collective length mismatch: expected {expected}, got {got}"
+                )
+            }
+            CommError::InvalidArgument(msg) => write!(f, "invalid collective argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Result alias of every fallible communication operation.
+pub type CommResult<T> = Result<T, CommError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CommError::Timeout {
+            rank: 3,
+            attempts: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('5'), "{s}");
+        assert!(CommError::InvalidRank { rank: 9, size: 4 }
+            .to_string()
+            .contains("9"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            CommError::Disconnected { rank: 1 },
+            CommError::Disconnected { rank: 1 }
+        );
+        assert_ne!(
+            CommError::Timeout {
+                rank: 1,
+                attempts: 2
+            },
+            CommError::Timeout {
+                rank: 1,
+                attempts: 3
+            }
+        );
+    }
+}

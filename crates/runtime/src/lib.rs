@@ -3,17 +3,36 @@
 //! A virtual-rank SPMD runtime — the stand-in for MPI (Rust MPI bindings
 //! are too thin for this reproduction, per the calibration notes).
 //!
-//! [`Comm`] exposes the point-to-point and collective surface the parallel
-//! exact-exchange scheme needs. The one real implementation,
-//! [`LocalComm`] under [`run_spmd`], executes every rank as an OS thread
-//! with crossbeam channels for transport — it proves the *correctness* of
-//! the distributed algorithm (partial-pair sums, orbital replication,
-//! reductions) at laptop scale. *Performance* at BG/Q scale is priced by
-//! `liair-bgq`'s models instead; the two are connected by `liair-core`,
-//! which drives the same task lists through both.
+//! [`Comm`] is the first-class communication API: typed point-to-point
+//! transfers ([`Payload`]) and the collective set the parallel
+//! exact-exchange scheme needs, each in a flat (root-based) and a
+//! hierarchical (binomial-tree / recursive-doubling) algorithm selected
+//! by [`CollectiveMode`]. Two implementations exist:
+//!
+//! * [`LocalComm`] under [`run_spmd`] / [`run_spmd_cfg`] — every rank an
+//!   OS thread with crossbeam channels for transport; proves the
+//!   *correctness* of the distributed algorithm at laptop scale;
+//! * [`TorusComm`] — wraps a communicator and charges every transfer to a
+//!   [`TrafficLog`] routed over `liair-bgq`'s 5-D torus, so the executed
+//!   message pattern (not an assumed one) feeds the BSP cost model.
+//!
+//! Failures are first-class: operations return [`CommResult`], and a
+//! seeded deterministic [`FaultPlan`] can drop / delay / duplicate
+//! messages and stall ranks, recovered by retransmission with exponential
+//! backoff — or surfaced as [`CommError::Timeout`] for the caller to
+//! degrade gracefully (the exchange engine re-issues a stalled rank's
+//! chunks to survivors).
 
 #![allow(clippy::needless_range_loop)] // index loops are the clearer idiom in this numeric code
 
 pub mod comm;
+pub mod error;
+pub mod fault;
+pub mod payload;
+pub mod topo;
 
-pub use comm::{run_spmd, Comm, LocalComm};
+pub use comm::{run_spmd, run_spmd_cfg, CollectiveMode, Comm, CommConfig, LocalComm, SpmdRun};
+pub use error::{CommError, CommResult};
+pub use fault::{FaultInjector, FaultPlan, FaultStats, Verdict};
+pub use payload::Payload;
+pub use topo::{fit_torus, TorusComm, TrafficLog};

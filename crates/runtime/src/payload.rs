@@ -1,0 +1,100 @@
+//! Typed payloads over the `f64`-word transport.
+//!
+//! The wire format of the runtime is a vector of `f64` words (the natural
+//! unit of this codebase — orbital fields, contribution vectors, timing
+//! side-channels). [`Payload`] lets typed values ride that transport
+//! without the call sites hand-rolling encode/decode at every send:
+//! scalars, word vectors, and bit-exact `u64` metadata all round-trip
+//! losslessly.
+
+/// A value that can be encoded losslessly into `f64` words and decoded
+/// back — the typed unit of [`crate::Comm::send_payload`] /
+/// [`crate::Comm::recv_payload`].
+pub trait Payload: Sized {
+    /// Encode into transport words.
+    fn into_words(self) -> Vec<f64>;
+    /// Decode from transport words. Must accept exactly what
+    /// [`Payload::into_words`] produced.
+    fn from_words(words: Vec<f64>) -> Self;
+}
+
+impl Payload for Vec<f64> {
+    fn into_words(self) -> Vec<f64> {
+        self
+    }
+    fn from_words(words: Vec<f64>) -> Self {
+        words
+    }
+}
+
+impl Payload for f64 {
+    fn into_words(self) -> Vec<f64> {
+        vec![self]
+    }
+    fn from_words(words: Vec<f64>) -> Self {
+        words[0]
+    }
+}
+
+/// `u64` rides bit-exactly via `f64::from_bits` — counters and ids do not
+/// survive a lossy `as f64` cast past 2⁵³, bit transport always does.
+impl Payload for u64 {
+    fn into_words(self) -> Vec<f64> {
+        vec![f64::from_bits(self)]
+    }
+    fn from_words(words: Vec<f64>) -> Self {
+        words[0].to_bits()
+    }
+}
+
+impl Payload for Vec<u64> {
+    fn into_words(self) -> Vec<f64> {
+        self.into_iter().map(f64::from_bits).collect()
+    }
+    fn from_words(words: Vec<f64>) -> Self {
+        words.into_iter().map(|w| w.to_bits()).collect()
+    }
+}
+
+/// A word vector tagged with bit-exact `u64` metadata — the shape of the
+/// engine's per-rank result messages (contributions + counters).
+impl Payload for (Vec<u64>, Vec<f64>) {
+    fn into_words(self) -> Vec<f64> {
+        let (meta, data) = self;
+        let mut out = Vec::with_capacity(meta.len() + data.len() + 1);
+        out.push(f64::from_bits(meta.len() as u64));
+        out.extend(meta.into_iter().map(f64::from_bits));
+        out.extend(data);
+        out
+    }
+    fn from_words(words: Vec<f64>) -> Self {
+        let n = words[0].to_bits() as usize;
+        let meta = words[1..1 + n].iter().map(|w| w.to_bits()).collect();
+        let data = words[1 + n..].to_vec();
+        (meta, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<P: Payload + Clone + PartialEq + std::fmt::Debug>(v: P) {
+        assert_eq!(P::from_words(v.clone().into_words()), v);
+    }
+
+    #[test]
+    fn scalars_and_vectors_round_trip() {
+        round_trip(3.25f64);
+        round_trip(vec![1.0, -2.5, f64::MIN_POSITIVE]);
+        round_trip(u64::MAX);
+        round_trip((1u64 << 60) + 3); // not representable as f64 exactly
+        round_trip(vec![0u64, u64::MAX, 1 << 53 | 1]);
+    }
+
+    #[test]
+    fn tagged_payload_round_trips() {
+        round_trip((vec![7u64, u64::MAX], vec![1.5, -0.25]));
+        round_trip((Vec::<u64>::new(), Vec::<f64>::new()));
+    }
+}

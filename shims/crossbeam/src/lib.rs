@@ -46,6 +46,24 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out waiting on receive"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
     impl<T> std::fmt::Display for SendError<T> {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
             write!(f, "sending on a disconnected channel")
@@ -108,6 +126,38 @@ pub mod channel {
                 Some(item) => Ok(item),
                 None if state.senders == 0 => Err(TryRecvError::Disconnected),
                 None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocking receive with a deadline, as in crossbeam: drains the
+        /// queue first, reports a disconnect only once the queue is empty,
+        /// and otherwise waits at most `timeout` for a sender.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut state = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (next, res) = self
+                    .shared
+                    .ready
+                    .wait_timeout(state, deadline - now)
+                    .unwrap();
+                state = next;
+                if res.timed_out() && state.items.is_empty() {
+                    if state.senders == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
             }
         }
     }
@@ -173,6 +223,17 @@ pub mod channel {
             let (tx, rx) = unbounded();
             drop(rx);
             assert_eq!(tx.send(5), Err(SendError(5)));
+        }
+
+        #[test]
+        fn recv_timeout_reports_timeout_then_delivers() {
+            let (tx, rx) = unbounded();
+            let t = std::time::Duration::from_millis(10);
+            assert_eq!(rx.recv_timeout(t), Err(RecvTimeoutError::Timeout));
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv_timeout(t), Ok(7));
+            drop(tx);
+            assert_eq!(rx.recv_timeout(t), Err(RecvTimeoutError::Disconnected));
         }
 
         #[test]

@@ -33,6 +33,33 @@
 //! assert!(scf.converged);
 //! assert!((scf.energy - (-74.96)).abs() < 0.1);
 //! ```
+//!
+//! ## The exchange engine
+//!
+//! Every exchange build routes through one staged driver, configured with
+//! the validated [`EngineBuilder`](prelude::ExchangeEngine::builder). The
+//! distributed backend runs over the fault-tolerant [`runtime`] `Comm`
+//! layer: hierarchical collectives by default, and an optional seeded
+//! fault plan under which the build is still bit-identical (lost ranks'
+//! chunks are re-issued on the root through the same kernel).
+//!
+//! ```
+//! use liair::prelude::*;
+//! # use liair::core::screening::build_pair_list;
+//! # let grid = RealGrid::cubic(Cell::cubic(8.0), 12);
+//! # let solver = PoissonSolver::isolated(grid);
+//! # let orbitals: Vec<Vec<f64>> = vec![vec![0.01; grid.len()]; 2];
+//! # let infos = vec![OrbitalInfo { center: Vec3::splat(4.0), spread: 0.7 }; 2];
+//! # let pairs = build_pair_list(&infos, 0.0, Some(&grid.cell));
+//! let engine = ExchangeEngine::builder(&grid, &solver)
+//!     .backend(ExecBackend::Comm { nranks: 2, strategy: BalanceStrategy::GreedyLpt })
+//!     .collectives(CollectiveMode::Hierarchical)
+//!     .fault_plan(FaultPlan::messages_only(7))
+//!     .build()
+//!     .unwrap();
+//! let out = engine.energy(&orbitals, &pairs);
+//! assert!(out.energy <= 0.0);
+//! ```
 
 pub use liair_basis as basis;
 pub use liair_bgq as bgq;
@@ -50,12 +77,16 @@ pub mod prelude {
     pub use liair_basis::{systems, Basis, Cell, Element, Molecule, ANGSTROM};
     pub use liair_bgq::{machine::scaling_series, MachineConfig};
     pub use liair_core::{
-        build_pair_list, exchange_energy, simulate_hfx_build, BalanceStrategy, OrbitalInfo, Scheme,
-        Workload,
+        build_pair_list, exchange_energy, simulate_hfx_build, BalanceStrategy, BuildProfile,
+        CollectiveMode, EngineBuilder, Error as CoreError, ExchangeEngine, ExecBackend, FaultPlan,
+        IncrementalExchange, OrbitalInfo, Result as CoreResult, Scheme, Workload,
     };
     pub use liair_grid::{foster_boys, MolGrid, PoissonSolver, RealGrid};
     pub use liair_math::{Mat, Vec3};
     pub use liair_md::{ForceField, MdOptions, MdState, Thermostat};
+    pub use liair_runtime::{
+        fit_torus, run_spmd_cfg, Comm, CommConfig, CommError, SpmdRun, TrafficLog,
+    };
     pub use liair_scf::{
         fci_two_electron, functional_energy, harmonic_frequencies, mp2_correlation, optimize_rhf,
         rhf, rks_lda, uhf, ScfOptions, ScfResult, UhfOptions,
