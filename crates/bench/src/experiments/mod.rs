@@ -6,6 +6,7 @@ pub mod battery;
 pub mod collectives;
 pub mod incremental;
 pub mod node;
+pub mod overlap;
 pub mod scaling;
 pub mod simd;
 pub mod validation;
@@ -13,7 +14,7 @@ pub mod validation;
 use crate::Table;
 
 /// All experiment ids in the DESIGN.md order.
-pub const ALL_IDS: [&str; 20] = [
+pub const ALL_IDS: [&str; 21] = [
     "fig-strong-scaling",
     "fig-weak-scaling",
     "fig-baseline-scaling",
@@ -34,6 +35,7 @@ pub const ALL_IDS: [&str; 20] = [
     "bench-incremental",
     "bench-simd",
     "bench-collectives",
+    "bench-overlap",
 ];
 
 /// Run one experiment by id. `fast` trims the heaviest sweeps to keep the
@@ -60,6 +62,7 @@ pub fn run(id: &str, fast: bool) -> Vec<Table> {
         "bench-incremental" => incremental::bench_incremental(fast),
         "bench-simd" => simd::bench_simd(fast),
         "bench-collectives" => collectives::bench_collectives(fast),
+        "bench-overlap" => overlap::bench_overlap(fast),
         other => panic!("unknown experiment id '{other}' (see ALL_IDS)"),
     }
 }

@@ -9,7 +9,7 @@
 //! floating-point sequence that makes the rayon build, the message-passing
 //! build, and the incremental build with `eps_inc = 0` bit-identical.
 
-use super::{BuildProfile, ExchangeEngine, ExecBackend};
+use super::{pipeline, BuildProfile, ExchangeEngine, ExecBackend, PipelineMode};
 use crate::balance::assign;
 use crate::error::{Error, Result};
 use liair_basis::Basis;
@@ -301,9 +301,34 @@ impl ExchangeEngine<'_> {
                 if nranks == 0 {
                     return Err(Error::InvalidConfig("need at least one rank".into()));
                 }
+                let tuning = self.comm_tuning();
+                if tuning.pipeline == PipelineMode::Pipelined {
+                    // Pipelined overlap: tasks stream to the root as
+                    // `(task id, column)` entries while ranks compute, and
+                    // the steal queue rebalances the tail — reassembled in
+                    // canonical task order, so identical to staged/serial.
+                    let job = pipeline::PipelineJob {
+                        nitems: tasks.len(),
+                        width: nao,
+                        nranks,
+                        strategy,
+                    };
+                    let wrap = |sc: &mut KTaskScratch, t: usize, buf: &mut Vec<f64>| {
+                        let (col, tim, grew) = eval(sc, t);
+                        buf.extend_from_slice(&col);
+                        (tim, grew)
+                    };
+                    let flat = pipeline::run_pipelined(
+                        &job,
+                        &KTaskScratch::default,
+                        &wrap,
+                        &tuning,
+                        profile,
+                    )?;
+                    return Ok(flat.chunks_exact(nao).map(<[f64]>::to_vec).collect());
+                }
                 let costs = vec![1.0; tasks.len()];
                 let assignment = assign(&costs, nranks, strategy);
-                let tuning = self.comm_tuning();
                 let cfg = CommConfig {
                     mode: tuning.collectives,
                     fault: tuning.fault,
@@ -327,20 +352,24 @@ impl ExchangeEngine<'_> {
                     flat.push(tim.fft_s);
                     flat.push(tim.kernel_s);
                     flat.push(grew as f64);
-                    // The single collective of the build.
-                    comm.gather_partial(0, flat)
+                    // The single collective of the build, timed at the
+                    // root (pure exposed reduce latency).
+                    let tg = Instant::now();
+                    let parts = comm.gather_partial(0, flat)?;
+                    Ok(parts.map(|p| (p, tg.elapsed().as_secs_f64())))
                 })
                 .map_err(Error::Comm)?;
                 if let Some((_, _, _, _, retries)) = run.fault_stats {
                     profile.comm_retries += retries;
                 }
-                let parts = run
+                let (parts, t_gather) = run
                     .results
                     .into_iter()
                     .next()
                     .expect("nranks >= 1")
                     .map_err(Error::Comm)?
                     .expect("rank 0 never stalls and is the gather root");
+                profile.t_reduce_s += t_gather;
                 let mut cols = vec![Vec::new(); tasks.len()];
                 let mut reissue_sc: Option<KTaskScratch> = None;
                 for (r, part) in parts.iter().enumerate() {

@@ -27,6 +27,7 @@
 
 pub mod autotune;
 pub(crate) mod kpath;
+pub(crate) mod pipeline;
 pub mod profile;
 
 pub use autotune::{kernel_choice_for, KernelChoice, PairPath};
@@ -72,8 +73,25 @@ pub enum ExecBackend {
     },
 }
 
-/// How the distributed backend's collectives run: algorithm family plus
-/// the (optional) fault plan the region executes under.
+/// How the distributed backend's exec/reduce stages are scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineMode {
+    /// Synchronous phases: every rank finishes its whole share, then one
+    /// gather per build lands everything on the root. Static assignment
+    /// only; the collective is pure exposed latency.
+    Staged,
+    /// Double-buffered comm/compute overlap (the default): workers stream
+    /// finished chunks into an in-flight reassembly while computing the
+    /// next one, the root ingests between its own chunks, and a
+    /// root-owned steal queue rebalances the tail and re-issues a
+    /// straggler's chunks as soon as its timeout fires. Bit-identical to
+    /// [`PipelineMode::Staged`] by canonical-order reassembly.
+    Pipelined,
+}
+
+/// How the distributed backend's collectives run: algorithm family,
+/// exec/reduce scheduling, plus the (optional) fault plan the region
+/// executes under.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CommTuning {
     /// Collective algorithm family of the build's gather. Hierarchical
@@ -81,21 +99,32 @@ pub struct CommTuning {
     /// arithmetic, so the canonical-order bitwise guarantee is preserved
     /// while the root's in-degree drops from `P − 1` to `⌈log₂ P⌉`.
     pub collectives: CollectiveMode,
+    /// Exec/reduce scheduling of the distributed backend (default:
+    /// pipelined overlap).
+    pub pipeline: PipelineMode,
     /// Deterministic fault plan the region runs under (`None` = clean).
     pub fault: Option<FaultPlan>,
 }
 
 impl CommTuning {
     /// The environment-driven default: `LIAIR_COLLECTIVES` (`flat` |
-    /// `hier`/`hierarchical`, default hierarchical) and the
+    /// `hier`/`hierarchical`, default hierarchical), `LIAIR_PIPELINE`
+    /// (`off`/`staged` | `on`/`pipelined`, default pipelined) and the
     /// `LIAIR_FAULT_SEED` fault matrix knob.
     pub fn from_env() -> Self {
         let collectives = match std::env::var("LIAIR_COLLECTIVES") {
             Ok(v) if v.trim().eq_ignore_ascii_case("flat") => CollectiveMode::Flat,
             _ => CollectiveMode::Hierarchical,
         };
+        let pipeline = match std::env::var("LIAIR_PIPELINE") {
+            Ok(v) if ["off", "staged", "0"].contains(&v.trim().to_ascii_lowercase().as_str()) => {
+                PipelineMode::Staged
+            }
+            _ => PipelineMode::Pipelined,
+        };
         CommTuning {
             collectives,
+            pipeline,
             fault: FaultPlan::from_env(),
         }
     }
@@ -182,6 +211,13 @@ impl<'a> EngineBuilder<'a> {
     /// Collective algorithm family of the distributed backend.
     pub fn collectives(mut self, mode: CollectiveMode) -> Self {
         self.tuning.collectives = mode;
+        self
+    }
+
+    /// Exec/reduce scheduling of the distributed backend: staged
+    /// phases or pipelined comm/compute overlap (the default).
+    pub fn pipeline(mut self, mode: PipelineMode) -> Self {
+        self.tuning.pipeline = mode;
         self
     }
 
@@ -383,25 +419,6 @@ impl<'a> ExchangeEngine<'a> {
         EngineBuilder::new(grid, None)
     }
 
-    /// Run the execute stage on `backend` instead.
-    #[deprecated(since = "0.1.0", note = "use ExchangeEngine::builder(..).backend(..)")]
-    pub fn with_backend(mut self, backend: ExecBackend) -> Self {
-        self.backend = backend;
-        self
-    }
-
-    /// Pin the kernel (pair path, SIMD level) instead of autotuning — the
-    /// per-call twin of the `LIAIR_PAIR_PATH`/`LIAIR_SIMD` env knobs,
-    /// needed when one process must compare several levels exactly.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use ExchangeEngine::builder(..).kernel_choice(..)"
-    )]
-    pub fn with_kernel_choice(mut self, choice: KernelChoice) -> Self {
-        self.choice = Some(choice);
-        self
-    }
-
     /// The backend this engine executes on.
     pub fn backend(&self) -> ExecBackend {
         self.backend
@@ -487,7 +504,31 @@ impl<'a> ExchangeEngine<'a> {
                 .map_init(&init, |sc, ci| eval(sc, ci))
                 .collect(),
             ExecBackend::Comm { nranks, strategy } => {
-                return self.run_chunks_comm(npairs, &init, &eval, nranks, strategy, profile)
+                return match self.tuning.pipeline {
+                    PipelineMode::Staged => {
+                        self.run_chunks_comm(npairs, &init, &eval, nranks, strategy, profile)
+                    }
+                    PipelineMode::Pipelined => {
+                        let job = pipeline::PipelineJob {
+                            nitems: nchunks,
+                            width: 2,
+                            nranks,
+                            strategy,
+                        };
+                        let wrap = |sc: &mut S, ci: usize, buf: &mut Vec<f64>| {
+                            let c = eval(sc, ci);
+                            buf.push(c.a);
+                            buf.push(c.b);
+                            (c.t, c.grew)
+                        };
+                        let mut flat =
+                            pipeline::run_pipelined(&job, &init, &wrap, &self.tuning, profile)?;
+                        // The last chunk's second slot is padding when the
+                        // pair count is odd.
+                        flat.truncate(npairs);
+                        Ok(flat)
+                    }
+                };
             }
         };
         let mut out = Vec::with_capacity(npairs);
@@ -563,20 +604,25 @@ impl<'a> ExchangeEngine<'a> {
             flat.push(t.fft_s);
             flat.push(t.kernel_s);
             flat.push(grew as f64);
-            // The single collective of the build.
-            comm.gather_partial(0, flat)
+            // The single collective of the build, timed at the root: the
+            // staged gather is pure exposed reduce latency, the quantity
+            // the pipelined backend exists to hide.
+            let tg = Instant::now();
+            let parts = comm.gather_partial(0, flat)?;
+            Ok(parts.map(|p| (p, tg.elapsed().as_secs_f64())))
         })
         .map_err(Error::Comm)?;
         if let Some((_, _, _, _, retries)) = run.fault_stats {
             profile.comm_retries += retries;
         }
-        let parts = run
+        let (parts, t_gather) = run
             .results
             .into_iter()
             .next()
             .expect("nranks >= 1")
             .map_err(Error::Comm)?
             .expect("rank 0 never stalls and is the gather root");
+        profile.t_reduce_s += t_gather;
         let mut out = vec![0.0; npairs];
         let mut reissue_sc: Option<S> = None;
         for (r, part) in parts.iter().enumerate() {

@@ -49,6 +49,31 @@ pub struct BuildProfile {
     /// Receive attempts that timed out and retried during the build's
     /// collectives (0 on a fault-free build).
     pub comm_retries: usize,
+    /// Reduce/reassembly time hidden behind the execute stage by the
+    /// pipelined backend (root-side result ingestion that ran while the
+    /// root still had chunks of its own). `t_reduce_s` keeps only the
+    /// exposed remainder, so `t_exec_s + t_reduce_s` stays the critical
+    /// path and this field is the comm the pipeline took off it.
+    pub t_reduce_hidden_s: f64,
+    /// Chunks dispatched through the steal queue instead of a static
+    /// owner: the dynamic tail plus every chunk re-issued from a stalled
+    /// rank. 0 on the staged backend.
+    pub chunks_stolen: usize,
+    /// Steal-protocol messages the root served: one grant per stolen
+    /// chunk claimed by a worker plus one final `Done` per live worker.
+    /// Deterministic for a fixed fault seed.
+    pub steal_requests: usize,
+    /// Busiest rank's compute seconds in the distributed build (0 when
+    /// unmeasured; min/max bracket the load balance the steal queue
+    /// achieved).
+    pub rank_busy_max_s: f64,
+    /// Least-busy *live* rank's compute seconds (0 when unmeasured).
+    pub rank_busy_min_s: f64,
+    /// Compute seconds summed over all ranks.
+    pub rank_busy_total_s: f64,
+    /// Seconds ranks spent blocked on the steal/stream protocol (waiting
+    /// for grants or draining receives), summed over all ranks.
+    pub rank_idle_total_s: f64,
 }
 
 impl BuildProfile {
@@ -69,6 +94,31 @@ impl BuildProfile {
         self.ranks_stalled += other.ranks_stalled;
         self.chunks_reissued += other.chunks_reissued;
         self.comm_retries += other.comm_retries;
+        self.t_reduce_hidden_s += other.t_reduce_hidden_s;
+        self.chunks_stolen += other.chunks_stolen;
+        self.steal_requests += other.steal_requests;
+        self.rank_busy_max_s = self.rank_busy_max_s.max(other.rank_busy_max_s);
+        // 0 means "unmeasured", not "a rank that did nothing": only a
+        // populated min participates.
+        self.rank_busy_min_s = match (self.rank_busy_min_s, other.rank_busy_min_s) {
+            (0.0, b) => b,
+            (a, 0.0) => a,
+            (a, b) => a.min(b),
+        };
+        self.rank_busy_total_s += other.rank_busy_total_s;
+        self.rank_idle_total_s += other.rank_idle_total_s;
+    }
+
+    /// Fraction of the build's reduce/reassembly the pipelined backend hid
+    /// behind compute: `hidden / (hidden + exposed)`. 0 for a staged or
+    /// serial build (nothing was overlapped).
+    pub fn exec_reduce_overlap_frac(&self) -> f64 {
+        let denom = self.t_reduce_hidden_s + self.t_reduce_s;
+        if denom > 0.0 {
+            self.t_reduce_hidden_s / denom
+        } else {
+            0.0
+        }
     }
 
     /// Whether this profile carries any evidence of a build (a populated
@@ -104,6 +154,35 @@ mod tests {
         assert_eq!(a.t_fft_s, 0.25);
         assert_eq!(a.pairs_computed, 5);
         assert_eq!(a.pairs_reused, 7);
+    }
+
+    #[test]
+    fn merge_brackets_busy_extremes_and_overlap_is_bounded() {
+        let mut a = BuildProfile {
+            rank_busy_min_s: 2.0,
+            rank_busy_max_s: 3.0,
+            t_reduce_hidden_s: 0.8,
+            t_reduce_s: 0.2,
+            chunks_stolen: 4,
+            steal_requests: 6,
+            ..Default::default()
+        };
+        assert_eq!(a.exec_reduce_overlap_frac(), 0.8);
+        let b = BuildProfile {
+            rank_busy_min_s: 1.0,
+            rank_busy_max_s: 5.0,
+            chunks_stolen: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.rank_busy_min_s, 1.0);
+        assert_eq!(a.rank_busy_max_s, 5.0);
+        assert_eq!(a.chunks_stolen, 5);
+        assert_eq!(a.steal_requests, 6);
+        // An unmeasured profile never drags the min to 0.
+        a.merge(&BuildProfile::default());
+        assert_eq!(a.rank_busy_min_s, 1.0);
+        assert_eq!(BuildProfile::default().exec_reduce_overlap_frac(), 0.0);
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod workload;
 pub use balance::{assign_pairs, Assignment, BalanceStrategy};
 pub use engine::{
     BuildProfile, CollectiveMode, CommTuning, EngineBuilder, EngineScratch, ExchangeEngine,
-    ExecBackend, FaultPlan, KBuildOutcome, KernelChoice, PairPath,
+    ExecBackend, FaultPlan, KBuildOutcome, KernelChoice, PairPath, PipelineMode,
 };
 pub use error::{Error, Result};
 pub use hfx::{exchange_energy, exchange_energy_patched, HfxResult};

@@ -11,7 +11,8 @@
 
 use liair_core::screening::{build_pair_list, OrbitalInfo, PairList};
 use liair_core::{
-    BalanceStrategy, CollectiveMode, ExchangeEngine, ExecBackend, FaultPlan, KernelChoice, PairPath,
+    BalanceStrategy, CollectiveMode, ExchangeEngine, ExecBackend, FaultPlan, KernelChoice,
+    PairPath, PipelineMode,
 };
 use liair_grid::{PoissonSolver, RealGrid};
 use liair_math::rng::SplitMix64;
@@ -142,6 +143,94 @@ proptest! {
             if out.profile.ranks_stalled == 0 {
                 prop_assert_eq!(out.profile.chunks_reissued, 0);
             }
+        }
+    }
+
+    /// The pipelined overlap backend is bit-identical to the staged
+    /// gather and the serial reference for every workload, rank count,
+    /// kernel choice, and (optional) fault seed: dynamic stealing and
+    /// out-of-order streamed arrival never change the canonical
+    /// reassembly, only who computed each chunk and when it landed.
+    #[test]
+    fn pipelined_staged_serial_are_bitwise_equal(
+        wseed in 0u64..1000,
+        fseed in 0u64..10_000,
+        faulty in 0usize..2,
+        level_idx in 0usize..4,
+        path_idx in 0usize..2,
+        nranks in 1usize..6,
+        norb in 2usize..5,
+    ) {
+        let (grid, solver, fields, pairs) = setup(wseed, norb);
+        let c = choice(level_idx, path_idx);
+        let build = |backend, mode| {
+            let mut b = ExchangeEngine::builder(&grid, &solver)
+                .kernel_choice(c)
+                .backend(backend)
+                .pipeline(mode)
+                .no_faults();
+            if faulty == 1 {
+                b = b.fault_plan(FaultPlan::with_stalls(fseed));
+            }
+            b.build().unwrap().energy(&fields, &pairs)
+        };
+        let comm = ExecBackend::Comm { nranks, strategy: BalanceStrategy::GreedyLpt };
+        let serial = build(ExecBackend::Serial, PipelineMode::Staged);
+        let staged = build(comm, PipelineMode::Staged);
+        let pipelined = build(comm, PipelineMode::Pipelined);
+        prop_assert_eq!(serial.energy.to_bits(), staged.energy.to_bits());
+        prop_assert_eq!(serial.energy.to_bits(), pipelined.energy.to_bits());
+        // The steal queue only ever exists on the pipelined backend.
+        prop_assert_eq!(staged.profile.chunks_stolen, 0);
+        prop_assert_eq!(staged.profile.steal_requests, 0);
+        if nranks == 1 {
+            // A single rank has nobody to steal from: all-static schedule.
+            prop_assert_eq!(pipelined.profile.chunks_stolen, 0);
+        }
+    }
+
+    /// For a fixed fault seed the steal protocol is replayable: the stall
+    /// set is a pure function of the seed, every queued chunk moves
+    /// through exactly one grant, and the root serves the queue itself
+    /// only when no live worker remains — so the steal counters (not just
+    /// the energy) are identical run after run, even though which *rank*
+    /// wins each chunk races.
+    #[test]
+    fn steal_counters_are_deterministic_for_fixed_seed(
+        fseed in 0u64..10_000,
+        nranks in 2usize..6,
+    ) {
+        let (grid, solver, fields, pairs) = setup(23, 4);
+        let nchunks = pairs.len().div_ceil(2);
+        let ntail = nchunks / 4;
+        let build = || {
+            ExchangeEngine::builder(&grid, &solver)
+                .backend(ExecBackend::Comm { nranks, strategy: BalanceStrategy::Block })
+                .pipeline(PipelineMode::Pipelined)
+                .fault_plan(FaultPlan::with_stalls(fseed))
+                .build()
+                .unwrap()
+                .energy(&fields, &pairs)
+        };
+        let a = build();
+        let b = build();
+        prop_assert_eq!(a.profile.chunks_stolen, b.profile.chunks_stolen);
+        prop_assert_eq!(a.profile.steal_requests, b.profile.steal_requests);
+        prop_assert_eq!(a.profile.ranks_stalled, b.profile.ranks_stalled);
+        prop_assert_eq!(a.profile.chunks_reissued, b.profile.chunks_reissued);
+        // Every queue entry — the dynamic tail plus each re-issued chunk —
+        // is dispatched exactly once.
+        prop_assert_eq!(a.profile.chunks_stolen, ntail + a.profile.chunks_reissued);
+        // One grant per stolen chunk plus one final `done` per live
+        // worker — unless every worker stalled, where the root serves the
+        // whole queue itself and no grant is ever issued.
+        if a.profile.ranks_stalled == nranks - 1 {
+            prop_assert_eq!(a.profile.steal_requests, 0);
+        } else {
+            prop_assert_eq!(
+                a.profile.steal_requests,
+                a.profile.chunks_stolen + (nranks - 1 - a.profile.ranks_stalled)
+            );
         }
     }
 }

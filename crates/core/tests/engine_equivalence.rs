@@ -19,7 +19,7 @@ use liair_basis::{systems, Basis, Cell};
 use liair_core::screening::{build_pair_list, OrbitalInfo, PairList};
 use liair_core::{
     BalanceStrategy, CollectiveMode, ExchangeEngine, ExecBackend, FaultPlan, IncrementalExchange,
-    KernelChoice, PairPath,
+    KernelChoice, PairPath, PipelineMode,
 };
 use liair_grid::{PoissonSolver, RealGrid};
 use liair_math::rng::SplitMix64;
@@ -190,6 +190,90 @@ fn energy_bit_identical_under_injected_faults() {
     }
 }
 
+#[test]
+fn pipelined_overlap_bit_identical_under_fault_matrix() {
+    // The CI fault matrix seeds (LIAIR_FAULT_SEED = 7, 13, 42), run
+    // explicitly against both schedules: the pipelined backend's streamed
+    // out-of-order reassembly, steal queue, and mid-build straggler
+    // re-issue must leave every bit where the staged gather and the
+    // serial reference put it.
+    let (grid, solver, fields, _infos, pairs) = synthetic_setup(4, 16);
+    let nchunks = pairs.len().div_ceil(2);
+    let choice = kernel_choices()[0];
+    let serial = ExchangeEngine::builder(&grid, &solver)
+        .kernel_choice(choice)
+        .no_faults()
+        .backend(ExecBackend::Serial)
+        .build()
+        .unwrap()
+        .energy(&fields, &pairs);
+    for seed in [7u64, 13, 42] {
+        for mode in [PipelineMode::Staged, PipelineMode::Pipelined] {
+            let out = ExchangeEngine::builder(&grid, &solver)
+                .kernel_choice(choice)
+                .backend(ExecBackend::Comm {
+                    nranks: 4,
+                    strategy: BalanceStrategy::GreedyLpt,
+                })
+                .pipeline(mode)
+                .fault_plan(FaultPlan::with_stalls(seed))
+                .build()
+                .unwrap()
+                .energy(&fields, &pairs);
+            assert_eq!(
+                serial.energy.to_bits(),
+                out.energy.to_bits(),
+                "seed {seed} {mode:?}: schedule changed the energy: {} vs {}",
+                serial.energy,
+                out.energy
+            );
+            if mode == PipelineMode::Pipelined {
+                // A straggler's share is re-issued through the steal
+                // queue as soon as its timeout fires, so every re-issued
+                // chunk is also a stolen one.
+                if out.profile.ranks_stalled > 0 {
+                    assert!(out.profile.chunks_reissued > 0);
+                }
+                assert_eq!(
+                    out.profile.chunks_stolen,
+                    nchunks / 4 + out.profile.chunks_reissued,
+                    "seed {seed}: tail + re-issues must each be granted exactly once"
+                );
+            } else {
+                assert_eq!(out.profile.chunks_stolen, 0);
+                assert_eq!(out.profile.steal_requests, 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn pipelined_overlap_matches_staged_for_k_operator() {
+    let (basis, c_occ, nocc, kgrid, ksolver) = h2_setup();
+    let comm = ExecBackend::Comm {
+        nranks: 3,
+        strategy: BalanceStrategy::GreedyLpt,
+    };
+    let run = |mode| {
+        ExchangeEngine::builder(&kgrid, &ksolver)
+            .backend(comm)
+            .pipeline(mode)
+            .no_faults()
+            .build()
+            .unwrap()
+            .k_operator(&basis, &c_occ, nocc, 0.0)
+    };
+    let staged = run(PipelineMode::Staged);
+    let pipelined = run(PipelineMode::Pipelined);
+    assert_eq!(staged.evaluated, pipelined.evaluated);
+    assert_eq!(staged.skipped, pipelined.skipped);
+    assert_eq!(
+        pipelined.k.sub(&staged.k).fro_norm(),
+        0.0,
+        "K columns must reassemble identically under streamed arrival"
+    );
+}
+
 /// SCF-quality H2 setup for the K-operator paths.
 fn h2_setup() -> (Basis, liair_math::Mat, usize, RealGrid, PoissonSolver) {
     let edge = 14.0;
@@ -351,26 +435,6 @@ fn public_wrappers_match_pinned_default_engine() {
         &basis, &c_occ, nocc, &kgrid, &ksolver, 3,
     );
     assert_eq!(k_dist.sub(&k_ref).fro_norm(), 0.0);
-}
-
-#[test]
-#[allow(deprecated)]
-fn deprecated_shims_match_builder() {
-    // The deprecated construction methods stay functional until removal:
-    // they must configure exactly what the builder configures.
-    let (grid, solver, fields, _infos, pairs) = synthetic_setup(3, 16);
-    let choice = kernel_choices()[0];
-    let via_builder = ExchangeEngine::builder(&grid, &solver)
-        .kernel_choice(choice)
-        .backend(ExecBackend::Serial)
-        .build()
-        .unwrap()
-        .energy(&fields, &pairs);
-    let via_shim = ExchangeEngine::new(&grid, &solver)
-        .with_kernel_choice(choice)
-        .with_backend(ExecBackend::Serial)
-        .energy(&fields, &pairs);
-    assert_eq!(via_builder.energy.to_bits(), via_shim.energy.to_bits());
 }
 
 #[test]

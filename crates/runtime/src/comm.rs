@@ -124,6 +124,14 @@ pub trait Comm {
     /// bounded: retries with exponential backoff, then
     /// [`CommError::Timeout`].
     fn recv(&self, from: usize, tag: u64) -> CommResult<Vec<f64>>;
+    /// Non-blocking receive: hand back the message with exactly `tag` from
+    /// rank `from` if it is already available, `Ok(None)` otherwise —
+    /// never waits. Arrivals with other tags are stashed for their own
+    /// receives. Under a fault plan a poll doubles as a NACK opportunity:
+    /// anything parked on the edge is retransmitted and re-checked, so a
+    /// progress engine that polls between compute chunks recovers dropped
+    /// and delayed traffic without ever blocking.
+    fn try_recv(&self, from: usize, tag: u64) -> CommResult<Option<Vec<f64>>>;
     /// The collective algorithm family this communicator runs.
     fn mode(&self) -> CollectiveMode;
     /// Next collective epoch (every rank calls collectives in the same
@@ -132,6 +140,17 @@ pub trait Comm {
     /// Whether the fault plan stalls this rank for the whole region — a
     /// stalled rank must skip its work *and* every collective.
     fn stalled(&self) -> bool {
+        false
+    }
+
+    /// Out-of-band failure notification for a *peer* rank — the model's
+    /// stand-in for the control system's RAS events (on BG/Q the job
+    /// controller learns of a dead node from the machine, not from a
+    /// timeout). Deterministic in the fault seed, which is what keeps the
+    /// pipelined engine's stall/steal counters replayable; the caller
+    /// still decides *when* to act on it (the steal queue waits for the
+    /// rank's timeout to fire before re-issuing its chunks).
+    fn peer_stalled(&self, _rank: usize) -> bool {
         false
     }
 
@@ -613,6 +632,10 @@ impl Comm for LocalComm {
             .is_some_and(|inj| inj.stalled(self.rank))
     }
 
+    fn peer_stalled(&self, rank: usize) -> bool {
+        self.injector.as_ref().is_some_and(|inj| inj.stalled(rank))
+    }
+
     fn send(&self, to: usize, tag: u64, data: Vec<f64>) -> CommResult<()> {
         self.check_rank(to)?;
         if to == self.rank {
@@ -636,6 +659,32 @@ impl Comm for LocalComm {
                 .map_err(|_| CommError::Disconnected { rank: to })?;
         }
         Ok(())
+    }
+
+    fn try_recv(&self, from: usize, tag: u64) -> CommResult<Option<Vec<f64>>> {
+        self.check_rank(from)?;
+        if from == self.rank {
+            return Err(CommError::SelfMessage { rank: from });
+        }
+        if let Some(msg) = self.take_stashed(from, tag) {
+            return Ok(Some(msg));
+        }
+        while let Ok(wire) = self.inboxes[from].try_recv() {
+            if let Some(data) = self.admit(from, tag, wire) {
+                return Ok(Some(data));
+            }
+        }
+        // The poll models a piggy-backed NACK: recover everything parked
+        // on this edge (dropped/delayed under injection) and re-check.
+        if let Some(inj) = &self.injector {
+            for wire in inj.retransmit(from, self.rank) {
+                self.stash_wire(from, wire);
+            }
+            if let Some(msg) = self.take_stashed(from, tag) {
+                return Ok(Some(msg));
+            }
+        }
+        Ok(None)
     }
 
     fn recv(&self, from: usize, tag: u64) -> CommResult<Vec<f64>> {
@@ -960,6 +1009,92 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn try_recv_never_blocks_and_drains_in_tag_order() {
+        let results = run_spmd(2, |comm| {
+            if comm.rank() == 1 {
+                // Nothing in flight on this tag: an immediate None.
+                assert_eq!(comm.try_recv(0, 99).unwrap(), None);
+                comm.send(0, 100, vec![0.5]).unwrap(); // release the sender
+                Vec::new()
+            } else {
+                comm.recv(1, 100).unwrap() // rank 1 has passed its poll
+            }
+        });
+        assert_eq!(results[0], vec![0.5]);
+        let results = run_spmd(2, |comm| {
+            if comm.rank() == 1 {
+                // Blocking recv of the later tag stashes the earlier one;
+                // the poll then serves it from the stash without waiting.
+                let b = comm.recv(0, 8).unwrap();
+                let a = comm.try_recv(0, 7).unwrap().expect("stashed");
+                vec![a[0], b[0]]
+            } else {
+                comm.send(1, 7, vec![1.0]).unwrap();
+                comm.send(1, 8, vec![2.0]).unwrap();
+                Vec::new()
+            }
+        });
+        assert_eq!(results[1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn try_recv_recovers_dropped_traffic_via_poll_nack() {
+        // Every first transmission is lost; only the poll's piggy-backed
+        // NACK (vault retransmission) can deliver.
+        let plan = FaultPlan {
+            drop_p: 1.0,
+            delay_p: 0.0,
+            dup_p: 0.0,
+            ..FaultPlan::messages_only(3)
+        };
+        let cfg = CommConfig {
+            mode: CollectiveMode::Flat,
+            fault: Some(plan),
+            torus: None,
+        };
+        let run = run_spmd_cfg(2, cfg, |comm| {
+            if comm.rank() == 1 {
+                comm.send(0, 5, vec![42.0]).unwrap();
+                Vec::new()
+            } else {
+                for _ in 0..1000 {
+                    if let Some(msg) = comm.try_recv(1, 5).unwrap() {
+                        return msg;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                panic!("poll never recovered the dropped message");
+            }
+        })
+        .unwrap();
+        assert_eq!(run.results[0], vec![42.0]);
+        let (drops, _, _, retransmissions, _) = run.fault_stats.unwrap();
+        assert!(drops >= 1);
+        assert!(retransmissions >= drops);
+    }
+
+    #[test]
+    fn peer_stall_oracle_matches_self_view() {
+        let plan = FaultPlan::with_stalls(7);
+        let cfg = CommConfig {
+            mode: CollectiveMode::Flat,
+            fault: Some(plan),
+            torus: None,
+        };
+        let run = run_spmd_cfg(8, cfg, |comm| {
+            let me = comm.stalled();
+            let seen_by_root: Vec<bool> = (0..comm.size()).map(|r| comm.peer_stalled(r)).collect();
+            (me, seen_by_root)
+        })
+        .unwrap();
+        let truth: Vec<bool> = run.results.iter().map(|(s, _)| *s).collect();
+        assert!(!truth[0], "rank 0 never stalls");
+        for (_, seen) in &run.results {
+            assert_eq!(seen, &truth, "the oracle is globally consistent");
         }
     }
 

@@ -16,6 +16,11 @@
 //!   [`TrafficLog`] routed over `liair-bgq`'s 5-D torus, so the executed
 //!   message pattern (not an assumed one) feeds the BSP cost model.
 //!
+//! Point-to-point receives come in blocking ([`Comm::recv`]) and
+//! non-blocking ([`Comm::try_recv`]) forms; the pipelined exchange engine
+//! polls the latter between compute chunks so result reassembly and steal
+//! requests make progress while every rank keeps computing.
+//!
 //! Failures are first-class: operations return [`CommResult`], and a
 //! seeded deterministic [`FaultPlan`] can drop / delay / duplicate
 //! messages and stall ranks, recovered by retransmission with exponential

@@ -139,6 +139,10 @@ impl<C: Comm> Comm for TorusComm<'_, C> {
         self.inner.stalled()
     }
 
+    fn peer_stalled(&self, rank: usize) -> bool {
+        self.inner.peer_stalled(rank)
+    }
+
     fn send(&self, to: usize, tag: u64, data: Vec<f64>) -> CommResult<()> {
         self.log
             .record(self.inner.rank(), to, (data.len() * 8) as f64);
@@ -147,6 +151,10 @@ impl<C: Comm> Comm for TorusComm<'_, C> {
 
     fn recv(&self, from: usize, tag: u64) -> CommResult<Vec<f64>> {
         self.inner.recv(from, tag)
+    }
+
+    fn try_recv(&self, from: usize, tag: u64) -> CommResult<Option<Vec<f64>>> {
+        self.inner.try_recv(from, tag)
     }
 }
 
