@@ -4,7 +4,6 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use liair_basis::systems;
 use liair_md::{ForceField, MdOptions, MdState, Thermostat};
-use rand::SeedableRng;
 
 fn bench_forces(c: &mut Criterion) {
     let mut group = c.benchmark_group("forcefield");
@@ -24,14 +23,14 @@ fn bench_md_step(c: &mut Criterion) {
     let (mol, cell) = systems::water_box(2, 3);
     let ff = ForceField::from_molecule(&mol, Some(&cell));
     let mut state = MdState::new(mol, Some(cell), &ff);
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
-    state.thermalize(300.0, &mut rng);
+    state.thermalize_seeded(300.0, Some(1));
     let opts = MdOptions {
         dt: 15.0,
         thermostat: Thermostat::Berendsen {
             t_target: 300.0,
             tau: 300.0,
         },
+        ..Default::default()
     };
     c.bench_function("md_step_8_waters", |b| {
         b.iter(|| {

@@ -14,7 +14,6 @@ use liair_md::analysis::{drift_per_step, BondEvents, RdfAccumulator};
 use liair_md::{ForceField, MdOptions, MdState, Thermostat};
 use liair_scf::{functional_energy, rhf, ScfOptions};
 use liair_xc::Functional;
-use rand::SeedableRng;
 
 fn scf_opts() -> ScfOptions {
     ScfOptions {
@@ -37,14 +36,14 @@ pub fn degradation_events(solvent: systems::Solvent, t_target: f64, steps: usize
         let n_solvent = solvent.molecule().natoms();
         let ff = ForceField::from_molecule(&complex, None);
         let mut state = MdState::new(complex, None, &ff);
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2014 + seed);
-        state.thermalize(t_target, &mut rng);
+        state.thermalize_seeded(t_target, Some(2014 + seed));
         let opts = MdOptions {
             dt: 15.0,
             thermostat: Thermostat::Berendsen {
                 t_target,
                 tau: 500.0,
             },
+            ..Default::default()
         };
         let mut events = BondEvents::default();
         for _ in 0..steps {
@@ -122,19 +121,20 @@ pub fn fig_md_water(fast: bool) -> Vec<Table> {
     let (mol, cell) = systems::water_box(n_side, 42);
     let ff = ForceField::from_molecule(&mol, Some(&cell));
     let mut state = MdState::new(mol, Some(cell), &ff);
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
-    state.thermalize(300.0, &mut rng);
+    state.thermalize_seeded(300.0, Some(7));
     let eq = MdOptions {
         dt: 15.0,
         thermostat: Thermostat::Berendsen {
             t_target: 300.0,
             tau: 300.0,
         },
+        ..Default::default()
     };
     state.run(&ff, &eq, if fast { 500 } else { 1500 });
     let nve = MdOptions {
         dt: 15.0,
         thermostat: Thermostat::None,
+        ..Default::default()
     };
     let mut rdf = RdfAccumulator::new(Element::O, Element::O, 12.0, 48);
     let mut energies = Vec::new();

@@ -5,6 +5,7 @@ pub mod accuracy;
 pub mod battery;
 pub mod collectives;
 pub mod incremental;
+pub mod mts;
 pub mod node;
 pub mod overlap;
 pub mod scaling;
@@ -14,7 +15,7 @@ pub mod validation;
 use crate::Table;
 
 /// All experiment ids in the DESIGN.md order.
-pub const ALL_IDS: [&str; 21] = [
+pub const ALL_IDS: [&str; 22] = [
     "fig-strong-scaling",
     "fig-weak-scaling",
     "fig-baseline-scaling",
@@ -33,6 +34,7 @@ pub const ALL_IDS: [&str; 21] = [
     "fig-md-water",
     "bench-pair-kernel",
     "bench-incremental",
+    "bench-mts",
     "bench-simd",
     "bench-collectives",
     "bench-overlap",
@@ -60,6 +62,7 @@ pub fn run(id: &str, fast: bool) -> Vec<Table> {
         "fig-md-water" => battery::fig_md_water(fast),
         "bench-pair-kernel" => node::bench_pair_kernel(fast),
         "bench-incremental" => incremental::bench_incremental(fast),
+        "bench-mts" => mts::bench_mts(fast),
         "bench-simd" => simd::bench_simd(fast),
         "bench-collectives" => collectives::bench_collectives(fast),
         "bench-overlap" => overlap::bench_overlap(fast),

@@ -147,6 +147,22 @@ impl IncStats {
         self.pairs_invalidated += other.pairs_invalidated;
         self.time_saved_s += other.time_saved_s;
     }
+
+    /// The counters accumulated since a previous cumulative snapshot
+    /// `baseline` — the work attributable to what ran between the two
+    /// reads (e.g. one MD outer step against the trajectory totals).
+    pub fn since(&self, baseline: &IncStats) -> IncStats {
+        IncStats {
+            pairs_reused: self.pairs_reused.saturating_sub(baseline.pairs_reused),
+            pairs_recomputed: self
+                .pairs_recomputed
+                .saturating_sub(baseline.pairs_recomputed),
+            pairs_invalidated: self
+                .pairs_invalidated
+                .saturating_sub(baseline.pairs_invalidated),
+            time_saved_s: (self.time_saved_s - baseline.time_saved_s).max(0.0),
+        }
+    }
 }
 
 /// Cached state of the pair-energy path.

@@ -24,7 +24,9 @@ pub mod poisson;
 pub use grid::RealGrid;
 pub use localize::{foster_boys, Localization};
 pub use molgrid::MolGrid;
-pub use orbital::{ao_values, ao_values_at_points, density_from_dm_at_points, orbitals_on_grid};
+pub use orbital::{
+    ao_values, ao_values_at_points, density_from_dm_at_points, density_on_grid, orbitals_on_grid,
+};
 pub use patch::{
     isolated_patch_solver, patch_pair_energy, patch_pair_energy_ws, Patch, PatchScratch,
 };

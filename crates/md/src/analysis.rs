@@ -365,6 +365,7 @@ mod tests {
         let opts = MdOptions {
             dt,
             thermostat: Thermostat::None,
+            ..Default::default()
         };
         let mut acc = VacfAccumulator::default();
         // One step first so velocities are nonzero at the recording origin.

@@ -32,10 +32,15 @@ pub enum Thermostat {
 /// MD controls.
 #[derive(Debug, Clone, Copy)]
 pub struct MdOptions {
-    /// Timestep in atomic time units (≈ 0.0242 fs each).
+    /// Timestep in atomic time units (≈ 0.0242 fs each). On the MTS path
+    /// this is the *inner* timestep; the outer step is `mts.n_inner · dt`.
     pub dt: f64,
     /// Thermostat.
     pub thermostat: Thermostat,
+    /// Multiple-time-stepping controls, honored by
+    /// [`MdState::step_mts`]/[`MdState::run_mts`] (the plain
+    /// [`MdState::step`] path ignores them).
+    pub mts: crate::mts::MtsOptions,
 }
 
 impl Default for MdOptions {
@@ -43,8 +48,25 @@ impl Default for MdOptions {
         Self {
             dt: 20.0,
             thermostat: Thermostat::None,
+            mts: crate::mts::MtsOptions::default(),
         }
     }
+}
+
+/// Resolve the velocity-initialization seed under the repo-wide
+/// convention (mirrors `LIAIR_FAULT_SEED`): an explicit `Some(seed)`
+/// wins, else the `LIAIR_MD_SEED` environment variable, else `2014`.
+/// Every thermalization site routes through this so trajectories are
+/// reproducible run-to-run and overridable fleet-wide from the
+/// environment.
+pub fn md_seed(explicit: Option<u64>) -> u64 {
+    explicit
+        .or_else(|| {
+            std::env::var("LIAIR_MD_SEED")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or(2014)
 }
 
 /// The propagated state.
@@ -68,6 +90,12 @@ pub struct MdState {
     pub nh_xi: f64,
     /// Nosé–Hoover position variable η (∫ξ dt), for the conserved quantity.
     pub nh_eta: f64,
+    /// Cached slow-correction forces (MTS path only; on the plain path
+    /// this stays zero and [`MdState::forces`] holds the full force). See
+    /// [`crate::mts`].
+    pub forces_slow: Vec<Vec3>,
+    /// Cached slow-correction potential (MTS path only).
+    pub potential_slow: f64,
 }
 
 impl MdState {
@@ -86,6 +114,8 @@ impl MdState {
             step_count: 0,
             nh_xi: 0.0,
             nh_eta: 0.0,
+            forces_slow: vec![Vec3::ZERO; n],
+            potential_slow: 0.0,
         }
     }
 
@@ -118,6 +148,16 @@ impl MdState {
             *v = Vec3::new(sigma * gauss(), sigma * gauss(), sigma * gauss());
         }
         self.remove_com_motion();
+    }
+
+    /// Maxwell–Boltzmann initialization under the one documented seed
+    /// convention (see [`md_seed`]): `thermalize_seeded(t, None)` is
+    /// deterministic run-to-run (seed 2014 unless `LIAIR_MD_SEED`
+    /// overrides it), and `Some(seed)` pins a specific stream.
+    pub fn thermalize_seeded(&mut self, t: f64, seed: Option<u64>) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(md_seed(seed));
+        self.thermalize(t, &mut rng);
     }
 
     /// Subtract the center-of-mass velocity.
@@ -155,8 +195,9 @@ impl MdState {
     }
 
     /// Half-step of the Nosé–Hoover thermostat operator: advance ξ from
-    /// the current kinetic energy, then scale velocities.
-    fn nose_hoover_half(&mut self, dt: f64, t_target: f64, tau: f64) {
+    /// the current kinetic energy, then scale velocities. The MTS path
+    /// calls this with the *outer* timestep (`crate::mts`).
+    pub(crate) fn nose_hoover_half(&mut self, dt: f64, t_target: f64, tau: f64) {
         let g = self.dof();
         let kt = KB_HARTREE * t_target;
         let q = g * kt * tau * tau;
@@ -188,7 +229,15 @@ impl MdState {
             self.velocities[i] += self.forces[i] * (0.5 * dt / self.masses[i]);
         }
         // Thermostat.
-        match opts.thermostat {
+        self.end_of_step_thermostat(dt, opts.thermostat);
+        self.step_count += 1;
+    }
+
+    /// The closing thermostat application of one (inner or outer) step —
+    /// shared by the plain and MTS paths so the `n_inner = 1` equivalence
+    /// is an identity of code, not of reimplementation.
+    pub(crate) fn end_of_step_thermostat(&mut self, dt: f64, thermostat: Thermostat) {
+        match thermostat {
             Thermostat::Berendsen { t_target, tau } => {
                 let t_now = self.temperature().max(1e-10);
                 let lambda = (1.0 + dt / tau * (t_target / t_now - 1.0)).max(0.0).sqrt();
@@ -201,7 +250,6 @@ impl MdState {
             }
             Thermostat::None => {}
         }
-        self.step_count += 1;
     }
 
     /// Run `n` steps.
@@ -230,6 +278,7 @@ mod tests {
         let opts = MdOptions {
             dt: 10.0,
             thermostat: Thermostat::None,
+            ..Default::default()
         };
         state.run(&ff, &opts, 500);
         let drift = (state.total_energy() - e0).abs();
@@ -249,6 +298,7 @@ mod tests {
                 t_target: 300.0,
                 tau: 400.0,
             },
+            ..Default::default()
         };
         state.run(&ff, &opts, 400);
         // Average over a window to smooth fluctuations.
@@ -288,6 +338,7 @@ mod tests {
         let opts = MdOptions {
             dt: 15.0,
             thermostat: Thermostat::NoseHoover { t_target, tau },
+            ..Default::default()
         };
         let h0 = state.nose_hoover_conserved(t_target, tau);
         let mut t_acc = 0.0;
@@ -307,6 +358,34 @@ mod tests {
     }
 
     #[test]
+    fn seed_convention_precedence_and_reproducibility() {
+        // One test covers the whole precedence chain (explicit > env >
+        // default) sequentially, to avoid env races between tests.
+        let old = std::env::var("LIAIR_MD_SEED").ok();
+        std::env::remove_var("LIAIR_MD_SEED");
+        assert_eq!(md_seed(None), 2014);
+        std::env::set_var("LIAIR_MD_SEED", " 77 ");
+        assert_eq!(md_seed(None), 77);
+        assert_eq!(md_seed(Some(5)), 5, "explicit seed must beat the env");
+        match old {
+            Some(v) => std::env::set_var("LIAIR_MD_SEED", v),
+            None => std::env::remove_var("LIAIR_MD_SEED"),
+        }
+
+        // Same seed, same velocities; different seed, different velocities.
+        let mol = systems::water();
+        let ff = ForceField::from_molecule(&mol, None);
+        let mut a = MdState::new(mol.clone(), None, &ff);
+        let mut b = MdState::new(mol.clone(), None, &ff);
+        let mut c = MdState::new(mol, None, &ff);
+        a.thermalize_seeded(300.0, Some(9));
+        b.thermalize_seeded(300.0, Some(9));
+        c.thermalize_seeded(300.0, Some(10));
+        assert_eq!(a.velocities, b.velocities);
+        assert_ne!(a.velocities, c.velocities);
+    }
+
+    #[test]
     fn time_reversal_retraces_trajectory() {
         // Integrate forward, flip velocities, integrate back: recover the
         // initial positions (velocity Verlet is symplectic/time-reversible).
@@ -319,6 +398,7 @@ mod tests {
         let opts = MdOptions {
             dt: 10.0,
             thermostat: Thermostat::None,
+            ..Default::default()
         };
         state.run(&ff, &opts, 50);
         for v in &mut state.velocities {

@@ -8,13 +8,18 @@
 //!   known ring-opening degradation channel of cyclic carbonates under
 //!   peroxide attack — the synthetic substitute for the paper's 96-rack
 //!   PBE0 trajectories (see DESIGN.md);
-//! * [`integrator`] — velocity-Verlet with Berendsen thermostatting and
-//!   Maxwell–Boltzmann initialization;
+//! * [`integrator`] — velocity-Verlet with Berendsen/Nosé–Hoover
+//!   thermostatting and Maxwell–Boltzmann initialization under one
+//!   documented seed convention ([`integrator::md_seed`]);
+//! * [`mts`] — r-RESPA multiple time stepping over a
+//!   [`mts::SplitForceProvider`]: cheap GGA/LDA forces every inner step,
+//!   the exact-exchange correction as an outer-step impulse;
 //! * [`analysis`] — radial distribution functions, bond-event tracking
 //!   (the degradation metric), and energy-drift diagnostics;
-//! * [`qmforce`] — finite-difference forces from any quantum energy
-//!   function, for small-molecule Born–Oppenheimer trajectories with the
-//!   real SCF.
+//! * [`qmforce`] — quantum force providers for Born–Oppenheimer
+//!   trajectories with the real SCF: finite-difference and analytic RHF
+//!   forces, the incremental grid-exchange provider, and the
+//!   [`qmforce::HfxDeltaForces`] split used by the MTS integrator.
 
 #![allow(clippy::needless_range_loop)] // index loops are the clearer idiom in this numeric code
 
@@ -22,7 +27,12 @@ pub mod analysis;
 pub mod ewald;
 pub mod forcefield;
 pub mod integrator;
+pub mod mts;
 pub mod qmforce;
 
 pub use forcefield::ForceField;
-pub use integrator::{ForceProvider, MdOptions, MdState, Thermostat};
+pub use integrator::{md_seed, ForceProvider, MdOptions, MdState, Thermostat};
+pub use mts::{CombinedForces, MtsOptions, MtsOuterRecord, MtsStepTimes, SplitForceProvider};
+pub use qmforce::{
+    FiniteDifferenceForces, HfxDeltaForces, IncrementalGridForces, RhfForces, XcForces,
+};

@@ -5,6 +5,7 @@
 //! trajectories run here, at 6N+1 energy evaluations per step).
 
 use crate::integrator::ForceProvider;
+use crate::mts::SplitForceProvider;
 use liair_basis::{Cell, Molecule};
 use liair_math::Vec3;
 
@@ -205,10 +206,121 @@ impl ForceProvider for IncrementalGridForces {
     }
 }
 
+/// GGA/LDA Born–Oppenheimer forces — the *fast* half of the MTS force
+/// splitting. The energy is an analytic RKS-LDA SCF on the Becke
+/// molecular quadrature (`liair-grid::MolGrid`), optionally with a GGA
+/// energy evaluated post-SCF on the converged LDA density (the repo's
+/// GGA convention — see DESIGN.md); forces are rayon-parallel central
+/// differences. This path never touches the exchange engine, which is
+/// the whole point of paying it every inner step.
+pub struct XcForces {
+    /// The exchange-free surrogate functional (`Lda` or `Pbe`; construct
+    /// from a hybrid target with `Functional::mts_fast()`).
+    pub functional: liair_xc::Functional,
+    /// SCF controls used for every energy evaluation.
+    pub scf_options: liair_scf::ScfOptions,
+    /// Finite-difference displacement (Bohr).
+    pub h: f64,
+}
+
+impl XcForces {
+    /// A provider for the given surrogate functional with FD-tight SCF
+    /// settings. Panics if the functional carries exact exchange — pass
+    /// `target.mts_fast()` for hybrids.
+    pub fn new(functional: liair_xc::Functional) -> Self {
+        assert!(
+            functional.hfx_fraction() == 0.0,
+            "fast MTS forces must be exchange-free; use Functional::mts_fast() ({} given)",
+            functional.name()
+        );
+        let scf_options = liair_scf::ScfOptions {
+            energy_tol: 1e-9,
+            ..Default::default()
+        };
+        Self {
+            functional,
+            scf_options,
+            h: 1e-3,
+        }
+    }
+
+    /// Surrogate energy at one geometry.
+    fn energy(&self, mol: &Molecule) -> f64 {
+        let basis = liair_basis::Basis::sto3g(mol);
+        let res = liair_scf::rks_lda(mol, &basis, &self.scf_options);
+        assert!(res.converged, "fast-force SCF failed for {}", mol.formula());
+        if self.functional == liair_xc::Functional::Lda {
+            res.energy
+        } else {
+            liair_scf::functional_energy(mol, &basis, &res, self.functional, &self.scf_options)
+        }
+    }
+}
+
+impl ForceProvider for XcForces {
+    fn compute(&self, mol: &Molecule, _cell: Option<&Cell>) -> (f64, Vec<Vec3>) {
+        let e0 = self.energy(mol);
+        use rayon::prelude::*;
+        let forces: Vec<Vec3> = (0..mol.natoms())
+            .into_par_iter()
+            .map(|atom| {
+                let mut f = Vec3::ZERO;
+                for axis in 0..3 {
+                    let mut plus = mol.clone();
+                    plus.atoms[atom].pos[axis] += self.h;
+                    let mut minus = mol.clone();
+                    minus.atoms[atom].pos[axis] -= self.h;
+                    f[axis] = -(self.energy(&plus) - self.energy(&minus)) / (2.0 * self.h);
+                }
+                f
+            })
+            .collect();
+        (e0, forces)
+    }
+}
+
+/// The r-RESPA force split for hybrid-functional MD: `fast` is the
+/// exchange-free surrogate ([`XcForces`]), `full` is the grid-exchange
+/// SCF with per-slot incremental caches ([`IncrementalGridForces`]), and
+/// the slow correction is their difference at the outer geometry —
+/// reusing the fast result the integrator just computed, so one outer
+/// step pays exactly one full evaluation. Consecutive outer steps
+/// warm-start the same incremental caches, and
+/// [`SplitForceProvider::reuse_totals`] exposes the counters for the
+/// trajectory log.
+pub struct HfxDeltaForces {
+    /// Inner-step surrogate provider.
+    pub fast: XcForces,
+    /// Outer-step full (hybrid/HFX) provider.
+    pub full: IncrementalGridForces,
+}
+
+impl SplitForceProvider for HfxDeltaForces {
+    fn fast_forces(&self, mol: &Molecule, cell: Option<&Cell>) -> (f64, Vec<Vec3>) {
+        self.fast.compute(mol, cell)
+    }
+
+    fn slow_correction(
+        &self,
+        mol: &Molecule,
+        cell: Option<&Cell>,
+        fast: (f64, &[Vec3]),
+    ) -> (f64, Vec<Vec3>) {
+        let (e_full, f_full) = self.full.compute(mol, cell);
+        let forces = f_full.iter().zip(fast.1).map(|(a, b)| *a - *b).collect();
+        (e_full - fast.0, forces)
+    }
+
+    fn reuse_totals(&self) -> Option<liair_core::IncStats> {
+        Some(self.full.reuse_totals())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::integrator::{MdOptions, MdState, Thermostat};
+    use crate::mts::MtsOptions;
     use liair_basis::{systems, Basis};
     use liair_scf::{rhf, ScfOptions};
 
@@ -263,6 +375,7 @@ mod tests {
         let opts = MdOptions {
             dt: 10.0,
             thermostat: Thermostat::None,
+            ..Default::default()
         };
         state.run(&provider, &opts, 12);
         let drift = (state.total_energy() - e0).abs();
@@ -302,6 +415,65 @@ mod tests {
     }
 
     #[test]
+    fn xc_forces_bracket_lda_equilibrium() {
+        // The LDA surrogate is a genuine potential surface: compressed H2
+        // pushes apart, stretched pulls together, and the FD forces are
+        // consistent with the energy (sign test around the minimum).
+        let provider = XcForces::new(liair_xc::Functional::Lda);
+        let mut short = systems::h2();
+        short.atoms[1].pos.x = 1.1;
+        let (e_short, f_short) = provider.compute(&short, None);
+        assert!(e_short.is_finite());
+        assert!(f_short[1].x > 0.0, "compressed: {}", f_short[1].x);
+        let mut long = systems::h2();
+        long.atoms[1].pos.x = 2.2;
+        let (_, f_long) = provider.compute(&long, None);
+        assert!(f_long[1].x < 0.0, "stretched: {}", f_long[1].x);
+    }
+
+    #[test]
+    #[should_panic(expected = "exchange-free")]
+    fn xc_forces_reject_hybrids() {
+        let _ = XcForces::new(liair_xc::Functional::Pbe0);
+    }
+
+    #[test]
+    fn mts_bomd_h2_runs_and_reuses_cache() {
+        // The real thing end to end: H2 r-RESPA BOMD with the LDA
+        // surrogate inner force and the grid-exchange SCF as the outer
+        // full force, per-slot incremental caches warm-started across
+        // outer steps. Checks energy sanity, per-outer-step reuse
+        // counters in the log, and bounded drift at outer boundaries.
+        let sched = liair_core::IncSchedule::fixed(1e-4, 0);
+        let split = HfxDeltaForces {
+            fast: XcForces::new(liair_xc::Functional::Lda),
+            full: IncrementalGridForces::new(16, 10.0, sched),
+        };
+        let mut mol = systems::h2();
+        mol.atoms[1].pos.x = 1.5;
+        let mut state = MdState::new_split(mol, None, &split);
+        let e0 = state.total_energy();
+        let opts = MdOptions {
+            dt: 10.0,
+            thermostat: Thermostat::None,
+            mts: MtsOptions { n_inner: 2 },
+        };
+        let log = state.run_mts_logged(&split, &opts, 3);
+        assert_eq!(state.step_count, 6);
+        let drift = log
+            .iter()
+            .map(|r| (r.conserved - e0).abs())
+            .fold(0.0, f64::max);
+        assert!(drift < 5e-3, "MTS BOMD drift {drift} Ha");
+        // Outer steps after the first must reuse the warm caches.
+        let inc_last = log.last().unwrap().inc.expect("slow path carries a cache");
+        assert!(
+            inc_last.pairs_reused > 0,
+            "no cross-outer-step reuse: {inc_last:?}"
+        );
+    }
+
+    #[test]
     fn h2_ab_initio_md_oscillates_and_conserves() {
         // A genuinely ab initio (RHF) Born–Oppenheimer trajectory: the
         // molecule vibrates around equilibrium and NVE energy is conserved.
@@ -313,6 +485,7 @@ mod tests {
         let opts = MdOptions {
             dt: 10.0,
             thermostat: Thermostat::None,
+            ..Default::default()
         };
         let mut min_r = f64::INFINITY;
         let mut max_r = 0.0f64;

@@ -36,6 +36,20 @@ impl Functional {
         matches!(self, Functional::Pbe | Functional::Pbe0)
     }
 
+    /// The exchange-free surrogate used for the *fast* (inner) forces of
+    /// r-RESPA multiple time stepping: hybrids drop their exact-exchange
+    /// share (PBE0 → PBE), pure Hartree–Fock falls back to LDA, and
+    /// functionals with no exact exchange are their own surrogate. The
+    /// expensive HFX part then enters only through the outer-step slow
+    /// correction (see `liair-md::mts`).
+    pub fn mts_fast(self) -> Functional {
+        match self {
+            Functional::Hf => Functional::Lda,
+            Functional::Pbe0 => Functional::Pbe,
+            f => f,
+        }
+    }
+
     /// Display name.
     pub fn name(self) -> &'static str {
         match self {
@@ -222,5 +236,21 @@ mod tests {
             let e = f.xc_energy(&grid, &n);
             assert!(e < 0.0, "{}: {e}", f.name());
         }
+    }
+
+    #[test]
+    fn mts_fast_surrogate_is_exchange_free_and_idempotent() {
+        for f in [
+            Functional::Hf,
+            Functional::Lda,
+            Functional::Pbe,
+            Functional::Pbe0,
+        ] {
+            let s = f.mts_fast();
+            assert_eq!(s.hfx_fraction(), 0.0, "{} surrogate carries HFX", f.name());
+            assert_eq!(s.mts_fast(), s, "{} surrogate not a fixed point", f.name());
+        }
+        assert_eq!(Functional::Pbe0.mts_fast(), Functional::Pbe);
+        assert_eq!(Functional::Hf.mts_fast(), Functional::Lda);
     }
 }

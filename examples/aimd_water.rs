@@ -32,6 +32,7 @@ fn main() {
     let opts = MdOptions {
         dt: 10.0,
         thermostat: Thermostat::None,
+        ..Default::default()
     };
     for step in 0..30 {
         state.step(&provider, &opts);

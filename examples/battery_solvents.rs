@@ -20,7 +20,6 @@
 
 use liair::md::analysis::BondEvents;
 use liair::prelude::*;
-use rand::SeedableRng;
 
 fn scf_opts() -> ScfOptions {
     ScfOptions {
@@ -82,14 +81,14 @@ fn main() {
             .bonds
             .len();
         let mut state = MdState::new(complex.clone(), None, &ff);
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2014);
-        state.thermalize(1200.0, &mut rng);
+        state.thermalize_seeded(1200.0, Some(2014));
         let opts = MdOptions {
             dt: 15.0,
             thermostat: Thermostat::Berendsen {
                 t_target: 1200.0,
                 tau: 500.0,
             },
+            ..Default::default()
         };
         let mut events = BondEvents::default();
         for _ in 0..4000 {

@@ -11,7 +11,6 @@
 
 use liair::md::analysis::{drift_per_step, RdfAccumulator};
 use liair::prelude::*;
-use rand::SeedableRng;
 
 fn main() {
     println!("== periodic water-box MD (27 H2O) ==\n");
@@ -29,8 +28,7 @@ fn main() {
     );
 
     let mut state = MdState::new(mol, Some(cell), &ff);
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
-    state.thermalize(300.0, &mut rng);
+    state.thermalize_seeded(300.0, Some(7));
 
     // Equilibrate with a thermostat.
     let eq = MdOptions {
@@ -39,6 +37,7 @@ fn main() {
             t_target: 300.0,
             tau: 300.0,
         },
+        ..Default::default()
     };
     state.run(&ff, &eq, 1500);
     println!("\nafter equilibration: T = {:.0} K", state.temperature());
@@ -47,6 +46,7 @@ fn main() {
     let nve = MdOptions {
         dt: 15.0,
         thermostat: Thermostat::None,
+        ..Default::default()
     };
     let mut rdf = RdfAccumulator::new(Element::O, Element::O, 12.0, 48);
     let mut energies = Vec::new();

@@ -83,7 +83,10 @@ pub mod prelude {
     };
     pub use liair_grid::{foster_boys, MolGrid, PoissonSolver, RealGrid};
     pub use liair_math::{Mat, Vec3};
-    pub use liair_md::{ForceField, MdOptions, MdState, Thermostat};
+    pub use liair_md::{
+        md_seed, CombinedForces, ForceField, HfxDeltaForces, IncrementalGridForces, MdOptions,
+        MdState, MtsOptions, SplitForceProvider, Thermostat, XcForces,
+    };
     pub use liair_runtime::{
         fit_torus, run_spmd_cfg, Comm, CommConfig, CommError, SpmdRun, TrafficLog,
     };

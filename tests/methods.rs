@@ -99,6 +99,35 @@ fn optimized_geometry_is_stationary() {
     assert!(e_at(r0 - 0.02) > e0);
 }
 
+/// Pinned NVE energy-conservation baseline for the single-time-step
+/// velocity-Verlet integrator on a small periodic box — the reference
+/// the bench-mts drift comparison (EXPERIMENTS.md) is judged against.
+/// The bound is ~2× the measured max |E(t) − E(0)| of this seeded
+/// trajectory, so a regression of the integrator or the force field
+/// shows up as a hard failure here before it muddies any MTS result.
+#[test]
+fn nve_drift_regression_water_box() {
+    let (mol, cell) = systems::water_box(2, 11);
+    let ff = liair::md::ForceField::from_molecule(&mol, Some(&cell));
+    let mut state = MdState::new(mol, Some(cell), &ff);
+    state.thermalize_seeded(300.0, Some(11));
+    let opts = MdOptions {
+        dt: 10.0,
+        thermostat: Thermostat::None,
+        ..Default::default()
+    };
+    let e0 = state.total_energy();
+    let mut max_drift = 0.0f64;
+    for _ in 0..400 {
+        state.step(&ff, &opts);
+        max_drift = max_drift.max((state.total_energy() - e0).abs());
+    }
+    assert!(
+        max_drift < 4e-4,
+        "NVE drift regression: max |dE| = {max_drift} Ha over 400 steps (pinned bound 4e-4)"
+    );
+}
+
 /// Nosé–Hoover NVT and the screened pair workload compose: a thermostatted
 /// water box frame feeds a screened pair list whose survival fraction
 /// behaves like the lattice-start frame's.
@@ -108,15 +137,14 @@ fn nvt_frame_feeds_screening() {
     let (mol, cell) = systems::water_box(2, 17);
     let ff = liair::md::ForceField::from_molecule(&mol, Some(&cell));
     let mut state = MdState::new(mol, Some(cell), &ff);
-    use rand::SeedableRng;
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
-    state.thermalize(300.0, &mut rng);
+    state.thermalize_seeded(300.0, Some(3));
     let opts = MdOptions {
         dt: 15.0,
         thermostat: Thermostat::NoseHoover {
             t_target: 300.0,
             tau: 400.0,
         },
+        ..Default::default()
     };
     let mut h_series = Vec::new();
     for _ in 0..400 {
