@@ -5,6 +5,7 @@ pub mod accuracy;
 pub mod battery;
 pub mod collectives;
 pub mod incremental;
+pub mod locality;
 pub mod mts;
 pub mod node;
 pub mod overlap;
@@ -15,7 +16,7 @@ pub mod validation;
 use crate::Table;
 
 /// All experiment ids in the DESIGN.md order.
-pub const ALL_IDS: [&str; 22] = [
+pub const ALL_IDS: [&str; 23] = [
     "fig-strong-scaling",
     "fig-weak-scaling",
     "fig-baseline-scaling",
@@ -38,6 +39,7 @@ pub const ALL_IDS: [&str; 22] = [
     "bench-simd",
     "bench-collectives",
     "bench-overlap",
+    "bench-scaling",
 ];
 
 /// Run one experiment by id. `fast` trims the heaviest sweeps to keep the
@@ -66,6 +68,7 @@ pub fn run(id: &str, fast: bool) -> Vec<Table> {
         "bench-simd" => simd::bench_simd(fast),
         "bench-collectives" => collectives::bench_collectives(fast),
         "bench-overlap" => overlap::bench_overlap(fast),
+        "bench-scaling" => locality::bench_scaling(fast),
         other => panic!("unknown experiment id '{other}' (see ALL_IDS)"),
     }
 }

@@ -12,6 +12,9 @@
 //!   algorithm and a topology-oblivious binomial tree (the mapping ablation);
 //! * [`machine`] — partition presets from one node board to the full
 //!   96-rack, 6,291,456-thread configuration of the paper;
+//! * [`domainmap`] — folds the 5-D torus into the 3-D domain grid of the
+//!   spatial decomposition and prices its nearest-neighbor halo traffic
+//!   (per-link bytes, hops, congestion) against replicated-data baselines;
 //! * [`bsp`] — a bulk-synchronous simulator that turns per-rank work lists
 //!   and collective phases into step times, efficiencies and per-phase
 //!   breakdowns.
@@ -24,12 +27,14 @@
 
 pub mod bsp;
 pub mod collectives;
+pub mod domainmap;
 pub mod machine;
 pub mod node;
 pub mod routing;
 pub mod torus;
 
 pub use bsp::{BspPhase, BspReport, CommOp};
+pub use domainmap::{halo_cost, DomainMap, HaloCost};
 pub use machine::MachineConfig;
 pub use node::NodeModel;
 pub use torus::Torus5D;

@@ -72,7 +72,7 @@ pub fn distributed_exchange_operator(
 mod tests {
     use super::*;
     use crate::hfx::exchange_energy;
-    use crate::screening::{build_pair_list, OrbitalInfo};
+    use crate::screening::{source_pairs, OrbitalInfo};
     use liair_basis::Cell;
     use liair_math::approx_eq;
     use liair_math::rng::SplitMix64;
@@ -115,7 +115,10 @@ mod tests {
                 spread: 0.7,
             })
             .collect();
-        let pairs = build_pair_list(&infos, 0.0, Some(&grid.cell));
+        // Route the distributed drivers through the canonical cell-list
+        // source (finite ε + periodic cell) — serial and distributed run
+        // the identical canonical list.
+        let pairs = source_pairs(&infos, 1e-9, Some(&grid.cell));
         (grid, solver, fields, pairs)
     }
 

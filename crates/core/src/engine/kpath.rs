@@ -202,16 +202,31 @@ impl ExchangeEngine<'_> {
         let nao = setup.nao;
         // For each (j, ν): v_jν = Poisson[φ_j χ_ν]; then
         // K_μν += ∫ χ_μ φ_j v_jν — the pair-task structure of the energy
-        // path. The task list is canonical: j-major, ν-ascending.
-        let tasks: Vec<(usize, usize)> = slots
-            .iter()
-            .flat_map(|&j| (0..nao).map(move |nu| (j, nu)))
-            .filter(|&(j, nu)| {
-                eps <= 0.0
-                    || crate::screening::pair_bound(&setup.orb_info[j], &setup.ao_info[nu], None)
-                        >= eps
-            })
-            .collect();
+        // path. The task list is canonical: j-major, ν-ascending. With a
+        // finite ε the AOs are binned once and each dirty orbital inspects
+        // only AOs within its cutoff radius (the locality-first source of
+        // the incremental dirty set); the partner sets — and therefore the
+        // canonical order — are exactly the brute filter's.
+        let tasks: Vec<(usize, usize)> = if eps <= 0.0 {
+            profile.pairs_considered += slots.len() * nao;
+            slots
+                .iter()
+                .flat_map(|&j| (0..nao).map(move |nu| (j, nu)))
+                .collect()
+        } else if eps > 1.0 {
+            // Every bound is ≤ 1: nothing survives, nothing to inspect.
+            Vec::new()
+        } else {
+            let bins = crate::screening::CrossBins::new(&setup.ao_info, eps)?;
+            let mut tasks = Vec::new();
+            let mut partners = Vec::new();
+            for &j in slots {
+                profile.pairs_considered +=
+                    bins.partners(&setup.orb_info[j], &setup.ao_info, &mut partners);
+                tasks.extend(partners.iter().map(|&nu| (j, nu)));
+            }
+            tasks
+        };
         let t0 = Instant::now();
         let cols = self.run_k_tasks(setup, &tasks, profile)?;
         profile.t_exec_s += t0.elapsed().as_secs_f64();

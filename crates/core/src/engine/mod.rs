@@ -854,6 +854,7 @@ impl<'a> ExchangeEngine<'a> {
         profile.bytes_reduced += npairs * std::mem::size_of::<f64>();
         profile.pairs_computed = npairs;
         profile.pairs_screened = pairs.n_candidates - npairs;
+        profile.pairs_considered = pairs.considered;
         Ok(HfxResult {
             energy,
             pairs_evaluated: npairs,
@@ -878,6 +879,7 @@ impl<'a> ExchangeEngine<'a> {
         profile.bytes_reduced += contribs.len() * std::mem::size_of::<f64>();
         profile.pairs_computed = pairs.len();
         profile.pairs_screened = pairs.n_candidates - pairs.len();
+        profile.pairs_considered = pairs.considered;
         HfxResult {
             energy,
             pairs_evaluated: pairs.len(),

@@ -28,6 +28,12 @@ pub struct BuildProfile {
     pub t_reduce_s: f64,
     /// Pairs (or K tasks) dropped by ε screening before execution.
     pub pairs_screened: usize,
+    /// Candidate pairs (or K tasks) the pair source actually *inspected*
+    /// while building the list — `N(N+1)/2` for the brute scan, the far
+    /// smaller O(N·partners) count for the locality-aware cell-list
+    /// source. The per-build evidence of sub-quadratic sourcing.
+    #[serde(default)]
+    pub pairs_considered: usize,
     /// Pairs (or K tasks) actually computed through a Poisson solve.
     pub pairs_computed: usize,
     /// Pairs (or K tasks) served from the incremental cache instead.
@@ -86,6 +92,7 @@ impl BuildProfile {
         self.t_exec_s += other.t_exec_s;
         self.t_reduce_s += other.t_reduce_s;
         self.pairs_screened += other.pairs_screened;
+        self.pairs_considered += other.pairs_considered;
         self.pairs_computed += other.pairs_computed;
         self.pairs_reused += other.pairs_reused;
         self.cache_hits += other.cache_hits;

@@ -34,6 +34,14 @@ pub enum Error {
     /// An engine/builder configuration is inconsistent (documented per
     /// knob), e.g. a distributed backend with zero ranks.
     InvalidConfig(String),
+    /// A locality-aware pair source (cell list, domain sharding) was asked
+    /// to build with a threshold outside `0 < ε ≤ 1` — there is no finite
+    /// cutoff radius to bin by. Use the O(N²) [`crate::build_pair_list`]
+    /// for unscreened lists.
+    InvalidEps {
+        /// The offending screening threshold.
+        eps: f64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -54,6 +62,11 @@ impl fmt::Display for Error {
                 "engine built with for_patches() has no full-grid Poisson solver"
             ),
             Error::InvalidConfig(msg) => write!(f, "invalid engine configuration: {msg}"),
+            Error::InvalidEps { eps } => write!(
+                f,
+                "locality-aware pair sourcing needs 0 < eps <= 1 (got {eps}); \
+                 use build_pair_list for unscreened lists"
+            ),
         }
     }
 }
@@ -90,6 +103,12 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains('3') && s.contains('6'), "{s}");
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn invalid_eps_reports_the_threshold() {
+        let e = Error::InvalidEps { eps: 0.0 };
+        assert!(e.to_string().contains("0 < eps <= 1"), "{e}");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use crate::engine::{BuildProfile, ExchangeEngine};
 use crate::incremental::IncStats;
-use crate::screening::{build_pair_list, OrbitalInfo, PairList};
+use crate::screening::{source_pairs, OrbitalInfo, PairList};
 use liair_basis::{Basis, Cell, Molecule};
 use liair_grid::{foster_boys, orbitals_on_grid, PoissonSolver, RealGrid};
 use liair_math::Mat;
@@ -91,7 +91,11 @@ pub fn grid_exchange_for_molecule(
             spread: loc.spreads[k].max(0.3),
         })
         .collect();
-    let pairs = build_pair_list(&infos, eps, None);
+    // Locality-first sourcing: with a finite ε the padded box doubles as
+    // the screening cell and the list comes from the O(N·partners)
+    // cell-list source; ε = 0 keeps the unscreened direct-distance list
+    // (no cutoff radius exists to bin by).
+    let pairs = source_pairs(&infos, eps, if eps > 0.0 { Some(&cell) } else { None });
 
     // Coefficient matrix restricted to the kept orbitals.
     let nao = basis_c.nao();
@@ -199,6 +203,7 @@ pub fn analytic_exchange(basis: &Basis, density: &Mat, schwarz_tol: f64) -> f64 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::screening::build_pair_list;
     use liair_basis::systems;
     use liair_math::approx_eq;
     use liair_scf::{rhf, ScfOptions};

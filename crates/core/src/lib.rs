@@ -35,6 +35,7 @@
 
 pub mod balance;
 pub mod distributed;
+pub mod domain;
 pub mod engine;
 pub mod error;
 pub mod hfx;
@@ -45,6 +46,10 @@ pub mod simulate;
 pub mod workload;
 
 pub use balance::{assign_pairs, Assignment, BalanceStrategy};
+pub use domain::{
+    build_pair_list_sharded, exchange_halo, sharded_pair_list_spmd, DomainDecomposition,
+    DomainGeometry,
+};
 pub use engine::{
     BuildProfile, CollectiveMode, CommTuning, EngineBuilder, EngineScratch, ExchangeEngine,
     ExecBackend, FaultPlan, KBuildOutcome, KernelChoice, PairPath, PipelineMode,
@@ -56,6 +61,9 @@ pub use operator::{
     exchange_operator_grid, rhf_with_grid_exchange, rhf_with_grid_exchange_in_cell,
     rhf_with_grid_exchange_incremental, rhf_with_grid_exchange_scheduled, GridScfResult,
 };
-pub use screening::{build_pair_list, EpsSchedule, IncSchedule, OrbitalInfo, Pair, PairList};
+pub use screening::{
+    build_pair_list, build_pair_list_celllist, source_pairs, CrossBins, EpsSchedule, IncSchedule,
+    OrbitalInfo, Pair, PairList,
+};
 pub use simulate::{simulate_hfx_build, Scheme, SimOutcome};
 pub use workload::Workload;

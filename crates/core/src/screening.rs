@@ -57,10 +57,18 @@ pub struct Pair {
 /// The task list after screening.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PairList {
-    /// Surviving pairs, `i ≤ j`.
+    /// Surviving pairs, `i ≤ j`, sorted lexicographically by `(i, j)` —
+    /// the canonical order every builder emits and the engine's chunk
+    /// discipline relies on.
     pub pairs: Vec<Pair>,
     /// Total candidate count `N(N+1)/2`.
     pub n_candidates: usize,
+    /// Candidate pairs the builder actually inspected (distance/bound
+    /// evaluations, diagonals included). `n_candidates` for the O(N²)
+    /// scan; O(N·partners) for the cell-list source — the observable
+    /// evidence of sub-quadratic sourcing.
+    #[serde(default)]
+    pub considered: usize,
     /// The ε used.
     pub eps: f64,
 }
@@ -82,6 +90,15 @@ impl PairList {
             return 1.0;
         }
         self.pairs.len() as f64 / self.n_candidates as f64
+    }
+
+    /// Fraction of the N(N+1)/2 candidates the builder had to inspect
+    /// (1.0 for the brute-force scan, ≪ 1 for locality-aware sources).
+    pub fn considered_fraction(&self) -> f64 {
+        if self.n_candidates == 0 {
+            return 1.0;
+        }
+        self.considered as f64 / self.n_candidates as f64
     }
 }
 
@@ -127,44 +144,113 @@ pub fn build_pair_list(orbitals: &[OrbitalInfo], eps: f64, cell: Option<&Cell>) 
             }
         }
     }
+    let considered = n * (n + 1) / 2;
     PairList {
         pairs,
-        n_candidates: n * (n + 1) / 2,
+        n_candidates: considered,
+        considered,
         eps,
     }
 }
 
-/// Linear-scaling pair-list construction for large condensed systems:
-/// orbitals are binned into cells of the screening cutoff radius, and only
-/// neighbouring bins are searched — O(N·partners) instead of O(N²).
-/// Requires `eps > 0` (a finite cutoff radius) and a periodic cell; the
-/// result is identical to [`build_pair_list`].
-pub fn build_pair_list_celllist(orbitals: &[OrbitalInfo], eps: f64, cell: &Cell) -> PairList {
-    assert!(eps > 0.0, "cell-list construction needs a finite eps");
+/// The engine's canonical pair source. Routes to the O(N·partners)
+/// cell-list builder whenever a periodic cell and a finite threshold
+/// (`0 < ε ≤ 1`) are present, and falls back to the O(N²) scan otherwise
+/// (ε = 0 keeps every pair, so there is no cutoff radius to bin by).
+/// Every route emits the identical canonical `(i, j)`-sorted list, so
+/// callers can switch freely without perturbing a single bit downstream.
+pub fn source_pairs(orbitals: &[OrbitalInfo], eps: f64, cell: Option<&Cell>) -> PairList {
+    match cell {
+        Some(c) if eps > 0.0 && eps <= 1.0 => {
+            build_pair_list_celllist(orbitals, eps, c).expect("eps range checked")
+        }
+        _ => build_pair_list(orbitals, eps, cell),
+    }
+}
+
+/// Per-axis bin index set within `shells` of `center` on a periodic axis
+/// of `nb` bins (deduplicated when the shell range wraps the whole axis).
+fn axis_bin_range(center: usize, shells: usize, nb: usize) -> Vec<usize> {
+    if 2 * shells + 1 >= nb {
+        return (0..nb).collect();
+    }
+    (-(shells as i64)..=shells as i64)
+        .map(|s| (center as i64 + s).rem_euclid(nb as i64) as usize)
+        .collect()
+}
+
+/// Linear-scaling pair-list construction for large condensed systems,
+/// O(N·partners) instead of O(N²); the result is identical to
+/// [`build_pair_list`] — same canonical order, same bound bits.
+///
+/// Orbitals are binned by wrapped center; the pair `(i, j)` is *claimed*
+/// by its wider partner (ties by index), which searches only its own
+/// cutoff radius `r_σ = cutoff_radius(σ, σ, eps)` — exact because
+/// `cutoff_radius(σ, σ', eps) ≤ r_σ` whenever `σ' ≤ σ`. The per-orbital
+/// search radius means a dense population of narrow orbitals never pays
+/// for one wide outlier (the old global `sigma_max` bin sizing degraded
+/// every orbital's search to the widest cutoff).
+///
+/// Needs a finite cutoff radius: `0 < eps ≤ 1`, else
+/// [`crate::error::Error::InvalidEps`].
+pub fn build_pair_list_celllist(
+    orbitals: &[OrbitalInfo],
+    eps: f64,
+    cell: &Cell,
+) -> crate::error::Result<PairList> {
+    if !(eps > 0.0 && eps <= 1.0) {
+        return Err(crate::error::Error::InvalidEps { eps });
+    }
     let n = orbitals.len();
-    let sigma_max = orbitals.iter().map(|o| o.spread).fold(0.0f64, f64::max);
-    let rc = cutoff_radius(sigma_max, sigma_max, eps);
-    // Bin size ≥ rc so neighbours live in the 27 surrounding bins.
-    let nbins = |l: f64| ((l / rc).floor() as usize).max(1);
-    let (bx, by, bz) = (
+    if n == 0 {
+        return Ok(PairList {
+            pairs: Vec::new(),
+            n_candidates: 0,
+            considered: 0,
+            eps,
+        });
+    }
+    // Bin width from the *median* self-cutoff: the typical orbital then
+    // searches O(1) shells regardless of the spread distribution's tail.
+    let mut spreads: Vec<f64> = orbitals.iter().map(|o| o.spread).collect();
+    spreads.sort_by(f64::total_cmp);
+    let sigma_med = spreads[n / 2];
+    let target = cutoff_radius(sigma_med, sigma_med, eps).max(1e-9);
+    // Cap total bins at ~8N so sparse systems in huge cells stay O(N).
+    let cap = (((n as f64).cbrt().ceil() as usize) * 2).max(1);
+    let nbins = |l: f64| ((l / target).floor() as usize).clamp(1, cap);
+    let nb = [
         nbins(cell.lengths.x),
         nbins(cell.lengths.y),
         nbins(cell.lengths.z),
-    );
-    let bin_of = |p: liair_math::Vec3| -> (usize, usize, usize) {
+    ];
+    let width = [
+        cell.lengths.x / nb[0] as f64,
+        cell.lengths.y / nb[1] as f64,
+        cell.lengths.z / nb[2] as f64,
+    ];
+    let bin_of = |p: liair_math::Vec3| -> [usize; 3] {
         let w = cell.wrap(p);
-        (
-            ((w.x / cell.lengths.x * bx as f64) as usize).min(bx - 1),
-            ((w.y / cell.lengths.y * by as f64) as usize).min(by - 1),
-            ((w.z / cell.lengths.z * bz as f64) as usize).min(bz - 1),
-        )
+        [
+            ((w.x / cell.lengths.x * nb[0] as f64) as usize).min(nb[0] - 1),
+            ((w.y / cell.lengths.y * nb[1] as f64) as usize).min(nb[1] - 1),
+            ((w.z / cell.lengths.z * nb[2] as f64) as usize).min(nb[2] - 1),
+        ]
     };
-    let mut bins: Vec<Vec<u32>> = vec![Vec::new(); bx * by * bz];
-    for (i, o) in orbitals.iter().enumerate() {
-        let (ix, iy, iz) = bin_of(o.center);
-        bins[(ix * by + iy) * bz + iz].push(i as u32);
+    let mut bins: Vec<Vec<u32>> = vec![Vec::new(); nb[0] * nb[1] * nb[2]];
+    let mut home = Vec::with_capacity(n);
+    for o in orbitals {
+        let b = bin_of(o.center);
+        home.push(b);
+        bins[(b[0] * nb[1] + b[1]) * nb[2] + b[2]].push((home.len() - 1) as u32);
     }
-    let mut pairs = Vec::new();
+    // A pair is claimed exactly once, by its wider partner.
+    let claims = |i: usize, j: usize| -> bool {
+        let (si, sj) = (orbitals[i].spread, orbitals[j].spread);
+        si > sj || (si == sj && i < j)
+    };
+    let mut pairs = Vec::with_capacity(2 * n);
+    let mut considered = n; // the always-kept diagonals
     for i in 0..n {
         pairs.push(Pair {
             i: i as u32,
@@ -172,53 +258,160 @@ pub fn build_pair_list_celllist(orbitals: &[OrbitalInfo], eps: f64, cell: &Cell)
             weight: 1.0,
             bound: 1.0,
         });
+        // Tiny inflation guards the shell count against the float rounding
+        // of the radius/width quotient right at an integer boundary.
+        let ri = cutoff_radius(orbitals[i].spread, orbitals[i].spread, eps) * (1.0 + 1e-12);
+        let shells: Vec<[usize; 3]> = {
+            let sx = axis_bin_range(home[i][0], (ri / width[0]).ceil() as usize, nb[0]);
+            let sy = axis_bin_range(home[i][1], (ri / width[1]).ceil() as usize, nb[1]);
+            let sz = axis_bin_range(home[i][2], (ri / width[2]).ceil() as usize, nb[2]);
+            let mut out = Vec::with_capacity(sx.len() * sy.len() * sz.len());
+            for &x in &sx {
+                for &y in &sy {
+                    for &z in &sz {
+                        out.push([x, y, z]);
+                    }
+                }
+            }
+            out
+        };
+        for b in shells {
+            for &cand in &bins[(b[0] * nb[1] + b[1]) * nb[2] + b[2]] {
+                let j = cand as usize;
+                if j == i || !claims(i, j) {
+                    continue;
+                }
+                considered += 1;
+                let bound = pair_bound(&orbitals[i], &orbitals[j], Some(cell));
+                if bound >= eps {
+                    pairs.push(Pair {
+                        i: i.min(j) as u32,
+                        j: i.max(j) as u32,
+                        weight: 2.0,
+                        bound,
+                    });
+                }
+            }
+        }
     }
-    let shifts: Vec<i64> = vec![-1, 0, 1];
-    for ix in 0..bx {
-        for iy in 0..by {
-            for iz in 0..bz {
-                let here = &bins[(ix * by + iy) * bz + iz];
-                for &dx in &shifts {
-                    for &dy in &shifts {
-                        for &dz in &shifts {
-                            let jx = (ix as i64 + dx).rem_euclid(bx as i64) as usize;
-                            let jy = (iy as i64 + dy).rem_euclid(by as i64) as usize;
-                            let jz = (iz as i64 + dz).rem_euclid(bz as i64) as usize;
-                            let there = &bins[(jx * by + jy) * bz + jz];
-                            for &a in here {
-                                for &b in there {
-                                    if b <= a {
-                                        continue;
-                                    }
-                                    let bound = pair_bound(
-                                        &orbitals[a as usize],
-                                        &orbitals[b as usize],
-                                        Some(cell),
-                                    );
-                                    if bound >= eps {
-                                        pairs.push(Pair {
-                                            i: a,
-                                            j: b,
-                                            weight: 2.0,
-                                            bound,
-                                        });
-                                    }
-                                }
-                            }
+    // Each surviving pair was claimed by exactly one orbital and each bin
+    // visited once, so sorting restores the canonical (i, j) order with no
+    // duplicates (the dedup is a cheap invariant guard).
+    pairs.sort_unstable_by_key(|p| (p.i, p.j));
+    pairs.dedup_by_key(|p| (p.i, p.j));
+    Ok(PairList {
+        pairs,
+        n_candidates: n * (n + 1) / 2,
+        considered,
+        eps,
+    })
+}
+
+/// Locality-aware source for the *cross* task list of the K path: bins
+/// `cols` (the AOs) once in their bounding box so each row (a localized
+/// occupied orbital) inspects only columns within its cutoff radius —
+/// O(rows·partners) instead of O(rows·cols). Partner sets are exactly the
+/// brute filter `pair_bound(row, col, None) ≥ eps`, returned ascending,
+/// so the canonical j-major ν-ascending task order is preserved bit for
+/// bit.
+pub struct CrossBins {
+    lo: Vec3,
+    nb: [usize; 3],
+    width: [f64; 3],
+    bins: Vec<Vec<u32>>,
+    sigma_col_max: f64,
+    eps: f64,
+}
+
+impl CrossBins {
+    /// Bin the column orbitals. Needs `0 < eps ≤ 1` (a finite radius).
+    pub fn new(cols: &[OrbitalInfo], eps: f64) -> crate::error::Result<CrossBins> {
+        if !(eps > 0.0 && eps <= 1.0) {
+            return Err(crate::error::Error::InvalidEps { eps });
+        }
+        let n = cols.len().max(1);
+        let mut lo = Vec3::splat(f64::INFINITY);
+        let mut hi = Vec3::splat(f64::NEG_INFINITY);
+        for c in cols {
+            lo = Vec3::new(
+                lo.x.min(c.center.x),
+                lo.y.min(c.center.y),
+                lo.z.min(c.center.z),
+            );
+            hi = Vec3::new(
+                hi.x.max(c.center.x),
+                hi.y.max(c.center.y),
+                hi.z.max(c.center.z),
+            );
+        }
+        if cols.is_empty() {
+            lo = Vec3::splat(0.0);
+            hi = Vec3::splat(0.0);
+        }
+        let mut spreads: Vec<f64> = cols.iter().map(|o| o.spread).collect();
+        spreads.sort_by(f64::total_cmp);
+        let sigma_med = spreads.get(cols.len() / 2).copied().unwrap_or(1.0);
+        let sigma_col_max = spreads.last().copied().unwrap_or(1.0);
+        let target = cutoff_radius(sigma_med, sigma_med, eps).max(1e-9);
+        let cap = (((n as f64).cbrt().ceil() as usize) * 2).max(1);
+        let nbins = |l: f64| ((l / target).floor() as usize).clamp(1, cap);
+        let ext = hi - lo;
+        let nb = [nbins(ext.x), nbins(ext.y), nbins(ext.z)];
+        let width = [
+            (ext.x / nb[0] as f64).max(1e-9),
+            (ext.y / nb[1] as f64).max(1e-9),
+            (ext.z / nb[2] as f64).max(1e-9),
+        ];
+        let mut bins: Vec<Vec<u32>> = vec![Vec::new(); nb[0] * nb[1] * nb[2]];
+        let clampi = |v: f64, n: usize| (v as i64).clamp(0, n as i64 - 1) as usize;
+        for (k, c) in cols.iter().enumerate() {
+            let bx = clampi((c.center.x - lo.x) / width[0], nb[0]);
+            let by = clampi((c.center.y - lo.y) / width[1], nb[1]);
+            let bz = clampi((c.center.z - lo.z) / width[2], nb[2]);
+            bins[(bx * nb[1] + by) * nb[2] + bz].push(k as u32);
+        }
+        Ok(CrossBins {
+            lo,
+            nb,
+            width,
+            bins,
+            sigma_col_max,
+            eps,
+        })
+    }
+
+    /// Collect into `out` (ascending) every column index whose bound
+    /// against `row` survives ε; returns the number of candidates
+    /// inspected. Exactly equal to filtering `0..cols.len()` brute-force.
+    pub fn partners(&self, row: &OrbitalInfo, cols: &[OrbitalInfo], out: &mut Vec<usize>) -> usize {
+        out.clear();
+        let r = cutoff_radius(row.spread, self.sigma_col_max, self.eps) * (1.0 + 1e-12);
+        // All bins intersecting the axis-aligned ball envelope; the row
+        // may sit outside the column bounding box — ranges clamp to it.
+        let range = |p: f64, lo: f64, w: f64, n: usize| -> (usize, usize) {
+            let a = (((p - r - lo) / w).floor() as i64).clamp(0, n as i64 - 1) as usize;
+            let b = (((p + r - lo) / w).floor() as i64).clamp(0, n as i64 - 1) as usize;
+            (a, b)
+        };
+        let (x0, x1) = range(row.center.x, self.lo.x, self.width[0], self.nb[0]);
+        let (y0, y1) = range(row.center.y, self.lo.y, self.width[1], self.nb[1]);
+        let (z0, z1) = range(row.center.z, self.lo.z, self.width[2], self.nb[2]);
+        let mut inspected = 0;
+        for bx in x0..=x1 {
+            for by in y0..=y1 {
+                for bz in z0..=z1 {
+                    for &cand in &self.bins[(bx * self.nb[1] + by) * self.nb[2] + bz] {
+                        inspected += 1;
+                        let c = cand as usize;
+                        if pair_bound(row, &cols[c], None) >= self.eps {
+                            out.push(c);
                         }
                     }
                 }
             }
         }
-    }
-    // Duplicates are possible when few bins exist per axis (the same
-    // neighbour bin visited via two wraps); deduplicate.
-    pairs.sort_by_key(|p| (p.i, p.j));
-    pairs.dedup_by_key(|p| (p.i, p.j));
-    PairList {
-        pairs,
-        n_candidates: n * (n + 1) / 2,
-        eps,
+        out.sort_unstable();
+        inspected
     }
 }
 
@@ -402,28 +595,134 @@ mod tests {
     #[test]
     fn celllist_matches_brute_force() {
         use liair_math::rng::SplitMix64;
-        let cell = Cell::cubic(28.0);
+        // The cell must be several cutoff radii per axis for locality to
+        // pay off (rc(1.2, 1.2, 1e-6) ≈ 8.9 Bohr against a 60 Bohr edge);
+        // in smaller boxes the bins legitimately cover everything.
+        let cell = Cell::cubic(60.0);
         let mut rng = SplitMix64::new(13);
-        let orbitals: Vec<OrbitalInfo> = (0..300)
+        let orbitals: Vec<OrbitalInfo> = (0..900)
             .map(|_| OrbitalInfo {
                 center: Vec3::new(
-                    rng.range_f64(0.0, 28.0),
-                    rng.range_f64(0.0, 28.0),
-                    rng.range_f64(0.0, 28.0),
+                    rng.range_f64(0.0, 60.0),
+                    rng.range_f64(0.0, 60.0),
+                    rng.range_f64(0.0, 60.0),
                 ),
-                spread: 1.5,
+                spread: 1.2,
             })
             .collect();
         for eps in [1e-2, 1e-6] {
             let brute = build_pair_list(&orbitals, eps, Some(&cell));
-            let fast = build_pair_list_celllist(&orbitals, eps, &cell);
+            let fast = build_pair_list_celllist(&orbitals, eps, &cell).unwrap();
+            // Canonical order is part of the contract: the sequences match
+            // directly, no sorting.
             let key = |pl: &PairList| {
-                let mut v: Vec<(u32, u32)> = pl.pairs.iter().map(|p| (p.i, p.j)).collect();
-                v.sort_unstable();
+                let v: Vec<(u32, u32)> = pl.pairs.iter().map(|p| (p.i, p.j)).collect();
                 v
             };
             assert_eq!(key(&brute), key(&fast), "eps = {eps}");
+            // Sub-quadratic sourcing is observable: far fewer candidates
+            // inspected than the N(N+1)/2 the brute scan pays.
+            assert_eq!(brute.considered, brute.n_candidates);
+            assert!(
+                fast.considered < fast.n_candidates / 2,
+                "considered {} of {}",
+                fast.considered,
+                fast.n_candidates
+            );
+            assert!(fast.len() <= fast.considered);
         }
+    }
+
+    #[test]
+    fn celllist_rejects_unbinnable_eps() {
+        let cell = Cell::cubic(10.0);
+        let orbs = vec![orb(1.0, 1.0)];
+        for eps in [0.0, -1.0, 1.5] {
+            let err = build_pair_list_celllist(&orbs, eps, &cell).unwrap_err();
+            assert!(
+                matches!(err, crate::error::Error::InvalidEps { .. }),
+                "eps = {eps}"
+            );
+        }
+    }
+
+    #[test]
+    fn source_pairs_routes_and_falls_back() {
+        let cell = Cell::cubic(36.0);
+        let orbs: Vec<_> = (0..60).map(|k| orb(0.6 * k as f64, 0.5)).collect();
+        // Cell + finite eps: the cell-list route, canonical order.
+        let sourced = source_pairs(&orbs, 1e-4, Some(&cell));
+        let brute = build_pair_list(&orbs, 1e-4, Some(&cell));
+        assert_eq!(sourced.pairs, brute.pairs);
+        assert!(sourced.considered < sourced.n_candidates);
+        // eps = 0 (no finite cutoff) and no-cell both fall back brute.
+        assert_eq!(
+            source_pairs(&orbs, 0.0, Some(&cell)).considered,
+            brute.n_candidates
+        );
+        assert_eq!(
+            source_pairs(&orbs, 1e-4, None).len(),
+            build_pair_list(&orbs, 1e-4, None).len()
+        );
+    }
+
+    #[test]
+    fn wide_outlier_does_not_degrade_narrow_search() {
+        // One wide orbital among many narrow ones: with per-orbital radii
+        // only the outlier searches far, so the candidate count stays far
+        // below the global-sigma_max regime (which would approach N²/2).
+        use liair_math::rng::SplitMix64;
+        let cell = Cell::cubic(40.0);
+        let mut rng = SplitMix64::new(99);
+        let mut orbitals: Vec<OrbitalInfo> = (0..500)
+            .map(|_| OrbitalInfo {
+                center: Vec3::new(
+                    rng.range_f64(0.0, 40.0),
+                    rng.range_f64(0.0, 40.0),
+                    rng.range_f64(0.0, 40.0),
+                ),
+                spread: 0.6,
+            })
+            .collect();
+        orbitals[250].spread = 6.0;
+        let pl = build_pair_list_celllist(&orbitals, 1e-6, &cell).unwrap();
+        let brute = build_pair_list(&orbitals, 1e-6, Some(&cell));
+        assert_eq!(pl.pairs, brute.pairs);
+        assert!(
+            pl.considered < pl.n_candidates / 4,
+            "considered {} of {}",
+            pl.considered,
+            pl.n_candidates
+        );
+    }
+
+    #[test]
+    fn cross_bins_match_brute_filter() {
+        use liair_math::rng::SplitMix64;
+        let mut rng = SplitMix64::new(4);
+        let cols: Vec<OrbitalInfo> = (0..120)
+            .map(|_| OrbitalInfo {
+                center: Vec3::new(
+                    rng.range_f64(0.0, 22.0),
+                    rng.range_f64(0.0, 22.0),
+                    rng.range_f64(0.0, 22.0),
+                ),
+                spread: rng.range_f64(0.3, 1.8),
+            })
+            .collect();
+        for eps in [1e-2, 1e-5, 1e-8] {
+            let bins = CrossBins::new(&cols, eps).unwrap();
+            let mut got = Vec::new();
+            for row in cols.iter().step_by(7) {
+                let inspected = bins.partners(row, &cols, &mut got);
+                assert!(inspected <= cols.len());
+                let want: Vec<usize> = (0..cols.len())
+                    .filter(|&c| pair_bound(row, &cols[c], None) >= eps)
+                    .collect();
+                assert_eq!(got, want, "eps = {eps}");
+            }
+        }
+        assert!(CrossBins::new(&cols, 0.0).is_err());
     }
 
     #[test]

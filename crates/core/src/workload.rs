@@ -5,7 +5,7 @@
 //! actually produced by [`crate::screening`], and the grid sizes of the
 //! pair-local and full-cell FFTs.
 
-use crate::screening::{build_pair_list, OrbitalInfo, PairList};
+use crate::screening::{source_pairs, OrbitalInfo, PairList};
 use liair_basis::Cell;
 use liair_math::rng::SplitMix64;
 use liair_math::Vec3;
@@ -60,13 +60,12 @@ impl Workload {
                 spread,
             })
             .collect();
-        // O(N²) brute force below ~5000 orbitals; cell lists above (the
-        // linear-scaling construction the paper's pair lists also need).
-        let pairs = if norb <= 5000 || eps <= 0.0 {
-            build_pair_list(&orbitals, eps, Some(&cell))
-        } else {
-            crate::screening::build_pair_list_celllist(&orbitals, eps, &cell)
-        };
+        // The canonical source: O(N·partners) cell lists whenever ε is
+        // finite (the linear-scaling construction the paper's pair lists
+        // need), the O(N²) scan only for unscreened workloads. The cost
+        // model below inherits `pairs.considered`, so sourcing cost is
+        // observable per workload.
+        let pairs = source_pairs(&orbitals, eps, Some(&cell));
         Workload {
             name: name.to_string(),
             norb,

@@ -1,14 +1,19 @@
-//! Property test: the O(N·partners) cell-list pair builder
-//! ([`build_pair_list_celllist`]) must produce exactly the same screened
-//! pair set as the reference O(N²) builder ([`build_pair_list`]) — same
-//! (i, j) pairs, same weights, same bounds — for random orbital layouts,
-//! spreads, box sizes and screening thresholds.
+//! Property tests: every locality-exploiting pair builder — the
+//! O(N·partners) cell list ([`build_pair_list_celllist`]) and the
+//! domain-sharded source ([`build_pair_list_sharded`]) — must produce
+//! exactly the same screened pair set as the reference O(N²) builder
+//! ([`build_pair_list`]): same (i, j) pairs, same weights, same bounds,
+//! to the bit, for random orbital layouts, spreads, box shapes
+//! (including anisotropic cells and boundary-straddling clusters),
+//! domain grids and screening thresholds.
 
 use liair_basis::Cell;
-use liair_core::screening::{build_pair_list, build_pair_list_celllist, OrbitalInfo};
+use liair_core::screening::{build_pair_list, build_pair_list_celllist, OrbitalInfo, Pair};
+use liair_core::{build_pair_list_sharded, DomainGeometry, Error};
 use liair_math::rng::SplitMix64;
 use liair_math::Vec3;
 use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
 
 fn random_layout(seed: u64, norb: usize, edge: f64, spread_max: f64) -> Vec<OrbitalInfo> {
     let mut rng = SplitMix64::new(seed);
@@ -22,6 +27,41 @@ fn random_layout(seed: u64, norb: usize, edge: f64, spread_max: f64) -> Vec<Orbi
             spread: rng.range_f64(0.3, spread_max),
         })
         .collect()
+}
+
+/// Centers clustered within `band` of the cell faces and corners — the
+/// min-image stress case where every pair wraps at least one axis.
+fn straddling_layout(seed: u64, norb: usize, lengths: [f64; 3], band: f64) -> Vec<OrbitalInfo> {
+    let mut rng = SplitMix64::new(seed);
+    (0..norb)
+        .map(|_| {
+            let mut c = [0.0f64; 3];
+            for k in 0..3 {
+                let off = rng.range_f64(-band, band);
+                // Half the samples hug the origin face (wrapping negative
+                // offsets to the far edge), half an interior face.
+                c[k] = if rng.range_f64(0.0, 1.0) < 0.5 {
+                    off.rem_euclid(lengths[k])
+                } else {
+                    (lengths[k] / 2.0 + off).rem_euclid(lengths[k])
+                };
+            }
+            OrbitalInfo {
+                center: Vec3::new(c[0], c[1], c[2]),
+                spread: rng.range_f64(0.4, 1.3),
+            }
+        })
+        .collect()
+}
+
+fn assert_bit_identical(a: &[Pair], b: &[Pair]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.len(), b.len());
+    for (pa, pb) in a.iter().zip(b) {
+        prop_assert_eq!((pa.i, pa.j), (pb.i, pb.j));
+        prop_assert_eq!(pa.weight.to_bits(), pb.weight.to_bits());
+        prop_assert_eq!(pa.bound.to_bits(), pb.bound.to_bits());
+    }
+    Ok(())
 }
 
 proptest! {
@@ -40,7 +80,7 @@ proptest! {
         let infos = random_layout(seed, norb, edge, spread_max);
 
         let reference = build_pair_list(&infos, eps, Some(&cell));
-        let celllist = build_pair_list_celllist(&infos, eps, &cell);
+        let celllist = build_pair_list_celllist(&infos, eps, &cell).unwrap();
 
         prop_assert_eq!(reference.n_candidates, celllist.n_candidates);
         prop_assert_eq!(reference.len(), celllist.len());
@@ -72,11 +112,107 @@ proptest! {
             // eps shrinks as the loop runs: 1e-1 first, 1e-6 last.
             let eps = 10f64.powi(-eps_exp);
             let n2 = build_pair_list(&infos, eps, Some(&cell)).len();
-            let cl = build_pair_list_celllist(&infos, eps, &cell).len();
+            let cl = build_pair_list_celllist(&infos, eps, &cell).unwrap().len();
             prop_assert_eq!(n2, cl);
             // Tighter screening keeps at least as many pairs.
             prop_assert!(cl >= prev, "survivors shrank: {} -> {} at eps {}", prev, cl, eps);
             prev = cl;
+        }
+    }
+
+    /// Anisotropic cells: the per-axis binning and min-image wrap must
+    /// agree with the reference even when the edges differ by 3×.
+    #[test]
+    fn celllist_matches_reference_in_anisotropic_cells(
+        seed in 0u64..1_000_000,
+        norb in 2usize..32,
+        a in 8.0f64..24.0,
+        b in 8.0f64..24.0,
+        c in 8.0f64..24.0,
+        eps_exp in 1i32..12,
+    ) {
+        let eps = 10f64.powi(-eps_exp);
+        let cell = Cell::orthorhombic(a, b, c);
+        let mut rng = SplitMix64::new(seed);
+        let infos: Vec<OrbitalInfo> = (0..norb)
+            .map(|_| OrbitalInfo {
+                center: Vec3::new(
+                    rng.range_f64(0.0, a),
+                    rng.range_f64(0.0, b),
+                    rng.range_f64(0.0, c),
+                ),
+                spread: rng.range_f64(0.3, 1.6),
+            })
+            .collect();
+        let reference = build_pair_list(&infos, eps, Some(&cell));
+        let celllist = build_pair_list_celllist(&infos, eps, &cell).unwrap();
+        prop_assert_eq!(reference.n_candidates, celllist.n_candidates);
+        assert_bit_identical(&reference.pairs, &celllist.pairs)?;
+    }
+
+    /// Clusters hugging the cell faces: every surviving pair crosses a
+    /// periodic boundary, so a single lost wrap shows up immediately.
+    #[test]
+    fn boundary_straddling_layouts_survive_every_builder(
+        seed in 0u64..1_000_000,
+        norb in 4usize..36,
+        edge in 10.0f64..26.0,
+        eps_exp in 1i32..10,
+    ) {
+        let eps = 10f64.powi(-eps_exp);
+        let lengths = [edge, edge * 1.4, edge * 0.8];
+        let cell = Cell::orthorhombic(lengths[0], lengths[1], lengths[2]);
+        let infos = straddling_layout(seed, norb, lengths, 1.5);
+        let reference = build_pair_list(&infos, eps, Some(&cell));
+        let celllist = build_pair_list_celllist(&infos, eps, &cell).unwrap();
+        assert_bit_identical(&reference.pairs, &celllist.pairs)?;
+        let sharded = build_pair_list_sharded(&infos, eps, &cell, [2, 2, 2]).unwrap();
+        assert_bit_identical(&reference.pairs, &sharded.pairs)?;
+    }
+
+    /// The domain-sharded builder (halo import + per-domain local build +
+    /// canonical merge) equals both global builders bitwise for random
+    /// domain grids — including degenerate 1-axis and deep ε thresholds.
+    #[test]
+    fn sharded_matches_global_builders(
+        seed in 0u64..1_000_000,
+        norb in 2usize..36,
+        edge in 8.0f64..30.0,
+        spread_max in 0.5f64..2.0,
+        eps_exp in 1i32..12,
+        gx in 1usize..4,
+        gy in 1usize..4,
+        gz in 1usize..4,
+    ) {
+        let eps = 10f64.powi(-eps_exp);
+        let cell = Cell::cubic(edge);
+        let infos = random_layout(seed, norb, edge, spread_max);
+        let reference = build_pair_list(&infos, eps, Some(&cell));
+        let celllist = build_pair_list_celllist(&infos, eps, &cell).unwrap();
+        let sharded = build_pair_list_sharded(&infos, eps, &cell, [gx, gy, gz]).unwrap();
+        prop_assert_eq!(reference.n_candidates, sharded.n_candidates);
+        assert_bit_identical(&reference.pairs, &sharded.pairs)?;
+        assert_bit_identical(&celllist.pairs, &sharded.pairs)?;
+    }
+
+    /// Out-of-range ε is a typed error from every fallible builder, never
+    /// a panic or a silently empty list.
+    #[test]
+    fn invalid_eps_is_rejected_with_a_typed_error(which in 0usize..4) {
+        let bad_eps = [0.0f64, -1e-6, 1.5, f64::NAN][which];
+        let cell = Cell::cubic(12.0);
+        let infos = random_layout(9, 6, 12.0, 1.0);
+        for result in [
+            build_pair_list_celllist(&infos, bad_eps, &cell).map(|_| ()),
+            build_pair_list_sharded(&infos, bad_eps, &cell, [2, 2, 2]).map(|_| ()),
+            DomainGeometry::new(cell, [2, 2, 2], bad_eps, 1.0).map(|_| ()),
+        ] {
+            match result {
+                Err(Error::InvalidEps { eps }) => {
+                    prop_assert!(eps.is_nan() || eps == bad_eps)
+                }
+                other => prop_assert!(false, "expected InvalidEps, got {:?}", other),
+            }
         }
     }
 }

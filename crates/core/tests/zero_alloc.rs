@@ -65,6 +65,7 @@ fn pair_list(n_orb: usize, n_pairs: usize) -> PairList {
     PairList {
         pairs,
         n_candidates: n_pairs,
+        considered: n_pairs,
         eps: 0.0,
     }
 }
