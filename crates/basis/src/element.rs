@@ -103,6 +103,26 @@ impl Element {
         }
     }
 
+    /// Inverse of [`Element::z`], used when decoding checkpoints.
+    pub fn from_z(z: u32) -> Option<Element> {
+        Some(match z {
+            1 => Element::H,
+            2 => Element::He,
+            3 => Element::Li,
+            4 => Element::Be,
+            5 => Element::B,
+            6 => Element::C,
+            7 => Element::N,
+            8 => Element::O,
+            9 => Element::F,
+            11 => Element::Na,
+            15 => Element::P,
+            16 => Element::S,
+            17 => Element::Cl,
+            _ => return None,
+        })
+    }
+
     /// Parse a symbol (case-sensitive standard notation).
     pub fn from_symbol(s: &str) -> Option<Element> {
         Some(match s {

@@ -10,13 +10,14 @@ pub mod mts;
 pub mod node;
 pub mod overlap;
 pub mod scaling;
+pub mod serve;
 pub mod simd;
 pub mod validation;
 
 use crate::Table;
 
 /// All experiment ids in the DESIGN.md order.
-pub const ALL_IDS: [&str; 23] = [
+pub const ALL_IDS: [&str; 24] = [
     "fig-strong-scaling",
     "fig-weak-scaling",
     "fig-baseline-scaling",
@@ -40,6 +41,7 @@ pub const ALL_IDS: [&str; 23] = [
     "bench-collectives",
     "bench-overlap",
     "bench-scaling",
+    "bench-serve",
 ];
 
 /// Run one experiment by id. `fast` trims the heaviest sweeps to keep the
@@ -69,6 +71,7 @@ pub fn run(id: &str, fast: bool) -> Vec<Table> {
         "bench-collectives" => collectives::bench_collectives(fast),
         "bench-overlap" => overlap::bench_overlap(fast),
         "bench-scaling" => locality::bench_scaling(fast),
+        "bench-serve" => serve::bench_serve(fast),
         other => panic!("unknown experiment id '{other}' (see ALL_IDS)"),
     }
 }

@@ -1,0 +1,252 @@
+//! Keyed, bounded, cross-job registry of incremental-exchange caches.
+//!
+//! PR 2's [`IncrementalExchange`] warms its fingerprint caches across the
+//! builds of *one* calculation. Screening traffic (the serve workload)
+//! is a stream of near-duplicate calculations: many tenants submitting
+//! the same solvent boxes at the same grids. [`ExchangeCachePool`] makes
+//! the reuse deliberate and *cross-job*: caches are keyed by a
+//! [`SystemKey`] describing the physical system + discretization, checked
+//! out exclusively by a running job, and checked back in when the job
+//! completes — so the next job on the same system starts with every pair
+//! warm instead of cold.
+//!
+//! Checkout **removes** the entry (exclusive ownership): two concurrent
+//! jobs on the same key never alias one cache — the second simply takes a
+//! miss and builds its own, and check-in keeps whichever returns last.
+//! The pool is bounded: beyond `capacity` entries the least-recently-used
+//! cache is dropped (eviction = forgetting warm state, never wrong
+//! answers — a rebuilt cache reproduces the same bits from scratch).
+//!
+//! Correctness does not depend on hitting: a cached contribution is only
+//! reused when the orbital fingerprints match within `eps_inc`, and at
+//! `eps_inc = 0` reuse of *identical* orbitals is bit-identical to
+//! recomputation (the PR 2 property). The pool only changes who gets to
+//! start warm.
+
+use crate::incremental::IncrementalExchange;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Identity of a cacheable exchange workload: same key ⇒ the cached
+/// fingerprints are meaningful for the incoming orbitals.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SystemKey {
+    /// System name (e.g. solvent id) — the coarse namespace.
+    pub system: String,
+    /// Grid dimensions the orbitals live on.
+    pub dims: (usize, usize, usize),
+    /// Occupied-orbital count.
+    pub norb: usize,
+    /// Seed of the deterministic workload builder (different seeds are
+    /// different geometries and must not share fingerprints).
+    pub seed: u64,
+}
+
+#[derive(Debug)]
+struct PoolEntry {
+    inc: IncrementalExchange,
+    last_use: u64,
+}
+
+#[derive(Debug, Default)]
+struct PoolMap {
+    entries: HashMap<SystemKey, PoolEntry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    checkins: u64,
+}
+
+/// Cumulative pool counters plus current occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachePoolStats {
+    /// Checkouts served by a warm cache.
+    pub hits: u64,
+    /// Checkouts that started cold.
+    pub misses: u64,
+    /// Warm caches dropped by the LRU bound.
+    pub evictions: u64,
+    /// Check-ins accepted.
+    pub checkins: u64,
+    /// Caches currently parked in the pool.
+    pub entries: usize,
+    /// Pool bound.
+    pub capacity: usize,
+}
+
+impl CachePoolStats {
+    /// Warm-checkout fraction, 0.0 when nothing was checked out yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The cross-job cache registry (shared by reference across scheduler
+/// workers; all methods take `&self`).
+#[derive(Debug)]
+pub struct ExchangeCachePool {
+    map: Mutex<PoolMap>,
+    capacity: usize,
+}
+
+impl ExchangeCachePool {
+    /// Pool bounded to `capacity` parked caches (≥ 1).
+    pub fn new(capacity: usize) -> ExchangeCachePool {
+        ExchangeCachePool {
+            map: Mutex::new(PoolMap::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Take exclusive ownership of the cache for `key`, or a fresh one
+    /// (with the given tolerance/cadence) on a miss. On a hit the parked
+    /// cache's own `eps_inc`/`rebuild_every` are overridden with the
+    /// caller's — the tolerance is the *job's* accuracy contract, not the
+    /// cache's history.
+    pub fn checkout(
+        &self,
+        key: &SystemKey,
+        eps_inc: f64,
+        rebuild_every: usize,
+    ) -> IncrementalExchange {
+        let mut m = self.map.lock().unwrap();
+        if let Some(entry) = m.entries.remove(key) {
+            m.hits += 1;
+            let mut inc = entry.inc;
+            inc.eps_inc = eps_inc;
+            inc.rebuild_every = rebuild_every;
+            inc
+        } else {
+            m.misses += 1;
+            IncrementalExchange::new(eps_inc, rebuild_every)
+        }
+    }
+
+    /// Return a cache to the pool under `key`, evicting the
+    /// least-recently-used entry beyond capacity. If a concurrent job
+    /// already parked a cache under the same key, the newer one wins (its
+    /// fingerprints are at least as fresh).
+    pub fn checkin(&self, key: SystemKey, inc: IncrementalExchange) {
+        let mut m = self.map.lock().unwrap();
+        m.tick += 1;
+        let tick = m.tick;
+        m.checkins += 1;
+        if m.entries
+            .insert(
+                key.clone(),
+                PoolEntry {
+                    inc,
+                    last_use: tick,
+                },
+            )
+            .is_some()
+        {
+            // Replaced a same-key entry: population unchanged, no evict.
+            return;
+        }
+        while m.entries.len() > self.capacity {
+            let victim = m
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    m.entries.remove(&k);
+                    m.evictions += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Snapshot of the pool counters.
+    pub fn stats(&self) -> CachePoolStats {
+        let m = self.map.lock().unwrap();
+        CachePoolStats {
+            hits: m.hits,
+            misses: m.misses,
+            evictions: m.evictions,
+            checkins: m.checkins,
+            entries: m.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(system: &str, seed: u64) -> SystemKey {
+        SystemKey {
+            system: system.to_string(),
+            dims: (16, 16, 16),
+            norb: 4,
+            seed,
+        }
+    }
+
+    #[test]
+    fn checkout_checkin_cycles_count_hits() {
+        let pool = ExchangeCachePool::new(4);
+        let k = key("pc", 1);
+        let inc = pool.checkout(&k, 1e-3, 0); // miss
+        pool.checkin(k.clone(), inc);
+        let inc = pool.checkout(&k, 1e-3, 0); // hit
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(pool.stats().misses, 1);
+        // While checked out, a second checkout of the same key misses.
+        let other = pool.checkout(&k, 1e-3, 0);
+        assert_eq!(pool.stats().misses, 2);
+        pool.checkin(k.clone(), inc);
+        pool.checkin(k.clone(), other); // same-key replace, no eviction
+        let s = pool.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.evictions, 0);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checkout_overrides_tolerance() {
+        let pool = ExchangeCachePool::new(4);
+        let k = key("dmso", 2);
+        pool.checkin(k.clone(), IncrementalExchange::new(1e-2, 5));
+        let inc = pool.checkout(&k, 1e-6, 3);
+        assert_eq!(inc.eps_inc, 1e-6);
+        assert_eq!(inc.rebuild_every, 3);
+    }
+
+    #[test]
+    fn lru_eviction_beyond_capacity() {
+        let pool = ExchangeCachePool::new(2);
+        for (i, name) in ["a", "b", "c"].iter().enumerate() {
+            pool.checkin(key(name, i as u64), IncrementalExchange::new(0.0, 0));
+        }
+        let s = pool.stats();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.evictions, 1);
+        // "a" (oldest) was the victim: checking it out is a miss, the
+        // newer two are hits.
+        pool.checkout(&key("a", 0), 0.0, 0);
+        assert_eq!(pool.stats().misses, 1);
+        pool.checkout(&key("b", 1), 0.0, 0);
+        pool.checkout(&key("c", 2), 0.0, 0);
+        assert_eq!(pool.stats().hits, 2);
+    }
+
+    #[test]
+    fn distinct_seeds_are_distinct_keys() {
+        let pool = ExchangeCachePool::new(8);
+        pool.checkin(key("pc", 1), IncrementalExchange::new(0.0, 0));
+        pool.checkout(&key("pc", 2), 0.0, 0);
+        assert_eq!(pool.stats().misses, 1, "different geometry, no hit");
+    }
+}

@@ -57,14 +57,6 @@ fn simd_candidates() -> Vec<SimdLevel> {
     }
 }
 
-/// Parse a `LIAIR_AUTOTUNE_REPS` value: best-of-N repetitions per path,
-/// N ≥ 1 (default 2).
-fn parse_autotune_reps(raw: Option<&str>) -> usize {
-    raw.and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or(2)
-}
-
 /// Parse a `LIAIR_PAIR_PATH` value: a forced path (`single`/`batched`)
 /// that bypasses the measurement entirely, for fully deterministic runs.
 fn parse_path_override(raw: Option<&str>) -> Option<PairPath> {
@@ -75,9 +67,12 @@ fn parse_path_override(raw: Option<&str>) -> Option<PairPath> {
     }
 }
 
+/// Best-of-N repetitions per path (N ≥ 1, default 2), resolved through
+/// the shared [`liair_runtime::SeedConfig`] convention rather than a
+/// private `LIAIR_AUTOTUNE_REPS` parse of its own.
 fn autotune_reps() -> usize {
     static REPS: OnceLock<usize> = OnceLock::new();
-    *REPS.get_or_init(|| parse_autotune_reps(std::env::var("LIAIR_AUTOTUNE_REPS").ok().as_deref()))
+    *REPS.get_or_init(|| liair_runtime::SeedConfig::from_env().resolve_autotune_reps())
 }
 
 fn path_override() -> Option<PairPath> {
@@ -175,11 +170,6 @@ mod tests {
 
     #[test]
     fn autotune_env_parsing() {
-        assert_eq!(parse_autotune_reps(None), 2);
-        assert_eq!(parse_autotune_reps(Some("5")), 5);
-        assert_eq!(parse_autotune_reps(Some(" 3 ")), 3);
-        assert_eq!(parse_autotune_reps(Some("0")), 2, "N >= 1 enforced");
-        assert_eq!(parse_autotune_reps(Some("junk")), 2);
         assert_eq!(parse_path_override(None), None);
         assert_eq!(parse_path_override(Some("single")), Some(PairPath::Single));
         assert_eq!(

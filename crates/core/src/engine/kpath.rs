@@ -200,6 +200,7 @@ impl ExchangeEngine<'_> {
         profile: &mut BuildProfile,
     ) -> Result<Vec<OrbitalContrib>> {
         let nao = setup.nao;
+        let plan_window = super::profile::PlanCacheWindow::open();
         // For each (j, ν): v_jν = Poisson[φ_j χ_ν]; then
         // K_μν += ∫ χ_μ φ_j v_jν — the pair-task structure of the energy
         // path. The task list is canonical: j-major, ν-ascending. With a
@@ -230,6 +231,7 @@ impl ExchangeEngine<'_> {
         let t0 = Instant::now();
         let cols = self.run_k_tasks(setup, &tasks, profile)?;
         profile.t_exec_s += t0.elapsed().as_secs_f64();
+        plan_window.record(profile);
         let mut slot_of = vec![usize::MAX; setup.nocc];
         for (s, &j) in slots.iter().enumerate() {
             slot_of[j] = s;

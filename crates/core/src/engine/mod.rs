@@ -691,6 +691,7 @@ impl<'a> ExchangeEngine<'a> {
         if !orbitals.is_empty() {
             self.validate_orbitals(orbitals)?;
         }
+        let plan_window = profile::PlanCacheWindow::open();
         let choice = self.energy_choice()?;
         let n = self.grid.len();
         let solver = self.try_full_solver()?;
@@ -712,6 +713,7 @@ impl<'a> ExchangeEngine<'a> {
             profile,
         )?;
         profile.t_exec_s += t0.elapsed().as_secs_f64();
+        plan_window.record(profile);
         Ok(contribs)
     }
 
@@ -767,6 +769,7 @@ impl<'a> ExchangeEngine<'a> {
         let grid = self.grid;
         let plist = &pairs.pairs;
         let mut profile = BuildProfile::default();
+        let plan_window = profile::PlanCacheWindow::open();
         let t0 = Instant::now();
         let contribs = self.run_chunks(
             plist.len(),
@@ -802,6 +805,7 @@ impl<'a> ExchangeEngine<'a> {
             &mut profile,
         )?;
         profile.t_exec_s += t0.elapsed().as_secs_f64();
+        plan_window.record(&mut profile);
         Ok(self.finish_energy(contribs, pairs, profile))
     }
 
@@ -830,6 +834,9 @@ impl<'a> ExchangeEngine<'a> {
         let choice = self.energy_choice()?;
         let npairs = pairs.len();
         let mut profile = BuildProfile::default();
+        // Stats snapshots are plain stack copies — the zero-alloc
+        // guarantee of this path is untouched.
+        let plan_window = profile::PlanCacheWindow::open();
         let t0 = Instant::now();
         profile.steady_allocs += scratch.pair.ensure(self.grid.len()) as usize;
         profile.steady_allocs += (npairs > scratch.contribs.capacity()) as usize;
@@ -855,6 +862,7 @@ impl<'a> ExchangeEngine<'a> {
         profile.pairs_computed = npairs;
         profile.pairs_screened = pairs.n_candidates - npairs;
         profile.pairs_considered = pairs.considered;
+        plan_window.record(&mut profile);
         Ok(HfxResult {
             energy,
             pairs_evaluated: npairs,

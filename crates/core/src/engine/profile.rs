@@ -40,6 +40,16 @@ pub struct BuildProfile {
     pub pairs_reused: usize,
     /// Incremental cache hits (entries consulted and found clean).
     pub cache_hits: usize,
+    /// FFT plan-cache lookups served warm during this build — the PR 1
+    /// process-wide plan cache, windowed per build so serve can report
+    /// per-job hit rates without side channels. (The incremental path was
+    /// previously the only one reporting any reuse; these two fields make
+    /// plan reuse uniform across every driver.)
+    #[serde(default)]
+    pub plan_cache_hits: u64,
+    /// FFT plan-cache lookups that had to build a plan during this build.
+    #[serde(default)]
+    pub plan_cache_misses: u64,
     /// Bytes that flowed through the reduction stage (contribution vectors,
     /// gathered columns, allreduce payloads).
     pub bytes_reduced: usize,
@@ -96,6 +106,8 @@ impl BuildProfile {
         self.pairs_computed += other.pairs_computed;
         self.pairs_reused += other.pairs_reused;
         self.cache_hits += other.cache_hits;
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.plan_cache_misses += other.plan_cache_misses;
         self.bytes_reduced += other.bytes_reduced;
         self.steady_allocs += other.steady_allocs;
         self.ranks_stalled += other.ranks_stalled;
@@ -138,6 +150,30 @@ impl BuildProfile {
     }
 }
 
+/// Per-build window over the process-wide FFT plan-cache counters: open
+/// before the build, [`PlanCacheWindow::record`] after, and the delta
+/// lands in the profile's `plan_cache_hits`/`plan_cache_misses`. The
+/// counters are process-global, so concurrent builds may attribute each
+/// other's lookups — acceptable for the aggregate hit rates the serve
+/// bench reports, and exact in single-build contexts.
+pub(crate) struct PlanCacheWindow {
+    start: liair_math::plan::PlanCacheStats,
+}
+
+impl PlanCacheWindow {
+    pub(crate) fn open() -> PlanCacheWindow {
+        PlanCacheWindow {
+            start: liair_math::plan::plan_cache_stats(),
+        }
+    }
+
+    pub(crate) fn record(self, profile: &mut BuildProfile) {
+        let delta = liair_math::plan::plan_cache_stats().since(&self.start);
+        profile.plan_cache_hits += delta.hits;
+        profile.plan_cache_misses += delta.misses;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +197,23 @@ mod tests {
         assert_eq!(a.t_fft_s, 0.25);
         assert_eq!(a.pairs_computed, 5);
         assert_eq!(a.pairs_reused, 7);
+    }
+
+    #[test]
+    fn merge_adds_plan_cache_counters() {
+        let mut a = BuildProfile {
+            plan_cache_hits: 10,
+            plan_cache_misses: 2,
+            ..Default::default()
+        };
+        let b = BuildProfile {
+            plan_cache_hits: 5,
+            plan_cache_misses: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.plan_cache_hits, 15);
+        assert_eq!(a.plan_cache_misses, 3);
     }
 
     #[test]

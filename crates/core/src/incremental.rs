@@ -40,7 +40,7 @@
 //! build is exactly the from-scratch one (bit-identical for the operator
 //! path — property-tested).
 
-use crate::engine::{BuildProfile, ExchangeEngine, KernelChoice};
+use crate::engine::{BuildProfile, ExchangeEngine, ExecBackend, KernelChoice};
 use crate::screening::{OrbitalInfo, Pair, PairList};
 use liair_grid::{PoissonSolver, RealGrid};
 use liair_math::{Mat, Vec3};
@@ -213,6 +213,11 @@ pub struct IncrementalExchange {
     /// Pinned kernel choice for the dirty recompute (None = autotune),
     /// see [`IncrementalExchange::force_kernel_choice`].
     kernel_choice: Option<KernelChoice>,
+    /// Execution backend of the dirty recompute (None = rayon). The serve
+    /// scheduler points this at its rank-pool lease
+    /// (`ExecBackend::Comm { nranks, .. }`); engine bit-identity across
+    /// backends means the cache stays valid across backend changes.
+    backend: Option<ExecBackend>,
     // Grow-once scratch reused across builds (zero allocations in the
     // all-clean steady state).
     fp_scratch: Vec<Fingerprint>,
@@ -244,6 +249,7 @@ impl IncrementalExchange {
             totals: IncStats::default(),
             last_profile: BuildProfile::default(),
             kernel_choice: None,
+            backend: None,
             fp_scratch: Vec::new(),
             dirty_orb: Vec::new(),
             dirty_pairs: Vec::new(),
@@ -269,16 +275,28 @@ impl IncrementalExchange {
         }
     }
 
-    /// The configured engine over `grid`/`solver` (rayon backend, pinned
-    /// kernel choice when one was forced).
+    /// Route the dirty recompute through `backend` instead of the default
+    /// rayon pool. Unlike [`IncrementalExchange::force_kernel_choice`]
+    /// this does *not* invalidate the cache: every backend produces
+    /// bit-identical contributions (the engine's canonical-order
+    /// guarantee), so cached entries remain exact.
+    pub fn set_backend(&mut self, backend: ExecBackend) {
+        self.backend = Some(backend);
+    }
+
+    /// The configured engine over `grid`/`solver` (rayon backend unless
+    /// one was set, pinned kernel choice when one was forced).
     fn engine<'a>(&self, grid: &'a RealGrid, solver: &'a PoissonSolver) -> ExchangeEngine<'a> {
         let mut builder = ExchangeEngine::builder(grid, solver);
         if let Some(c) = self.kernel_choice {
             builder = builder.kernel_choice(c);
         }
+        if let Some(b) = self.backend {
+            builder = builder.backend(b);
+        }
         builder
             .build()
-            .expect("rayon engine with an optional pinned kernel is always a valid configuration")
+            .expect("a backend over an optional pinned kernel is always a valid configuration")
     }
 
     /// Incremental twin of [`crate::hfx::exchange_energy`]: clean pairs

@@ -34,6 +34,7 @@
 #![allow(clippy::needless_range_loop)] // index loops are the clearer idiom in this numeric code
 
 pub mod balance;
+pub mod cachepool;
 pub mod distributed;
 pub mod domain;
 pub mod engine;
@@ -46,6 +47,7 @@ pub mod simulate;
 pub mod workload;
 
 pub use balance::{assign_pairs, Assignment, BalanceStrategy};
+pub use cachepool::{CachePoolStats, ExchangeCachePool, SystemKey};
 pub use domain::{
     build_pair_list_sharded, exchange_halo, sharded_pair_list_spmd, DomainDecomposition,
     DomainGeometry,

@@ -1,0 +1,328 @@
+//! Bit-exact binary encoding for checkpoint/restart.
+//!
+//! The serve layer checkpoints SCF and MD state mid-job and must resume
+//! producing **bit-identical** trajectories, so floating-point values are
+//! written as their raw IEEE-754 bit patterns (`f64::to_bits`) — no textual
+//! round-trip, no rounding. The format is deliberately tiny: little-endian
+//! fixed-width integers, length-prefixed slices, and a caller-chosen magic
+//! tag so mismatched payloads fail loudly instead of decoding garbage.
+//!
+//! This module exists because the workspace's `serde` shim is
+//! serialization-free by design (the reproduction environment has no real
+//! serde); everything that needs durable bytes goes through here.
+
+use std::fmt;
+
+/// Error decoding a checkpoint byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The stream ended before the requested field.
+    Truncated {
+        /// Bytes wanted by the read.
+        wanted: usize,
+        /// Bytes remaining in the stream.
+        remaining: usize,
+    },
+    /// The leading magic tag did not match the expected payload kind.
+    BadMagic {
+        /// Tag expected by the decoder.
+        expected: u32,
+        /// Tag found in the stream.
+        found: u32,
+    },
+    /// A version the decoder does not understand.
+    BadVersion(u16),
+    /// A length prefix that is implausibly large for the stream.
+    BadLength(u64),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { wanted, remaining } => {
+                write!(
+                    f,
+                    "truncated stream: wanted {wanted} bytes, {remaining} remain"
+                )
+            }
+            CodecError::BadMagic { expected, found } => {
+                write!(f, "bad magic: expected {expected:#x}, found {found:#x}")
+            }
+            CodecError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CodecError::BadLength(n) => write!(f, "implausible length prefix {n}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only byte encoder.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Fresh encoder stamped with a magic tag and format version.
+    pub fn with_magic(magic: u32, version: u16) -> Encoder {
+        let mut e = Encoder { buf: Vec::new() };
+        e.put_u32(magic);
+        e.put_u16(version);
+        e
+    }
+
+    /// Consume the encoder, returning the byte stream.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u16` (little-endian).
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u32` (little-endian).
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64` (little-endian).
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `usize` as a fixed-width `u64`.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Append a `bool` as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Append an `f64` as its raw bit pattern (bit-exact round trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a length-prefixed `f64` slice, bit-exact.
+    pub fn put_f64_slice(&mut self, vs: &[f64]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_f64(v);
+        }
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Append length-prefixed raw bytes.
+    pub fn put_bytes(&mut self, bs: &[u8]) {
+        self.put_usize(bs.len());
+        self.buf.extend_from_slice(bs);
+    }
+}
+
+/// Cursor-based decoder over a checkpoint byte stream.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Decoder over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Decoder<'a> {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Decoder that first checks the magic tag and returns the stream
+    /// version, failing on a mismatched tag.
+    pub fn with_magic(buf: &'a [u8], magic: u32) -> Result<(Decoder<'a>, u16), CodecError> {
+        let mut d = Decoder::new(buf);
+        let found = d.get_u32()?;
+        if found != magic {
+            return Err(CodecError::BadMagic {
+                expected: magic,
+                found,
+            });
+        }
+        let version = d.get_u16()?;
+        Ok((d, version))
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                wanted: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read a `u8`.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a `usize` (stored as `u64`), validating it fits the platform
+    /// and is not wildly beyond the remaining stream.
+    pub fn get_usize(&mut self) -> Result<usize, CodecError> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| CodecError::BadLength(v))
+    }
+
+    /// Read a `bool`.
+    pub fn get_bool(&mut self) -> Result<bool, CodecError> {
+        Ok(self.get_u8()? != 0)
+    }
+
+    /// Read an `f64` from its raw bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Read a length-prefixed `f64` vector.
+    pub fn get_f64_vec(&mut self) -> Result<Vec<f64>, CodecError> {
+        let n = self.get_usize()?;
+        // Each element is 8 bytes; reject prefixes the stream cannot hold.
+        if n > self.remaining() / 8 {
+            return Err(CodecError::BadLength(n as u64));
+        }
+        (0..n).map(|_| self.get_f64()).collect()
+    }
+
+    /// Read a length-prefixed UTF-8 string (lossy on invalid bytes).
+    pub fn get_string(&mut self) -> Result<String, CodecError> {
+        let n = self.get_usize()?;
+        if n > self.remaining() {
+            return Err(CodecError::BadLength(n as u64));
+        }
+        Ok(String::from_utf8_lossy(self.take(n)?).into_owned())
+    }
+
+    /// Read length-prefixed raw bytes.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let n = self.get_usize()?;
+        if n > self.remaining() {
+            return Err(CodecError::BadLength(n as u64));
+        }
+        Ok(self.take(n)?.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let specials = [
+            0.0,
+            -0.0,
+            1.0,
+            -1.5e-300,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            std::f64::consts::PI,
+        ];
+        let mut e = Encoder::with_magic(0x4C41_4952, 3);
+        for &v in &specials {
+            e.put_f64(v);
+        }
+        e.put_f64_slice(&specials);
+        e.put_u64(u64::MAX);
+        e.put_usize(77);
+        e.put_bool(true);
+        e.put_str("liair-serve");
+        let bytes = e.finish();
+
+        let (mut d, version) = Decoder::with_magic(&bytes, 0x4C41_4952).unwrap();
+        assert_eq!(version, 3);
+        for &v in &specials {
+            assert_eq!(d.get_f64().unwrap().to_bits(), v.to_bits());
+        }
+        let vs = d.get_f64_vec().unwrap();
+        assert_eq!(vs.len(), specials.len());
+        for (a, b) in vs.iter().zip(&specials) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(d.get_u64().unwrap(), u64::MAX);
+        assert_eq!(d.get_usize().unwrap(), 77);
+        assert!(d.get_bool().unwrap());
+        assert_eq!(d.get_string().unwrap(), "liair-serve");
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn nan_payloads_survive() {
+        // Checkpoints must preserve NaN payload bits too — resume paths
+        // compare trajectories via to_bits().
+        let weird = f64::from_bits(0x7ff8_dead_beef_0001);
+        let mut e = Encoder::default();
+        e.put_f64(weird);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_f64().unwrap().to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn mismatched_magic_is_rejected() {
+        let e = Encoder::with_magic(0x1111_2222, 1);
+        let bytes = e.finish();
+        let err = Decoder::with_magic(&bytes, 0x3333_4444).unwrap_err();
+        assert!(matches!(err, CodecError::BadMagic { .. }));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut e = Encoder::default();
+        e.put_f64_slice(&[1.0, 2.0, 3.0]);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes[..bytes.len() - 4]);
+        assert!(d.get_f64_vec().is_err());
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected() {
+        let mut e = Encoder::default();
+        e.put_u64(u64::MAX); // absurd length prefix
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert!(d.get_f64_vec().is_err());
+    }
+}

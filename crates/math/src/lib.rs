@@ -28,6 +28,7 @@
 #![allow(clippy::needless_range_loop)] // index loops are the clearer idiom in this numeric code
 
 pub mod array3;
+pub mod codec;
 pub mod complex;
 pub mod fft;
 pub mod fft3;

@@ -14,8 +14,13 @@
 //! Plans are cached process-wide in [`plan`] keyed by length, so the first
 //! transform of a given size pays the setup and every later one (any
 //! thread) reuses it — the serial analogue of FFTW-style planning the
-//! BG/Q paper leans on for its node kernel. [`plan_cache_stats`] exposes
-//! hit/miss counters for regression tests and perf triage.
+//! BG/Q paper leans on for its node kernel. The cache is **bounded**: a
+//! multi-tenant serve process sees many distinct grid sizes over its
+//! lifetime, so beyond [`plan_cache_capacity`] entries the least-recently
+//! used plan is evicted (in-flight `Arc`s keep evicted plans alive until
+//! their last user drops them — eviction only forgets, it never
+//! invalidates). [`plan_cache_stats`] exposes hit/miss/eviction counters
+//! for regression tests, the engine's `BuildProfile`, and perf triage.
 //!
 //! Steady-state transforms are allocation-free: the Bluestein convolution
 //! scratch lives in a grow-only thread local.
@@ -24,7 +29,6 @@ use crate::complex::Complex64;
 use crate::simd::{self, SimdLevel};
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// A planned 1-D transform of fixed length.
@@ -231,23 +235,118 @@ fn twiddle_table(n: usize, inverse: bool) -> Vec<Complex64> {
         .collect()
 }
 
-static PLAN_CACHE: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
-static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
-static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+/// Default bound on distinct cached lengths. A 3-D transform touches at
+/// most three lengths plus their Bluestein sub-lengths, so this comfortably
+/// covers dozens of concurrently active grid shapes.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
+
+#[derive(Debug)]
+struct PlanEntry {
+    plan: Arc<FftPlan>,
+    /// Logical clock of the most recent lookup; smallest value = LRU.
+    last_use: u64,
+}
+
+#[derive(Debug)]
+struct PlanCache {
+    entries: HashMap<usize, PlanEntry>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl Default for PlanCache {
+    fn default() -> PlanCache {
+        PlanCache {
+            entries: HashMap::new(),
+            capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+}
+
+impl PlanCache {
+    /// Evict least-recently-used entries until at most `capacity` remain,
+    /// never evicting `keep` (the entry the caller is about to hand out).
+    fn enforce_bound(&mut self, keep: usize) {
+        while self.entries.len() > self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != keep)
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    self.entries.remove(&k);
+                    self.evictions += 1;
+                }
+                None => break, // capacity 0 with only `keep` present
+            }
+        }
+    }
+}
+
+static PLAN_CACHE: OnceLock<Mutex<PlanCache>> = OnceLock::new();
+
+fn cache() -> &'static Mutex<PlanCache> {
+    PLAN_CACHE.get_or_init(Default::default)
+}
 
 /// Fetch (or build and cache) the plan for length `n`. Hot callers that
 /// transform many same-length lines should fetch once and reuse the `Arc`
 /// rather than paying the cache lock per line.
 pub fn plan(n: usize) -> Arc<FftPlan> {
-    let cache = PLAN_CACHE.get_or_init(Default::default);
-    if let Some(p) = cache.lock().unwrap().get(&n) {
-        CACHE_HITS.fetch_add(1, Ordering::Relaxed);
-        return Arc::clone(p);
+    {
+        let mut c = cache().lock().unwrap();
+        c.tick += 1;
+        let tick = c.tick;
+        if let Some(e) = c.entries.get_mut(&n) {
+            e.last_use = tick;
+            let out = Arc::clone(&e.plan);
+            c.hits += 1;
+            return out;
+        }
+        c.misses += 1;
     }
-    CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
     // Build outside the lock: Bluestein setup recurses into `plan(m)`.
     let built = Arc::new(FftPlan::build(n));
-    Arc::clone(cache.lock().unwrap().entry(n).or_insert(built))
+    let mut c = cache().lock().unwrap();
+    c.tick += 1;
+    let tick = c.tick;
+    let out = Arc::clone(
+        &c.entries
+            .entry(n)
+            .or_insert(PlanEntry {
+                plan: built,
+                last_use: tick,
+            })
+            .plan,
+    );
+    c.enforce_bound(n);
+    out
+}
+
+/// Bound the number of distinct cached plan lengths (LRU eviction beyond
+/// it). Returns the previous capacity. Takes effect immediately: shrinking
+/// below the current population evicts at once.
+pub fn set_plan_cache_capacity(capacity: usize) -> usize {
+    let mut c = cache().lock().unwrap();
+    let prev = c.capacity;
+    c.capacity = capacity.max(1);
+    // `usize::MAX` is never a valid length key, so nothing is pinned.
+    c.enforce_bound(usize::MAX);
+    prev
+}
+
+/// The current bound on distinct cached plan lengths.
+pub fn plan_cache_capacity() -> usize {
+    cache().lock().unwrap().capacity
 }
 
 /// Plan-cache observability counters.
@@ -257,21 +356,36 @@ pub struct PlanCacheStats {
     pub hits: u64,
     /// Lookups that had to build a plan.
     pub misses: u64,
+    /// Plans dropped by the LRU bound (cumulative).
+    pub evictions: u64,
     /// Distinct lengths currently cached.
     pub plans: usize,
+    /// Current cache bound.
+    pub capacity: usize,
+}
+
+impl PlanCacheStats {
+    /// Counter deltas `self − earlier` (for per-build / per-job windows).
+    pub fn since(&self, earlier: &PlanCacheStats) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            plans: self.plans,
+            capacity: self.capacity,
+        }
+    }
 }
 
 /// Snapshot of the process-wide plan-cache counters.
 pub fn plan_cache_stats() -> PlanCacheStats {
-    let plans = PLAN_CACHE
-        .get_or_init(Default::default)
-        .lock()
-        .unwrap()
-        .len();
+    let c = cache().lock().unwrap();
     PlanCacheStats {
-        hits: CACHE_HITS.load(Ordering::Relaxed),
-        misses: CACHE_MISSES.load(Ordering::Relaxed),
-        plans,
+        hits: c.hits,
+        misses: c.misses,
+        evictions: c.evictions,
+        plans: c.entries.len(),
+        capacity: c.capacity,
     }
 }
 
@@ -332,6 +446,63 @@ mod tests {
         let stats = plan_cache_stats();
         assert!(stats.hits >= 10, "{stats:?}");
         assert!(stats.plans >= 1);
+    }
+
+    #[test]
+    fn eviction_is_lru_and_counted() {
+        // Drive the LRU policy on a local cache instance: the global one is
+        // shared with concurrently running tests that assert plan identity,
+        // so shrinking its capacity here would race them.
+        let mut c = PlanCache {
+            capacity: 3,
+            ..Default::default()
+        };
+        for &n in &[8usize, 16, 32] {
+            c.tick += 1;
+            let tick = c.tick;
+            c.entries.insert(
+                n,
+                PlanEntry {
+                    plan: Arc::new(FftPlan::build(n)),
+                    last_use: tick,
+                },
+            );
+        }
+        // Touch 8 so 16 becomes the LRU, then overflow with 64.
+        c.tick += 1;
+        let tick = c.tick;
+        c.entries.get_mut(&8).unwrap().last_use = tick;
+        c.tick += 1;
+        let tick = c.tick;
+        c.entries.insert(
+            64,
+            PlanEntry {
+                plan: Arc::new(FftPlan::build(64)),
+                last_use: tick,
+            },
+        );
+        c.enforce_bound(64);
+        assert_eq!(c.entries.len(), 3);
+        assert!(!c.entries.contains_key(&16), "LRU entry should be evicted");
+        assert!(c.entries.contains_key(&8));
+        assert!(c.entries.contains_key(&64));
+        assert_eq!(c.evictions, 1);
+        // The just-inserted key is never its own victim, even at capacity 0.
+        c.capacity = 0;
+        c.capacity = c.capacity.max(1);
+        c.enforce_bound(64);
+        assert!(c.entries.contains_key(&64));
+    }
+
+    #[test]
+    fn stats_since_windows_the_counters() {
+        let a = plan_cache_stats();
+        plan(2053);
+        plan(2053);
+        let b = plan_cache_stats();
+        let d = b.since(&a);
+        assert!(d.misses >= 1, "{d:?}");
+        assert!(d.hits >= 1, "{d:?}");
     }
 
     #[test]

@@ -58,15 +58,14 @@ impl Default for MdOptions {
 /// wins, else the `LIAIR_MD_SEED` environment variable, else `2014`.
 /// Every thermalization site routes through this so trajectories are
 /// reproducible run-to-run and overridable fleet-wide from the
-/// environment.
+/// environment. The precedence itself lives in
+/// [`liair_runtime::SeedConfig`]; multi-tenant serve jobs skip the
+/// environment entirely and call [`SeedConfig::resolve_md_seed`] on their
+/// per-job config instead.
+///
+/// [`SeedConfig::resolve_md_seed`]: liair_runtime::SeedConfig::resolve_md_seed
 pub fn md_seed(explicit: Option<u64>) -> u64 {
-    explicit
-        .or_else(|| {
-            std::env::var("LIAIR_MD_SEED")
-                .ok()
-                .and_then(|v| v.trim().parse().ok())
-        })
-        .unwrap_or(2014)
+    liair_runtime::SeedConfig::from_env().resolve_md_seed(explicit)
 }
 
 /// The propagated state.

@@ -24,12 +24,14 @@
 #![allow(clippy::needless_range_loop)] // index loops are the clearer idiom in this numeric code
 
 pub mod analysis;
+pub mod checkpoint;
 pub mod ewald;
 pub mod forcefield;
 pub mod integrator;
 pub mod mts;
 pub mod qmforce;
 
+pub use checkpoint::MdCheckpoint;
 pub use forcefield::ForceField;
 pub use integrator::{md_seed, ForceProvider, MdOptions, MdState, Thermostat};
 pub use mts::{CombinedForces, MtsOptions, MtsOuterRecord, MtsStepTimes, SplitForceProvider};

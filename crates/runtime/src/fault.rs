@@ -75,14 +75,11 @@ impl FaultPlan {
 
     /// The plan selected by the `LIAIR_FAULT_SEED` environment variable
     /// (the CI fault matrix): `None` when unset or unparsable, otherwise
-    /// [`FaultPlan::with_stalls`] under that seed.
+    /// [`FaultPlan::with_stalls`] under that seed. Delegates to
+    /// [`crate::config::SeedConfig`] — serve jobs carry a per-job config
+    /// instead of calling this.
     pub fn from_env() -> Option<Self> {
-        let seed = std::env::var("LIAIR_FAULT_SEED")
-            .ok()?
-            .trim()
-            .parse::<u64>()
-            .ok()?;
-        Some(Self::with_stalls(seed))
+        crate::config::SeedConfig::from_env().fault_plan()
     }
 
     /// Check the plan is executable: probabilities in `[0, 1]`, their sum

@@ -31,13 +31,17 @@
 #![allow(clippy::needless_range_loop)] // index loops are the clearer idiom in this numeric code
 
 pub mod comm;
+pub mod config;
 pub mod error;
 pub mod fault;
 pub mod payload;
+pub mod pool;
 pub mod topo;
 
 pub use comm::{run_spmd, run_spmd_cfg, CollectiveMode, Comm, CommConfig, LocalComm, SpmdRun};
+pub use config::SeedConfig;
 pub use error::{CommError, CommResult};
 pub use fault::{FaultInjector, FaultPlan, FaultStats, Verdict};
 pub use payload::Payload;
+pub use pool::{PoolStats, RankLease, RankPool};
 pub use topo::{fit_torus, TorusComm, TrafficLog};

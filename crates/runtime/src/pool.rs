@@ -1,0 +1,188 @@
+//! Rank-pool leasing for the serve scheduler.
+//!
+//! The serve layer multiplexes many concurrent jobs over one fixed pool of
+//! virtual ranks. [`RankPool`] hands out [`RankLease`]s — RAII grants of
+//! `n` ranks that return to the pool automatically when dropped, whether
+//! the job completed, was preempted, or panicked mid-build. The scheduler
+//! sizes each job's `ExecBackend::Comm { nranks }` from its lease, and the
+//! engine's bit-identity across backends guarantees the *answer* does not
+//! depend on how many ranks the lease happened to carve out.
+//!
+//! The pool is a counter, not an affinity map: ranks are fungible here
+//! (placement on the torus is `liair-bgq`'s concern at model scale).
+//! Counters ([`PoolStats`]) make grant/reclaim/reject traffic observable
+//! for the soak bench.
+
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug)]
+struct PoolInner {
+    total: usize,
+    available: usize,
+    granted: u64,
+    reclaimed: u64,
+    rejected: u64,
+    peak_leased: usize,
+}
+
+/// Cumulative pool counters plus current occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Pool size.
+    pub total: usize,
+    /// Ranks currently unleased.
+    pub available: usize,
+    /// Leases granted (cumulative).
+    pub granted: u64,
+    /// Leases returned (cumulative).
+    pub reclaimed: u64,
+    /// Lease requests refused for lack of ranks (cumulative).
+    pub rejected: u64,
+    /// High-water mark of simultaneously leased ranks.
+    pub peak_leased: usize,
+}
+
+/// A shared pool of virtual ranks the scheduler carves into per-job slices.
+///
+/// Cheap to clone (all clones share the same pool).
+#[derive(Debug, Clone)]
+pub struct RankPool {
+    inner: Arc<Mutex<PoolInner>>,
+}
+
+impl RankPool {
+    /// A pool of `total` ranks (at least 1).
+    pub fn new(total: usize) -> RankPool {
+        let total = total.max(1);
+        RankPool {
+            inner: Arc::new(Mutex::new(PoolInner {
+                total,
+                available: total,
+                granted: 0,
+                reclaimed: 0,
+                rejected: 0,
+                peak_leased: 0,
+            })),
+        }
+    }
+
+    /// Try to lease `nranks` ranks (clamped to ≥ 1). Returns `None` —
+    /// and counts a rejection — when fewer are available right now; the
+    /// scheduler keeps the job queued and retries as leases drain back.
+    /// Requests larger than the whole pool are clamped to the pool size,
+    /// so an over-sized job degrades rather than deadlocks.
+    pub fn try_lease(&self, nranks: usize) -> Option<RankLease> {
+        let mut p = self.inner.lock().unwrap();
+        let want = nranks.max(1).min(p.total);
+        if want > p.available {
+            p.rejected += 1;
+            return None;
+        }
+        p.available -= want;
+        p.granted += 1;
+        p.peak_leased = p.peak_leased.max(p.total - p.available);
+        Some(RankLease {
+            nranks: want,
+            pool: Arc::clone(&self.inner),
+        })
+    }
+
+    /// Ranks currently unleased.
+    pub fn available(&self) -> usize {
+        self.inner.lock().unwrap().available
+    }
+
+    /// Pool size.
+    pub fn total(&self) -> usize {
+        self.inner.lock().unwrap().total
+    }
+
+    /// Snapshot of the pool counters.
+    pub fn stats(&self) -> PoolStats {
+        let p = self.inner.lock().unwrap();
+        PoolStats {
+            total: p.total,
+            available: p.available,
+            granted: p.granted,
+            reclaimed: p.reclaimed,
+            rejected: p.rejected,
+            peak_leased: p.peak_leased,
+        }
+    }
+}
+
+/// An RAII grant of ranks from a [`RankPool`]; dropping it returns the
+/// ranks. Leases are intentionally not clonable — exactly one job owns a
+/// slice at a time.
+#[derive(Debug)]
+pub struct RankLease {
+    nranks: usize,
+    pool: Arc<Mutex<PoolInner>>,
+}
+
+impl RankLease {
+    /// Ranks granted by this lease.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+}
+
+impl Drop for RankLease {
+    fn drop(&mut self) {
+        let mut p = self.pool.lock().unwrap();
+        p.available = (p.available + self.nranks).min(p.total);
+        p.reclaimed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leases_return_on_drop() {
+        let pool = RankPool::new(8);
+        let a = pool.try_lease(3).unwrap();
+        let b = pool.try_lease(5).unwrap();
+        assert_eq!(pool.available(), 0);
+        assert!(pool.try_lease(1).is_none(), "pool exhausted");
+        drop(a);
+        assert_eq!(pool.available(), 3);
+        drop(b);
+        assert_eq!(pool.available(), 8);
+        let s = pool.stats();
+        assert_eq!(s.granted, 2);
+        assert_eq!(s.reclaimed, 2);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.peak_leased, 8);
+    }
+
+    #[test]
+    fn oversized_requests_clamp_to_pool() {
+        let pool = RankPool::new(4);
+        let lease = pool.try_lease(100).unwrap();
+        assert_eq!(lease.nranks(), 4);
+        assert_eq!(pool.available(), 0);
+    }
+
+    #[test]
+    fn zero_rank_request_grants_one() {
+        let pool = RankPool::new(2);
+        let lease = pool.try_lease(0).unwrap();
+        assert_eq!(lease.nranks(), 1);
+        assert_eq!(pool.available(), 1);
+    }
+
+    #[test]
+    fn lease_survives_thread_panic() {
+        let pool = RankPool::new(4);
+        let p2 = pool.clone();
+        let res = std::thread::spawn(move || {
+            let _lease = p2.try_lease(4).unwrap();
+            panic!("job crashed mid-build");
+        })
+        .join();
+        assert!(res.is_err());
+        assert_eq!(pool.available(), 4, "ranks reclaimed despite panic");
+    }
+}

@@ -28,6 +28,30 @@ impl Diis {
         }
     }
 
+    /// Rebuild an accelerator from checkpointed history (oldest first).
+    /// The history is truncated to `depth` from the back, matching what
+    /// an uninterrupted run would have retained.
+    pub fn from_history(depth: usize, focks: Vec<Mat>, errors: Vec<Mat>) -> Self {
+        assert!(depth >= 1);
+        assert_eq!(focks.len(), errors.len(), "mismatched DIIS history");
+        let skip = focks.len().saturating_sub(depth);
+        Self {
+            depth,
+            focks: focks.into_iter().skip(skip).collect(),
+            errors: errors.into_iter().skip(skip).collect(),
+        }
+    }
+
+    /// History depth bound.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Stored `(Fock, error)` history, oldest first (for checkpointing).
+    pub fn history(&self) -> (Vec<&Mat>, Vec<&Mat>) {
+        (self.focks.iter().collect(), self.errors.iter().collect())
+    }
+
     /// Number of stored history entries.
     pub fn len(&self) -> usize {
         self.focks.len()

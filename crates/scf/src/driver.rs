@@ -1,14 +1,12 @@
 //! RHF / RKS(LDA) SCF drivers and post-SCF functional energies.
 
-use crate::diis::Diis;
 use liair_basis::{Basis, Molecule};
 use liair_grid::orbital::density_from_dm_at_points;
 use liair_grid::MolGrid;
-use liair_integrals::{build_jk, kinetic_matrix, nuclear_matrix, overlap_matrix, JkBuilder};
-use liair_math::linalg::{eigh, sym_inv_sqrt};
+use liair_integrals::{build_jk, kinetic_matrix, nuclear_matrix};
 use liair_math::Mat;
+use liair_xc::functional::Functional;
 use liair_xc::lda::lda_exc;
-use liair_xc::{functional::Functional, lda};
 
 /// Which self-consistent method to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,194 +109,10 @@ pub fn rks_lda(mol: &Molecule, basis: &Basis, opts: &ScfOptions) -> ScfResult {
 }
 
 fn scf(mol: &Molecule, basis: &Basis, opts: &ScfOptions, method: Method) -> ScfResult {
-    let n = basis.nao();
-    let nocc = mol.nocc();
-    assert!(nocc >= 1, "no electrons to converge");
-    assert!(
-        nocc <= n,
-        "basis too small: {nocc} occupied orbitals, {n} AOs"
-    );
-    let s = overlap_matrix(basis);
-    let h = kinetic_matrix(basis).add(&nuclear_matrix(basis, mol));
-    let x = sym_inv_sqrt(&s);
-    let e_nuc = mol.nuclear_repulsion();
-
-    // XC quadrature for RKS.
-    let molgrid = if method == Method::RksLda {
-        Some(MolGrid::becke(mol, opts.grid_radial, opts.grid_theta))
-    } else {
-        None
-    };
-    let ao_at_pts = molgrid
-        .as_ref()
-        .map(|g| liair_grid::ao_values_at_points(basis, &g.points));
-
-    // Integral engine + Schwarz bounds, built once for all iterations.
-    let jk_builder = JkBuilder::new(basis);
-
-    // Initial guess: core Hamiltonian.
-    let mut density = density_from_fock(&h, &x, nocc);
-    let mut diis = Diis::new(opts.diis_depth);
-    // Incremental-Fock state: J/K accumulated from difference densities
-    // against the density they were last built for.
-    let mut d_ref: Option<Mat> = None;
-    let mut j_acc = Mat::zeros(n, n);
-    let mut k_acc = Mat::zeros(n, n);
-    let mut builds_since_full = 0usize;
-    let mut energy = 0.0;
-    let mut breakdown = EnergyBreakdown {
-        e_nuc,
-        ..Default::default()
-    };
-    let mut c_final = Mat::zeros(n, n);
-    let mut eps_final = vec![0.0; n];
-    let mut converged = false;
-    let mut iterations = 0;
-
-    for it in 1..=opts.max_iter {
-        iterations = it;
-        let (j, k) = if opts.incremental_fock {
-            let full = d_ref.is_none()
-                || (opts.fock_rebuild_every > 0
-                    && builds_since_full + 1 >= opts.fock_rebuild_every);
-            if full {
-                let (jf, kf) = jk_builder.build(&density, opts.schwarz_tol);
-                j_acc = jf;
-                k_acc = kf;
-                builds_since_full = 0;
-            } else {
-                let delta = density.sub(d_ref.as_ref().unwrap());
-                let (dj, dk) = jk_builder.build_density_screened(&delta, opts.schwarz_tol);
-                j_acc.axpy(1.0, &dj);
-                k_acc.axpy(1.0, &dk);
-                builds_since_full += 1;
-            }
-            d_ref = Some(density.clone());
-            (j_acc.clone(), k_acc.clone())
-        } else {
-            jk_builder.build(&density, opts.schwarz_tol)
-        };
-        let (fock, e_elec, bd) = match method {
-            Method::Rhf => {
-                let mut f = h.clone();
-                f.axpy(1.0, &j);
-                f.axpy(-0.5, &k);
-                let e_core = density.trace_product(&h);
-                let e_coul = 0.5 * density.trace_product(&j);
-                let e_exch = -0.25 * density.trace_product(&k);
-                (
-                    f,
-                    e_core + e_coul + e_exch,
-                    EnergyBreakdown {
-                        e_nuc,
-                        e_core,
-                        e_coulomb: e_coul,
-                        e_exchange: e_exch,
-                        e_xc: 0.0,
-                    },
-                )
-            }
-            Method::RksLda => {
-                let grid = molgrid.as_ref().unwrap();
-                let aos = ao_at_pts.as_ref().unwrap();
-                let (nvals, _) = density_from_dm_at_points(basis, &density, &grid.points);
-                // V_xc matrix: Σ_p w_p v_xc(n_p) χ_μ(p) χ_ν(p).
-                let vxc_pts: Vec<f64> = nvals.iter().map(|&d| lda::lda_vxc(d)).collect();
-                let mut vxc = Mat::zeros(n, n);
-                for mu in 0..n {
-                    for nu in 0..=mu {
-                        let mut acc = 0.0;
-                        for p in 0..grid.len() {
-                            acc += grid.weights[p] * vxc_pts[p] * aos[mu][p] * aos[nu][p];
-                        }
-                        vxc[(mu, nu)] = acc;
-                        vxc[(nu, mu)] = acc;
-                    }
-                }
-                let e_xc: f64 = nvals
-                    .iter()
-                    .zip(&grid.weights)
-                    .map(|(&d, &w)| w * d * lda_exc(d))
-                    .sum();
-                let mut f = h.clone();
-                f.axpy(1.0, &j);
-                f.axpy(1.0, &vxc);
-                let e_core = density.trace_product(&h);
-                let e_coul = 0.5 * density.trace_product(&j);
-                (
-                    f,
-                    e_core + e_coul + e_xc,
-                    EnergyBreakdown {
-                        e_nuc,
-                        e_core,
-                        e_coulomb: e_coul,
-                        e_exchange: 0.0,
-                        e_xc,
-                    },
-                )
-            }
-        };
-
-        let new_energy = e_elec + e_nuc;
-        // DIIS error FDS − SDF.
-        let fds = fock.matmul(&density).matmul(&s);
-        let err = fds.sub(&fds.transpose());
-        let fock_x = diis.extrapolate(fock, err);
-        let diis_err = diis.latest_error();
-
-        // New density.
-        let (eps, c) = orbitals_from_fock(&fock_x, &x);
-        density = assemble_density(&c, nocc);
-        let de = (new_energy - energy).abs();
-        energy = new_energy;
-        breakdown = bd;
-        c_final = c;
-        eps_final = eps;
-        if it > 1 && de < opts.energy_tol && diis_err < opts.error_tol {
-            converged = true;
-            break;
-        }
-    }
-
-    ScfResult {
-        energy,
-        orbital_energies: eps_final,
-        c: c_final,
-        density,
-        nocc,
-        iterations,
-        converged,
-        breakdown,
-        method,
-    }
-}
-
-/// Diagonalize a Fock matrix in the orthonormal basis; return
-/// `(ε, C)` in the original AO basis.
-fn orbitals_from_fock(f: &Mat, x: &Mat) -> (Vec<f64>, Mat) {
-    let fp = x.transpose().matmul(f).matmul(x);
-    let (eps, cp) = eigh(&fp);
-    (eps, x.matmul(&cp))
-}
-
-fn assemble_density(c: &Mat, nocc: usize) -> Mat {
-    let n = c.nrows();
-    let mut d = Mat::zeros(n, n);
-    for mu in 0..n {
-        for nu in 0..n {
-            let mut acc = 0.0;
-            for k in 0..nocc {
-                acc += c[(mu, k)] * c[(nu, k)];
-            }
-            d[(mu, nu)] = 2.0 * acc;
-        }
-    }
-    d
-}
-
-fn density_from_fock(f: &Mat, x: &Mat, nocc: usize) -> Mat {
-    let (_, c) = orbitals_from_fock(f, x);
-    assemble_density(&c, nocc)
+    // The iteration itself lives in `session`: one `ScfSession::step` per
+    // SCF cycle, checkpointable between cycles. Running a fresh session to
+    // completion is the uninterrupted special case.
+    crate::session::ScfSession::new(mol, basis, opts, method).run_to_completion()
 }
 
 /// Post-SCF total energy of `functional` on a converged density:
@@ -352,6 +166,7 @@ pub fn functional_energy(
 mod tests {
     use super::*;
     use liair_basis::systems;
+    use liair_integrals::overlap_matrix;
     use liair_math::approx_eq;
 
     fn run_rhf(mol: &Molecule) -> (Basis, ScfResult) {

@@ -19,6 +19,7 @@ pub mod driver;
 pub mod fci;
 pub mod mp2;
 pub mod optimize;
+pub mod session;
 pub mod uhf;
 
 pub use diis::Diis;
@@ -26,4 +27,5 @@ pub use driver::{functional_energy, rhf, rks_lda, EnergyBreakdown, Method, ScfOp
 pub use fci::{fci_two_electron, FciResult};
 pub use mp2::{mp2_correlation, rhf_mp2_energy};
 pub use optimize::{dipole_moment, harmonic_frequencies, optimize_rhf, OptResult};
+pub use session::{ScfCheckpoint, ScfSession};
 pub use uhf::{uhf, UhfOptions, UhfResult};

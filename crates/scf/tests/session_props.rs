@@ -1,0 +1,80 @@
+//! Property test: serialize → deserialize → resume of an SCF session is
+//! bit-identical to the uninterrupted convergence, for every molecule,
+//! Fock-build mode, and interruption point.
+//!
+//! The serve layer preempts SCF jobs at arbitrary iterations and resumes
+//! them from [`ScfCheckpoint`] bytes; the resumed session must converge
+//! to exactly the uninterrupted energy, density, and orbitals — the DIIS
+//! history, incremental-Fock accumulators, and convergence bookkeeping
+//! all have to survive the byte round trip intact.
+
+use liair_basis::{systems, Basis, Molecule};
+use liair_scf::driver::{Method, ScfOptions};
+use liair_scf::ScfSession;
+use proptest::prelude::*;
+
+fn molecule_for(idx: usize) -> Molecule {
+    match idx % 4 {
+        0 => systems::h2(),
+        1 => systems::helium(),
+        2 => systems::lih(),
+        _ => systems::water(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn scf_checkpoint_resume_is_bit_identical(
+        mol_idx in 0usize..4,
+        cut_after in 1usize..6,
+        incremental_idx in 0usize..2,
+    ) {
+        let incremental_fock = incremental_idx == 1;
+        let mol = molecule_for(mol_idx);
+        let basis = Basis::sto3g(&mol);
+        let opts = ScfOptions {
+            incremental_fock,
+            ..ScfOptions::default()
+        };
+
+        // Uninterrupted reference.
+        let reference =
+            ScfSession::new(&mol, &basis, &opts, Method::Rhf).run_to_completion();
+
+        // Interrupted twin: step `cut_after` iterations (or fewer if it
+        // converges first), checkpoint, drop, resume, finish.
+        let mut live = ScfSession::new(&mol, &basis, &opts, Method::Rhf);
+        for _ in 0..cut_after {
+            if !live.step() {
+                break;
+            }
+        }
+        let ck = live.checkpoint();
+        drop(live);
+        let resumed = ScfSession::resume(&mol, &basis, &ck)
+            .expect("runner-written bytes resume against the same basis")
+            .run_to_completion();
+
+        prop_assert!(reference.converged);
+        prop_assert!(resumed.converged);
+        prop_assert_eq!(resumed.energy.to_bits(), reference.energy.to_bits());
+        prop_assert_eq!(resumed.density.nrows(), reference.density.nrows());
+        for (a, b) in resumed
+            .density
+            .as_slice()
+            .iter()
+            .zip(reference.density.as_slice())
+        {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in resumed
+            .orbital_energies
+            .iter()
+            .zip(&reference.orbital_energies)
+        {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

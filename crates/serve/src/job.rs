@@ -1,0 +1,248 @@
+//! Job specifications: what a tenant submits to the service.
+//!
+//! A [`JobSpec`] is a complete, self-contained description of one batch
+//! computation — the physical problem ([`JobKind`]), the tenant it bills
+//! to, its scheduling priority, the rank-pool slice it wants, and the
+//! per-job determinism knobs ([`SeedConfig`]). Nothing in a spec reads
+//! the process environment: two tenants with different seeds coexist in
+//! one service without racing on env vars (the PR 9 satellite that
+//! motivated `SeedConfig`).
+//!
+//! [`Disruption`] injects deterministic failures for the soak tests:
+//! a job preempted or faulted at a known step must *resume from its
+//! checkpoint* and land on bit-identical final numbers.
+
+use liair_basis::{systems, Molecule};
+use liair_runtime::SeedConfig;
+
+/// The small SCF systems the service schedules (each converges in a few
+/// iterations at STO-3G — real work, but cheap enough to soak-test with
+/// hundreds of jobs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScfSystem {
+    /// H₂ at equilibrium.
+    H2,
+    /// Lithium hydride.
+    LiH,
+    /// A single water molecule.
+    Water,
+    /// A helium atom.
+    Helium,
+}
+
+impl ScfSystem {
+    /// The geometry this system names.
+    pub fn molecule(self) -> Molecule {
+        match self {
+            ScfSystem::H2 => systems::h2(),
+            ScfSystem::LiH => systems::lih(),
+            ScfSystem::Water => systems::water(),
+            ScfSystem::Helium => systems::helium(),
+        }
+    }
+
+    /// Stable label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScfSystem::H2 => "h2",
+            ScfSystem::LiH => "lih",
+            ScfSystem::Water => "water",
+            ScfSystem::Helium => "helium",
+        }
+    }
+}
+
+/// What one job computes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobKind {
+    /// Converge an RHF SCF on a named small molecule. Checkpointable per
+    /// iteration through [`liair_scf::ScfSession`].
+    Scf {
+        /// Which molecule.
+        system: ScfSystem,
+        /// Incremental (difference-density) Fock builds.
+        incremental_fock: bool,
+    },
+    /// An r-RESPA MTS trajectory on a seeded water box under the
+    /// classical force field (tether-split slow correction).
+    /// Checkpointable per outer step through [`liair_md::MdCheckpoint`].
+    Md {
+        /// Molecules in the box.
+        n_waters: usize,
+        /// Outer (slow-force) steps.
+        n_outer: usize,
+        /// Inner steps per outer step.
+        n_inner: usize,
+        /// Thermalization temperature (K).
+        temperature: f64,
+    },
+    /// A grid-exchange screening evaluation on a synthetic solvent
+    /// snapshot: Gaussian proxy orbitals placed deterministically by
+    /// `seed`, total exchange energy through the incremental engine.
+    /// Same `(system, extent, norb, seed)` ⇒ identical orbitals ⇒ a warm
+    /// cross-job cache reproduces the cold result bit-for-bit.
+    Screening {
+        /// Solvent label (cache namespace).
+        system: String,
+        /// Cubic grid extent per axis.
+        extent: usize,
+        /// Proxy orbital count.
+        norb: usize,
+        /// Geometry seed.
+        seed: u64,
+    },
+}
+
+impl JobKind {
+    /// Stable label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            JobKind::Scf { system, .. } => format!("scf:{}", system.name()),
+            JobKind::Md { n_waters, .. } => format!("md:w{n_waters}"),
+            JobKind::Screening { system, seed, .. } => format!("screen:{system}#{seed}"),
+        }
+    }
+}
+
+/// Deterministic failure injection, applied on a job's *first* attempt
+/// only — the resumed attempt must run undisturbed to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disruption {
+    /// Run to completion.
+    None,
+    /// Scheduler preemption: the runner checkpoints *at* `at_step` and
+    /// yields. Resume loses no work.
+    Preempt {
+        /// SCF iteration / MD outer step at which the job is preempted.
+        at_step: usize,
+    },
+    /// Rank fault (the PR 5 failure model): the attempt dies at
+    /// `at_step`, and only the last *periodic* checkpoint survives —
+    /// resume re-executes the steps since, and must still reproduce the
+    /// uninterrupted numbers bitwise.
+    Fault {
+        /// SCF iteration / MD outer step at which the attempt dies.
+        at_step: usize,
+    },
+}
+
+impl Disruption {
+    /// Whether this spec injects any failure.
+    pub fn is_disruptive(&self) -> bool {
+        !matches!(self, Disruption::None)
+    }
+}
+
+/// One submitted job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Billing/quota identity.
+    pub tenant: String,
+    /// The computation.
+    pub kind: JobKind,
+    /// Base scheduling priority (higher runs sooner).
+    pub priority: u32,
+    /// Ranks requested from the shared pool (clamped by the pool).
+    pub nranks: usize,
+    /// Per-job determinism knobs; never read from the environment.
+    pub seeds: SeedConfig,
+    /// Deterministic failure injection (first attempt only).
+    pub disruption: Disruption,
+}
+
+impl JobSpec {
+    /// A minimal spec: priority 0, one rank, default seeds, no
+    /// disruption.
+    pub fn new(tenant: &str, kind: JobKind) -> JobSpec {
+        JobSpec {
+            tenant: tenant.to_string(),
+            kind,
+            priority: 0,
+            nranks: 1,
+            seeds: SeedConfig::default(),
+            disruption: Disruption::None,
+        }
+    }
+
+    /// Builder-style priority override.
+    pub fn with_priority(mut self, priority: u32) -> JobSpec {
+        self.priority = priority;
+        self
+    }
+
+    /// Builder-style rank-request override.
+    pub fn with_nranks(mut self, nranks: usize) -> JobSpec {
+        self.nranks = nranks;
+        self
+    }
+
+    /// Builder-style seed-config override.
+    pub fn with_seeds(mut self, seeds: SeedConfig) -> JobSpec {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Builder-style disruption override.
+    pub fn with_disruption(mut self, disruption: Disruption) -> JobSpec {
+        self.disruption = disruption;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        let s = JobSpec::new(
+            "acme",
+            JobKind::Scf {
+                system: ScfSystem::LiH,
+                incremental_fock: false,
+            },
+        );
+        assert_eq!(s.kind.label(), "scf:lih");
+        assert_eq!(
+            JobKind::Screening {
+                system: "pc".into(),
+                extent: 16,
+                norb: 4,
+                seed: 3
+            }
+            .label(),
+            "screen:pc#3"
+        );
+    }
+
+    #[test]
+    fn builders_compose() {
+        let s = JobSpec::new(
+            "a",
+            JobKind::Md {
+                n_waters: 2,
+                n_outer: 3,
+                n_inner: 2,
+                temperature: 300.0,
+            },
+        )
+        .with_priority(7)
+        .with_nranks(4)
+        .with_disruption(Disruption::Preempt { at_step: 2 });
+        assert_eq!(s.priority, 7);
+        assert_eq!(s.nranks, 4);
+        assert!(s.disruption.is_disruptive());
+    }
+
+    #[test]
+    fn scf_systems_have_atoms() {
+        for sys in [
+            ScfSystem::H2,
+            ScfSystem::LiH,
+            ScfSystem::Water,
+            ScfSystem::Helium,
+        ] {
+            assert!(!sys.molecule().atoms.is_empty(), "{}", sys.name());
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # liair-serve
+//!
+//! A multi-tenant batch job service over the exchange engine: the
+//! operational layer that turns one-shot calculations into a shared
+//! facility, the way a BG/Q partition is actually consumed — many users,
+//! many job kinds, one rank pool.
+//!
+//! * [`job`] — job specifications: SCF convergence, MTS-MD trajectories,
+//!   grid-exchange screening evaluations; per-job
+//!   [`SeedConfig`](liair_runtime::SeedConfig) so tenants never race on
+//!   process environment;
+//! * [`quota`] — per-tenant admission control (job-count and rank caps,
+//!   rejection accounting);
+//! * [`sched`] — priority queue with tick-based aging (no starvation,
+//!   deterministic order) and small-job backfill;
+//! * [`runner`] — attempt execution with bit-exact checkpoint/restart:
+//!   preempted jobs resume from the exact preemption step, faulted jobs
+//!   from the last periodic checkpoint, both landing bitwise on the
+//!   uninterrupted numbers;
+//! * [`service`] — the scheduler loop: admission → queue → rank-pool
+//!   lease → worker threads, with the shared cross-job
+//!   [`ExchangeCachePool`](liair_core::ExchangeCachePool) and the final
+//!   [`ServiceReport`](service::ServiceReport).
+//!
+//! See DESIGN.md ("The serve layer") for the architecture and the cache
+//! keying/eviction policy.
+
+pub mod job;
+pub mod quota;
+pub mod runner;
+pub mod sched;
+pub mod service;
+
+pub use job::{Disruption, JobKind, JobSpec, ScfSystem};
+pub use quota::{Admission, RejectReason, TenantQuota};
+pub use runner::{run_job, run_reference, Attempt, JobCheckpoint, JobOutput};
+pub use sched::AgedQueue;
+pub use service::{run_and_verify, JobReport, Service, ServiceConfig, ServiceReport};

@@ -1,0 +1,567 @@
+//! Job execution with checkpoint/restart.
+//!
+//! The runner executes one *attempt* of a job on whatever backend slice
+//! the scheduler leased. An attempt ends three ways:
+//!
+//! * [`Attempt::Done`] — ran to completion, numbers attached;
+//! * [`Attempt::Preempted`] — the injected preemption fired: the runner
+//!   checkpointed *at* the preemption step, so resume loses nothing;
+//! * [`Attempt::Faulted`] — the injected rank fault fired: only the last
+//!   *periodic* checkpoint (every [`CHECKPOINT_EVERY`] steps) survives,
+//!   so resume re-executes the lost steps.
+//!
+//! Either way the follow-up attempt starts from [`JobCheckpoint`] and —
+//! because stepping is deterministic and checkpoints are bit-exact
+//! (`liair-math::codec`, every float via `to_bits`) — must land on final
+//! numbers bitwise equal to an uninterrupted run. That is the property
+//! the soak test measures and DESIGN.md promises.
+//!
+//! Disruptions are injected on the **first attempt only**: the runner is
+//! told whether it is resuming, and a resumed attempt runs undisturbed.
+
+use crate::job::{Disruption, JobKind, JobSpec};
+use liair_basis::{systems, Basis, Cell, Molecule};
+use liair_core::screening::{source_pairs, OrbitalInfo};
+use liair_core::{
+    BalanceStrategy, BuildProfile, ExchangeCachePool, ExecBackend, IncStats, SystemKey,
+};
+use liair_grid::{PoissonSolver, RealGrid};
+use liair_math::rng::SplitMix64;
+use liair_math::Vec3;
+use liair_md::mts::SplitForceProvider;
+use liair_md::{ForceField, MdCheckpoint, MdOptions, MdState, MtsOptions, Thermostat};
+use liair_scf::{Method, ScfCheckpoint, ScfOptions, ScfSession};
+
+/// Steps between the periodic checkpoints a fault falls back on.
+pub const CHECKPOINT_EVERY: usize = 2;
+
+/// Fixed cubic cell edge (Bohr) of the screening snapshots.
+const SCREEN_CELL_EDGE: f64 = 12.0;
+/// Screening pair-list threshold.
+const SCREEN_EPS: f64 = 1e-6;
+/// Fingerprint tolerance of the screening jobs' incremental caches.
+/// Identical orbitals have fingerprint distance exactly 0, so any
+/// positive tolerance reuses them — and reuse of identical orbitals is
+/// bit-identical to recomputation (the PR 2 property the cross-job cache
+/// inherits).
+const SCREEN_EPS_INC: f64 = 1e-9;
+
+/// Serialized resume state of a suspended job.
+#[derive(Debug, Clone)]
+pub enum JobCheckpoint {
+    /// An SCF session mid-convergence.
+    Scf(ScfCheckpoint),
+    /// An MD trajectory mid-flight (serialized [`MdCheckpoint`]).
+    Md(Vec<u8>),
+}
+
+impl JobCheckpoint {
+    /// Serialized size (what a real service would write to burst
+    /// buffers; here it feeds the bench's checkpoint-bytes column).
+    pub fn nbytes(&self) -> usize {
+        match self {
+            JobCheckpoint::Scf(ck) => ck.bytes.len(),
+            JobCheckpoint::Md(b) => b.len(),
+        }
+    }
+}
+
+/// Numbers a completed job reports.
+#[derive(Debug, Clone)]
+pub struct JobOutput {
+    /// The job's headline number: converged SCF energy, final MD
+    /// potential, or total screening exchange energy. Bit-compared
+    /// against the uninterrupted reference by the soak tests.
+    pub final_energy: f64,
+    /// SCF iterations / MD inner steps / screening pairs evaluated.
+    pub steps: usize,
+    /// SCF convergence flag (`true` for the other kinds).
+    pub converged: bool,
+    /// Incremental-exchange reuse counters (screening jobs).
+    pub inc: IncStats,
+    /// Build instrumentation of the job's last exchange build (screening
+    /// jobs; carries the FFT plan-cache window among the rest).
+    pub profile: BuildProfile,
+    /// Whether this job's screening cache came warm out of the pool.
+    pub cache_warm: bool,
+}
+
+/// How one attempt ended.
+// One Attempt per job attempt: the size skew vs a checkpoint variant is
+// irrelevant at that rate, and boxing would ripple through every match.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum Attempt {
+    /// Ran to completion.
+    Done(JobOutput),
+    /// Preemption point reached; checkpoint taken at that exact step.
+    Preempted(JobCheckpoint),
+    /// Rank fault; only the last periodic checkpoint survives.
+    Faulted(JobCheckpoint),
+}
+
+/// The backend a rank lease of `nranks` maps to: the message-passing
+/// engine backend for multi-rank leases, rayon for single-rank ones.
+/// Engine builds are bit-identical across all of these (the PR 3/4
+/// guarantee), which is what makes lease-sized backends safe to mix with
+/// cross-job caches.
+pub fn backend_for_lease(nranks: usize) -> ExecBackend {
+    if nranks > 1 {
+        ExecBackend::Comm {
+            nranks,
+            strategy: BalanceStrategy::GreedyLpt,
+        }
+    } else {
+        ExecBackend::Rayon
+    }
+}
+
+/// Execute one attempt of `spec`.
+///
+/// `resume` carries the checkpoint of a previous attempt (disruptions
+/// are not re-injected when it is `Some`). `nranks` is the size of the
+/// rank lease the scheduler granted. `cache` is the shared cross-job
+/// exchange cache pool (screening jobs only).
+pub fn run_job(
+    spec: &JobSpec,
+    resume: Option<&JobCheckpoint>,
+    nranks: usize,
+    cache: Option<&ExchangeCachePool>,
+) -> Attempt {
+    let disruption = if resume.is_some() {
+        Disruption::None
+    } else {
+        spec.disruption
+    };
+    match &spec.kind {
+        JobKind::Scf {
+            system,
+            incremental_fock,
+        } => run_scf(spec, *system, *incremental_fock, resume, disruption),
+        JobKind::Md {
+            n_waters,
+            n_outer,
+            n_inner,
+            temperature,
+        } => run_md(
+            spec,
+            *n_waters,
+            *n_outer,
+            *n_inner,
+            *temperature,
+            resume,
+            disruption,
+        ),
+        JobKind::Screening {
+            system,
+            extent,
+            norb,
+            seed,
+        } => run_screening(system, *extent, *norb, *seed, nranks, cache),
+    }
+}
+
+/// Run `spec` uninterrupted on the default backend with no shared cache —
+/// the reference the soak tests bit-compare resumed jobs against.
+pub fn run_reference(spec: &JobSpec) -> JobOutput {
+    let clean = JobSpec {
+        disruption: Disruption::None,
+        ..spec.clone()
+    };
+    match run_job(&clean, None, 1, None) {
+        Attempt::Done(out) => out,
+        _ => unreachable!("an undisrupted attempt always completes"),
+    }
+}
+
+fn scf_options(incremental_fock: bool) -> ScfOptions {
+    ScfOptions {
+        incremental_fock,
+        ..ScfOptions::default()
+    }
+}
+
+fn run_scf(
+    _spec: &JobSpec,
+    system: crate::job::ScfSystem,
+    incremental_fock: bool,
+    resume: Option<&JobCheckpoint>,
+    disruption: Disruption,
+) -> Attempt {
+    let mol = system.molecule();
+    let basis = Basis::sto3g(&mol);
+    let opts = scf_options(incremental_fock);
+    let mut session = match resume {
+        Some(JobCheckpoint::Scf(ck)) => ScfSession::resume(&mol, &basis, ck)
+            .expect("a checkpoint taken by this runner resumes against the same basis"),
+        Some(JobCheckpoint::Md(_)) => unreachable!("SCF job resumed with an MD checkpoint"),
+        None => ScfSession::new(&mol, &basis, &opts, Method::Rhf),
+    };
+    let mut periodic: Option<ScfCheckpoint> = Some(session.checkpoint());
+    while session.step() {
+        let it = session.iterations();
+        match disruption {
+            Disruption::Preempt { at_step } if it == at_step && !session.done() => {
+                return Attempt::Preempted(JobCheckpoint::Scf(session.checkpoint()));
+            }
+            Disruption::Fault { at_step } if it == at_step && !session.done() => {
+                let ck = periodic
+                    .take()
+                    .expect("an initial checkpoint always exists");
+                return Attempt::Faulted(JobCheckpoint::Scf(ck));
+            }
+            _ => {}
+        }
+        if it % CHECKPOINT_EVERY == 0 {
+            periodic = Some(session.checkpoint());
+        }
+    }
+    Attempt::Done(JobOutput {
+        final_energy: session.energy(),
+        steps: session.iterations(),
+        converged: session.converged(),
+        inc: IncStats::default(),
+        profile: BuildProfile::default(),
+        cache_warm: false,
+    })
+}
+
+/// The deterministic force split MD jobs integrate under: classical
+/// force field fast part, a weak quartic tether to the *initial*
+/// positions as the slow correction (the same split the MTS equivalence
+/// proofs use). Reconstructable from the job spec alone — which is why
+/// [`MdCheckpoint`] never serializes the provider.
+pub struct TetherSplit {
+    ff: ForceField,
+    anchors: Vec<Vec3>,
+    k: f64,
+}
+
+impl TetherSplit {
+    /// Split anchored at `mol`'s current positions.
+    pub fn new(mol: &Molecule, cell: Option<&Cell>, k: f64) -> TetherSplit {
+        TetherSplit {
+            ff: ForceField::from_molecule(mol, cell),
+            anchors: mol.atoms.iter().map(|a| a.pos).collect(),
+            k,
+        }
+    }
+}
+
+impl SplitForceProvider for TetherSplit {
+    fn fast_forces(&self, mol: &Molecule, cell: Option<&Cell>) -> (f64, Vec<Vec3>) {
+        self.ff.energy_forces(mol, cell)
+    }
+
+    fn slow_correction(
+        &self,
+        mol: &Molecule,
+        _cell: Option<&Cell>,
+        _fast: (f64, &[Vec3]),
+    ) -> (f64, Vec<Vec3>) {
+        let mut e = 0.0;
+        let forces = mol
+            .atoms
+            .iter()
+            .zip(&self.anchors)
+            .map(|(a, &r0)| {
+                let d = a.pos - r0;
+                let r2 = d.norm_sqr();
+                e += 0.25 * self.k * r2 * r2;
+                -d * (self.k * r2)
+            })
+            .collect();
+        (e, forces)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_md(
+    spec: &JobSpec,
+    n_waters: usize,
+    n_outer: usize,
+    n_inner: usize,
+    temperature: f64,
+    resume: Option<&JobCheckpoint>,
+    disruption: Disruption,
+) -> Attempt {
+    let seed = spec.seeds.resolve_md_seed(None);
+    // The provider is never serialized: it is a pure function of the job
+    // spec (initial box geometry), reconstructed on every attempt.
+    let (mol0, cell) = systems::water_box(n_waters, seed);
+    let split = TetherSplit::new(&mol0, Some(&cell), 1e-4);
+    let opts = MdOptions {
+        dt: 10.0,
+        thermostat: Thermostat::NoseHoover {
+            t_target: temperature,
+            tau: 300.0,
+        },
+        mts: MtsOptions { n_inner },
+    };
+    let mut state = match resume {
+        Some(JobCheckpoint::Md(bytes)) => MdCheckpoint::from_bytes(bytes)
+            .expect("a checkpoint taken by this runner round-trips")
+            .restore(),
+        Some(JobCheckpoint::Scf(_)) => unreachable!("MD job resumed with an SCF checkpoint"),
+        None => {
+            let mut st = MdState::new_split(mol0, Some(cell), &split);
+            st.thermalize_seeded(temperature, Some(seed));
+            st
+        }
+    };
+    let mut periodic = MdCheckpoint::capture(&state).to_bytes();
+    loop {
+        let outer_done = state.step_count / n_inner;
+        if outer_done >= n_outer {
+            break;
+        }
+        state.step_mts(&split, &opts);
+        let outer_done = state.step_count / n_inner;
+        if outer_done >= n_outer {
+            break;
+        }
+        match disruption {
+            Disruption::Preempt { at_step } if outer_done == at_step => {
+                let ck = MdCheckpoint::capture(&state).to_bytes();
+                return Attempt::Preempted(JobCheckpoint::Md(ck));
+            }
+            Disruption::Fault { at_step } if outer_done == at_step => {
+                return Attempt::Faulted(JobCheckpoint::Md(periodic));
+            }
+            _ => {}
+        }
+        if outer_done.is_multiple_of(CHECKPOINT_EVERY) {
+            periodic = MdCheckpoint::capture(&state).to_bytes();
+        }
+    }
+    Attempt::Done(JobOutput {
+        final_energy: state.potential,
+        steps: state.step_count,
+        converged: true,
+        inc: IncStats::default(),
+        profile: BuildProfile::default(),
+        cache_warm: false,
+    })
+}
+
+/// Deterministic Gaussian proxy-orbital snapshot for a screening job.
+/// Same `(extent, norb, seed)` ⇒ identical fields, bit for bit — the
+/// precondition for cross-job cache reuse being exact.
+fn screening_snapshot(
+    extent: usize,
+    norb: usize,
+    seed: u64,
+) -> (RealGrid, Vec<Vec<f64>>, Vec<OrbitalInfo>, Cell) {
+    let cell = Cell::cubic(SCREEN_CELL_EDGE);
+    let grid = RealGrid::cubic(cell, extent);
+    let mut rng = SplitMix64::new(seed);
+    let infos: Vec<OrbitalInfo> = (0..norb)
+        .map(|_| OrbitalInfo {
+            center: Vec3::new(
+                rng.range_f64(2.0, SCREEN_CELL_EDGE - 2.0),
+                rng.range_f64(2.0, SCREEN_CELL_EDGE - 2.0),
+                rng.range_f64(2.0, SCREEN_CELL_EDGE - 2.0),
+            ),
+            spread: 1.0,
+        })
+        .collect();
+    let fields: Vec<Vec<f64>> = infos
+        .iter()
+        .map(|info| {
+            (0..grid.len())
+                .map(|p| {
+                    let d2 = grid.point_flat(p).distance(info.center).powi(2);
+                    (-d2 / (2.0 * info.spread * info.spread)).exp()
+                })
+                .collect()
+        })
+        .collect();
+    (grid, fields, infos, cell)
+}
+
+fn run_screening(
+    system: &str,
+    extent: usize,
+    norb: usize,
+    seed: u64,
+    nranks: usize,
+    cache: Option<&ExchangeCachePool>,
+) -> Attempt {
+    let (grid, fields, infos, cell) = screening_snapshot(extent, norb, seed);
+    let solver = PoissonSolver::isolated(grid);
+    let pairs = source_pairs(&infos, SCREEN_EPS, Some(&cell));
+    let key = SystemKey {
+        system: system.to_string(),
+        dims: grid.dims,
+        norb,
+        seed,
+    };
+    let (mut inc, warm) = match cache {
+        Some(pool) => {
+            let before = pool.stats().hits;
+            let inc = pool.checkout(&key, SCREEN_EPS_INC, 0);
+            (inc, pool.stats().hits > before)
+        }
+        None => (
+            liair_core::IncrementalExchange::new(SCREEN_EPS_INC, 0),
+            false,
+        ),
+    };
+    inc.set_backend(backend_for_lease(nranks));
+    let result = inc.exchange_energy(&grid, &solver, &fields, &infos, &pairs);
+    let profile = inc.last_profile;
+    let totals = result.inc;
+    if let Some(pool) = cache {
+        pool.checkin(key, inc);
+    }
+    Attempt::Done(JobOutput {
+        final_energy: result.energy,
+        steps: result.pairs_evaluated + totals.pairs_reused,
+        converged: true,
+        inc: totals,
+        profile,
+        cache_warm: warm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::ScfSystem;
+    use liair_runtime::SeedConfig;
+
+    fn scf_spec(disruption: Disruption) -> JobSpec {
+        JobSpec::new(
+            "t",
+            JobKind::Scf {
+                system: ScfSystem::LiH,
+                incremental_fock: false,
+            },
+        )
+        .with_disruption(disruption)
+    }
+
+    fn md_spec(disruption: Disruption) -> JobSpec {
+        JobSpec::new(
+            "t",
+            JobKind::Md {
+                n_waters: 2,
+                n_outer: 5,
+                n_inner: 2,
+                temperature: 300.0,
+            },
+        )
+        .with_seeds(SeedConfig::default().with_md_seed(11))
+        .with_disruption(disruption)
+    }
+
+    fn resume_to_done(spec: &JobSpec, first: Attempt) -> JobOutput {
+        let ck = match first {
+            Attempt::Preempted(ck) | Attempt::Faulted(ck) => ck,
+            Attempt::Done(_) => panic!("expected the first attempt to be disrupted"),
+        };
+        match run_job(spec, Some(&ck), 1, None) {
+            Attempt::Done(out) => out,
+            _ => panic!("resumed attempts run undisturbed"),
+        }
+    }
+
+    #[test]
+    fn preempted_scf_resumes_bit_identical() {
+        let reference = run_reference(&scf_spec(Disruption::None));
+        assert!(reference.converged);
+        let spec = scf_spec(Disruption::Preempt { at_step: 3 });
+        let first = run_job(&spec, None, 1, None);
+        let resumed = resume_to_done(&spec, first);
+        assert_eq!(
+            resumed.final_energy.to_bits(),
+            reference.final_energy.to_bits()
+        );
+        assert_eq!(resumed.steps, reference.steps);
+    }
+
+    #[test]
+    fn faulted_scf_replays_lost_steps_bit_identical() {
+        let reference = run_reference(&scf_spec(Disruption::None));
+        let spec = scf_spec(Disruption::Fault { at_step: 3 });
+        let first = run_job(&spec, None, 1, None);
+        assert!(matches!(first, Attempt::Faulted(_)));
+        let resumed = resume_to_done(&spec, first);
+        assert_eq!(
+            resumed.final_energy.to_bits(),
+            reference.final_energy.to_bits()
+        );
+    }
+
+    #[test]
+    fn preempted_and_faulted_md_resume_bit_identical() {
+        for disruption in [
+            Disruption::Preempt { at_step: 2 },
+            Disruption::Fault { at_step: 3 },
+        ] {
+            let reference = run_reference(&md_spec(Disruption::None));
+            let spec = md_spec(disruption);
+            let first = run_job(&spec, None, 1, None);
+            let resumed = resume_to_done(&spec, first);
+            assert_eq!(
+                resumed.final_energy.to_bits(),
+                reference.final_energy.to_bits(),
+                "under {disruption:?}"
+            );
+            assert_eq!(resumed.steps, reference.steps);
+        }
+    }
+
+    #[test]
+    fn warm_screening_matches_cold_bitwise() {
+        let pool = ExchangeCachePool::new(4);
+        let spec = JobSpec::new(
+            "t",
+            JobKind::Screening {
+                system: "pc".into(),
+                extent: 16,
+                norb: 3,
+                seed: 5,
+            },
+        );
+        let cold = match run_job(&spec, None, 1, Some(&pool)) {
+            Attempt::Done(out) => out,
+            _ => unreachable!(),
+        };
+        assert!(!cold.cache_warm);
+        assert_eq!(cold.inc.pairs_reused, 0);
+        let warm = match run_job(&spec, None, 1, Some(&pool)) {
+            Attempt::Done(out) => out,
+            _ => unreachable!(),
+        };
+        assert!(warm.cache_warm);
+        assert!(warm.inc.pairs_reused > 0);
+        assert_eq!(warm.inc.pairs_recomputed, 0);
+        assert_eq!(warm.final_energy.to_bits(), cold.final_energy.to_bits());
+        // And both match a pool-free reference.
+        let lone = run_reference(&spec);
+        assert_eq!(lone.final_energy.to_bits(), cold.final_energy.to_bits());
+    }
+
+    #[test]
+    fn multirank_lease_screening_is_bit_identical_to_single() {
+        let spec = JobSpec::new(
+            "t",
+            JobKind::Screening {
+                system: "dmso".into(),
+                extent: 16,
+                norb: 3,
+                seed: 9,
+            },
+        );
+        let single = match run_job(&spec, None, 1, None) {
+            Attempt::Done(out) => out,
+            _ => unreachable!(),
+        };
+        let multi = match run_job(&spec, None, 3, None) {
+            Attempt::Done(out) => out,
+            _ => unreachable!(),
+        };
+        assert_eq!(single.final_energy.to_bits(), multi.final_energy.to_bits());
+    }
+}

@@ -19,7 +19,10 @@
 //!   scale model;
 //! * [`bgq`] — the 5-D-torus machine model;
 //! * [`runtime`] — the SPMD message-passing runtime;
-//! * [`md`] — molecular dynamics for the electrolyte application.
+//! * [`md`] — molecular dynamics for the electrolyte application;
+//! * [`serve`] — the multi-tenant batch job service: admission quotas,
+//!   priority-aged scheduling, rank-pool leasing, checkpoint/restart
+//!   with bit-identical resume, and keyed cross-job exchange caches.
 //!
 //! ## Quickstart
 //!
@@ -70,6 +73,7 @@ pub use liair_math as math;
 pub use liair_md as md;
 pub use liair_runtime as runtime;
 pub use liair_scf as scf;
+pub use liair_serve as serve;
 pub use liair_xc as xc;
 
 /// The most common imports in one place.
@@ -88,11 +92,12 @@ pub mod prelude {
         MdState, MtsOptions, SplitForceProvider, Thermostat, XcForces,
     };
     pub use liair_runtime::{
-        fit_torus, run_spmd_cfg, Comm, CommConfig, CommError, SpmdRun, TrafficLog,
+        fit_torus, run_spmd_cfg, Comm, CommConfig, CommError, SeedConfig, SpmdRun, TrafficLog,
     };
     pub use liair_scf::{
         fci_two_electron, functional_energy, harmonic_frequencies, mp2_correlation, optimize_rhf,
         rhf, rks_lda, uhf, ScfOptions, ScfResult, UhfOptions,
     };
+    pub use liair_serve::{JobKind, JobSpec, Service, ServiceConfig};
     pub use liair_xc::Functional;
 }
