@@ -239,9 +239,22 @@ impl Solvent {
         }
     }
 
-    /// All candidates, incumbent first.
-    pub fn all() -> [Solvent; 4] {
-        [
+    /// Short lowercase key, stable across releases — used for cache
+    /// namespaces, JSON reports, and job labels.
+    pub fn key(self) -> &'static str {
+        match self {
+            Solvent::PropyleneCarbonate => "pc",
+            Solvent::EthyleneCarbonate => "ec",
+            Solvent::Dmso => "dmso",
+            Solvent::Dme => "dme",
+        }
+    }
+
+    /// All candidates, incumbent first. A slice, not a fixed-size array:
+    /// adding a solvent must not break call sites, which should iterate
+    /// (or `.to_vec()`) rather than assume a count.
+    pub fn all() -> &'static [Solvent] {
+        &[
             Solvent::PropyleneCarbonate,
             Solvent::EthyleneCarbonate,
             Solvent::Dmso,
@@ -461,7 +474,7 @@ mod tests {
 
     #[test]
     fn complex_geometry_is_sane() {
-        for s in Solvent::all() {
+        for &s in Solvent::all() {
             let d = 3.6;
             let complex = li2o2_complex(s, d * crate::ANGSTROM / crate::ANGSTROM);
             let n_solvent = s.molecule().natoms();
@@ -507,9 +520,18 @@ mod tests {
 
     #[test]
     fn solvent_enum_roundtrip() {
-        for s in Solvent::all() {
+        assert!(Solvent::all().len() >= 4);
+        for &s in Solvent::all() {
             assert!(!s.name().is_empty());
+            assert!(!s.key().is_empty());
+            assert!(s.key().chars().all(|c| c.is_ascii_lowercase()));
             assert!(s.molecule().natoms() >= 10);
         }
+        // Keys are distinct (they namespace caches and reports).
+        let keys: Vec<&str> = Solvent::all().iter().map(|s| s.key()).collect();
+        let mut dedup = keys.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), keys.len());
     }
 }

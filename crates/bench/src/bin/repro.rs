@@ -5,7 +5,7 @@
 //! ```
 //!
 //! * `--fast` trims the heaviest sweeps (minutes instead of tens of
-//!   minutes);
+//!   minutes); `--smoke` is an alias (the CI smoke jobs' spelling);
 //! * `--markdown` emits GitHub tables (used to fill EXPERIMENTS.md);
 //! * `list` prints the available ids.
 
@@ -13,7 +13,7 @@ use liair_bench::experiments::{run, ALL_IDS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let fast = args.iter().any(|a| a == "--fast");
+    let fast = args.iter().any(|a| a == "--fast" || a == "--smoke");
     let markdown = args.iter().any(|a| a == "--markdown");
     let ids: Vec<String> = args
         .iter()
@@ -22,7 +22,7 @@ fn main() {
         .collect();
 
     if ids.iter().any(|a| a == "list") || ids.is_empty() {
-        eprintln!("usage: repro [--fast] [--markdown] <id>... | all");
+        eprintln!("usage: repro [--fast|--smoke] [--markdown] <id>... | all");
         eprintln!("experiments:");
         for id in ALL_IDS {
             eprintln!("  {id}");

@@ -10,6 +10,7 @@ pub mod mts;
 pub mod node;
 pub mod overlap;
 pub mod scaling;
+pub mod screening;
 pub mod serve;
 pub mod simd;
 pub mod validation;
@@ -17,7 +18,7 @@ pub mod validation;
 use crate::Table;
 
 /// All experiment ids in the DESIGN.md order.
-pub const ALL_IDS: [&str; 24] = [
+pub const ALL_IDS: [&str; 25] = [
     "fig-strong-scaling",
     "fig-weak-scaling",
     "fig-baseline-scaling",
@@ -42,6 +43,7 @@ pub const ALL_IDS: [&str; 24] = [
     "bench-overlap",
     "bench-scaling",
     "bench-serve",
+    "screen-solvents",
 ];
 
 /// Run one experiment by id. `fast` trims the heaviest sweeps to keep the
@@ -72,6 +74,7 @@ pub fn run(id: &str, fast: bool) -> Vec<Table> {
         "bench-overlap" => overlap::bench_overlap(fast),
         "bench-scaling" => locality::bench_scaling(fast),
         "bench-serve" => serve::bench_serve(fast),
+        "screen-solvents" => screening::screen_solvents(fast),
         other => panic!("unknown experiment id '{other}' (see ALL_IDS)"),
     }
 }

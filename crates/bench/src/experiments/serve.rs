@@ -85,11 +85,14 @@ fn mixed_jobs(n: usize) -> Vec<JobSpec> {
                 },
                 (kind, _) => kind,
             };
-            JobSpec::new(tenant, kind)
-                .with_priority((i % 5) as u32)
-                .with_nranks(1 + i % 3)
-                .with_seeds(SeedConfig::default().with_md_seed(100 + (i / 3) as u64 % 4))
-                .with_disruption(disruption)
+            JobSpec::builder(kind)
+                .tenant(tenant)
+                .priority((i % 5) as u32)
+                .nranks(1 + i % 3)
+                .seeds(SeedConfig::default().with_md_seed(100 + (i / 3) as u64 % 4))
+                .disruption(disruption)
+                .build()
+                .expect("bench specs are valid")
         })
         .collect()
 }
@@ -100,6 +103,8 @@ fn class_of(spec: &JobSpec) -> &'static str {
         JobKind::Scf { .. } => "scf",
         JobKind::Md { .. } => "md",
         JobKind::Screening { .. } => "screening",
+        JobKind::Reaction { .. } => "reaction",
+        JobKind::Solvation { .. } => "solvation",
     }
 }
 
@@ -122,7 +127,8 @@ pub fn bench_serve(fast: bool) -> Vec<Table> {
         .iter()
         .filter(|j| matches!(j.disruption, Disruption::Fault { .. }))
         .count();
-    let (report, bit_fraction) = run_and_verify(cfg.clone(), jobs);
+    let report = run_and_verify(cfg.clone(), jobs);
+    let bit_fraction = report.bit_identical_fraction();
 
     // --- Per-kind-class breakdown -------------------------------------
     let mut classes = Table::new(
@@ -144,11 +150,8 @@ pub fn bench_serve(fast: bool) -> Vec<Table> {
             .iter()
             .filter(|r| class_of(&r.spec) == class)
             .collect();
-        let disrupted = of_class
-            .iter()
-            .filter(|r| r.spec.disruption.is_disruptive())
-            .count();
-        let resumed = of_class.iter().filter(|r| r.resumed).count();
+        let disrupted = of_class.iter().filter(|r| r.disruption.injected).count();
+        let resumed = of_class.iter().filter(|r| r.disruption.resumed).count();
         let mean_lat = if of_class.is_empty() {
             0.0
         } else {
@@ -156,15 +159,15 @@ pub fn bench_serve(fast: bool) -> Vec<Table> {
         };
         let max_ckpt = of_class
             .iter()
-            .map(|r| r.checkpoint_bytes)
+            .map(|r| r.disruption.checkpoint_bytes)
             .max()
             .unwrap_or(0);
         let mut inc = IncStats::default();
         let (mut plan_hits, mut plan_misses) = (0u64, 0u64);
         for r in &of_class {
-            inc.accumulate(&r.output.inc);
-            plan_hits += r.output.profile.plan_cache_hits;
-            plan_misses += r.output.profile.plan_cache_misses;
+            inc.accumulate(&r.profile.inc);
+            plan_hits += r.profile.build.plan_cache_hits;
+            plan_misses += r.profile.build.plan_cache_misses;
         }
         classes.row(vec![
             class.into(),
@@ -196,7 +199,7 @@ pub fn bench_serve(fast: bool) -> Vec<Table> {
     let warm_screens = report
         .completed
         .iter()
-        .filter(|r| r.output.cache_warm)
+        .filter(|r| r.profile.cache_warm)
         .count();
     let mut headline = Table::new("bench-serve — service metrics", &["metric", "value"]);
     let rows: Vec<(&str, String)> = vec![
@@ -261,20 +264,20 @@ pub fn bench_serve(fast: bool) -> Vec<Table> {
                 r.spec.tenant,
                 r.spec.nranks,
                 r.spec.priority,
-                r.attempts,
-                r.resumed,
-                r.checkpoint_bytes,
+                r.disruption.attempts,
+                r.disruption.resumed,
+                r.disruption.checkpoint_bytes,
                 r.latency_s * 1e3,
-                r.output.final_energy
+                r.outcome.final_energy
             )
         })
         .collect();
     let mut inc = IncStats::default();
     let (mut plan_hits, mut plan_misses) = (0u64, 0u64);
     for r in &report.completed {
-        inc.accumulate(&r.output.inc);
-        plan_hits += r.output.profile.plan_cache_hits;
-        plan_misses += r.output.profile.plan_cache_misses;
+        inc.accumulate(&r.profile.inc);
+        plan_hits += r.profile.build.plan_cache_hits;
+        plan_misses += r.profile.build.plan_cache_misses;
     }
     let mut json = format!(
         "{{\n  \"experiment\": \"bench-serve\",\n  \"jobs_submitted\": {n},\n  \"completed\": {},\n  \"rejected\": {},\n  \"elapsed_s\": {:.4},\n  \"throughput_jobs_per_s\": {:.2},\n  \"latency_ms\": {{\"p50\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}}},\n  \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4}}},\n  \"pool\": {{\"granted\": {}, \"reclaimed\": {}, \"peak_leased\": {}}},\n  \"disrupted\": {{\"total\": {disrupted}, \"preempt\": {n_preempt}, \"fault\": {n_fault}, \"resumed\": {resumed}, \"bit_identical_fraction\": {bit_fraction:.4}}},\n  \"reuse\": {{\"pairs_reused\": {}, \"pairs_recomputed\": {}, \"plan_cache_hits\": {plan_hits}, \"plan_cache_misses\": {plan_misses}}},\n  \"jobs\": [\n",

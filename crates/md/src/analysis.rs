@@ -54,6 +54,44 @@ impl RdfAccumulator {
         self.frames += 1;
     }
 
+    /// Number of frames accumulated so far.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Overwrite the accumulated histogram (checkpoint restore): `bins`
+    /// must match the configured bin count. Together with
+    /// [`RdfAccumulator::frames`] and the public `bins`, this makes the
+    /// accumulator's mutable state round-trippable, so a trajectory
+    /// interrupted mid-flight resumes its RDF bit-exactly.
+    pub fn set_state(&mut self, bins: Vec<f64>, frames: usize) {
+        assert_eq!(bins.len(), self.bins.len(), "bin count mismatch");
+        self.bins = bins;
+        self.frames = frames;
+    }
+
+    /// Mean number of `b`-species neighbors of an `a` atom within
+    /// `r_cut` (the running coordination number n(r_cut)), averaged over
+    /// the accumulated frames. 0.0 before any frame.
+    pub fn coordination_number(&self, mol: &Molecule, r_cut: f64) -> f64 {
+        if self.frames == 0 {
+            return 0.0;
+        }
+        let n_a = mol.atoms.iter().filter(|at| at.element == self.a).count();
+        if n_a == 0 {
+            return 0.0;
+        }
+        let dr = self.r_max / self.bins.len() as f64;
+        let counted: f64 = self
+            .bins
+            .iter()
+            .enumerate()
+            .take_while(|&(k, _)| (k as f64 + 1.0) * dr <= r_cut + 1e-12)
+            .map(|(_, &c)| c)
+            .sum();
+        counted / (n_a as f64 * self.frames as f64)
+    }
+
     /// Normalized g(r) samples: `(r_mid, g)` per bin. Requires a cell to
     /// define the ideal-gas normalization.
     pub fn finish(&self, mol: &Molecule, cell: &Cell) -> Vec<(f64, f64)> {
@@ -79,6 +117,16 @@ impl RdfAccumulator {
             })
             .collect()
     }
+}
+
+/// Position and height `(r, g)` of the global maximum of a finished
+/// g(r) — the first-shell peak for the short-ranged RDFs of the
+/// screening study. `(0.0, 0.0)` for an empty or all-zero histogram.
+pub fn rdf_peak(g: &[(f64, f64)]) -> (f64, f64) {
+    g.iter()
+        .copied()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap_or((0.0, 0.0))
 }
 
 /// Bond scission bookkeeping over a trajectory: which of the initially
@@ -288,6 +336,44 @@ mod tests {
             .iter()
             .take_while(|&&(r, _)| r < 3.0)
             .all(|&(_, v)| v < 0.2));
+    }
+
+    #[test]
+    fn rdf_state_roundtrip_and_peak() {
+        let (mol, cell) = systems::water_box(2, 4);
+        let mut rdf = RdfAccumulator::new(Element::O, Element::O, 10.0, 32);
+        rdf.add_frame(&mol, &cell);
+        rdf.add_frame(&mol, &cell);
+        let g = rdf.finish(&mol, &cell);
+        let (r_peak, g_peak) = rdf_peak(&g);
+        assert!(g_peak > 1.0 && r_peak > 0.0);
+        // State round-trips bit-exactly into a fresh accumulator.
+        let mut restored = RdfAccumulator::new(Element::O, Element::O, 10.0, 32);
+        restored.set_state(rdf.bins.clone(), rdf.frames());
+        assert_eq!(restored.frames(), 2);
+        let g2 = restored.finish(&mol, &cell);
+        for (a, b) in g.iter().zip(&g2) {
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        // Empty histogram: benign peak.
+        assert_eq!(rdf_peak(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn coordination_counts_neighbors() {
+        // Two O atoms 2 Bohr apart, one H far away: O–O coordination
+        // within 3 Bohr is exactly 1 neighbor per O.
+        let cell = Cell::cubic(30.0);
+        let mut mol = Molecule::new();
+        mol.push(Element::O, Vec3::new(5.0, 5.0, 5.0));
+        mol.push(Element::O, Vec3::new(7.0, 5.0, 5.0));
+        mol.push(Element::H, Vec3::new(20.0, 20.0, 20.0));
+        let mut rdf = RdfAccumulator::new(Element::O, Element::O, 10.0, 40);
+        rdf.add_frame(&mol, &cell);
+        assert_eq!(rdf.frames(), 1);
+        let n = rdf.coordination_number(&mol, 3.0);
+        assert!((n - 1.0).abs() < 1e-12, "n(3.0) = {n}");
+        assert_eq!(rdf.coordination_number(&mol, 1.0), 0.0);
     }
 
     #[test]

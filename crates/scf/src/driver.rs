@@ -98,6 +98,30 @@ pub struct ScfResult {
     pub method: Method,
 }
 
+impl ScfResult {
+    /// Energy of the highest occupied molecular orbital, `None` before
+    /// the first iteration or for an empty system.
+    pub fn homo(&self) -> Option<f64> {
+        if self.nocc == 0 || self.orbital_energies.len() < self.nocc {
+            return None;
+        }
+        Some(self.orbital_energies[self.nocc - 1])
+    }
+
+    /// Energy of the lowest unoccupied molecular orbital, `None` when the
+    /// basis has no virtual orbitals.
+    pub fn lumo(&self) -> Option<f64> {
+        self.orbital_energies.get(self.nocc).copied()
+    }
+
+    /// HOMO–LUMO gap `ε_LUMO − ε_HOMO` — the screening study's proxy for
+    /// oxidative stability (a wider gap resists electron transfer to the
+    /// peroxide). `None` when either frontier orbital is unavailable.
+    pub fn homo_lumo_gap(&self) -> Option<f64> {
+        Some(self.lumo()? - self.homo()?)
+    }
+}
+
 /// Run restricted Hartree–Fock.
 pub fn rhf(mol: &Molecule, basis: &Basis, opts: &ScfOptions) -> ScfResult {
     scf(mol, basis, opts, Method::Rhf)
@@ -264,6 +288,23 @@ mod tests {
                 inc.energy
             );
         }
+    }
+
+    #[test]
+    fn frontier_orbitals_and_gap() {
+        // H2/STO-3G: two orbitals, σ occupied below zero, σ* virtual
+        // above, so the gap is positive and equals ε₁ − ε₀.
+        let (_, res) = run_rhf(&systems::h2());
+        let homo = res.homo().unwrap();
+        let lumo = res.lumo().unwrap();
+        assert!(approx_eq(homo, -0.578, 5e-3));
+        assert!(lumo > 0.0);
+        assert!(approx_eq(res.homo_lumo_gap().unwrap(), lumo - homo, 1e-15));
+        // Helium/STO-3G has a single AO: no virtual orbital, no gap.
+        let (_, he) = run_rhf(&systems::helium());
+        assert!(he.homo().is_some());
+        assert!(he.lumo().is_none());
+        assert!(he.homo_lumo_gap().is_none());
     }
 
     #[test]

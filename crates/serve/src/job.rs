@@ -12,8 +12,10 @@
 //! a job preempted or faulted at a known step must *resume from its
 //! checkpoint* and land on bit-identical final numbers.
 
+use liair_basis::systems::Solvent;
 use liair_basis::{systems, Molecule};
 use liair_runtime::SeedConfig;
+use liair_xc::Functional;
 
 /// The small SCF systems the service schedules (each converges in a few
 /// iterations at STO-3G — real work, but cheap enough to soak-test with
@@ -91,6 +93,39 @@ pub enum JobKind {
         /// Geometry seed.
         seed: u64,
     },
+    /// The campaign's quantum observable: the reaction (interaction)
+    /// energy of the solvent·Li₂O₂ contact complex against its isolated
+    /// fragments, `E_int = E(complex) − E(solvent) − E(Li₂O₂)`, at RHF
+    /// plus a post-SCF `functional` total, with HOMO–LUMO gaps of the
+    /// complex and the free solvent as oxidative-stability proxies.
+    /// Checkpointable during the (dominant) complex SCF stage.
+    Reaction {
+        /// Which candidate solvent.
+        solvent: Solvent,
+        /// Post-SCF functional for the reported interaction energy
+        /// (`Functional::Hf` reproduces the RHF number exactly).
+        functional: Functional,
+    },
+    /// The campaign's dynamical observable: an r-RESPA MTS trajectory of
+    /// an electrolyte box (`box_n³ − 1` solvent molecules around one
+    /// Li₂O₂ cluster), accumulating the Li–O radial distribution
+    /// function and solvent bond-scission events along the way.
+    /// Checkpointable per outer step, including the RDF histogram.
+    Solvation {
+        /// Which candidate solvent fills the box.
+        solvent: Solvent,
+        /// Lattice side: `box_n³ − 1` solvent molecules + 1 Li₂O₂.
+        box_n: usize,
+        /// Geometry seed (lattice orientations).
+        seed: u64,
+        /// Outer (slow-force) MTS steps.
+        n_outer: usize,
+        /// Inner steps per outer step.
+        n_inner: usize,
+        /// Thermostat target (K); campaigns run hot for accelerated
+        /// degradation.
+        temperature: f64,
+    },
 }
 
 impl JobKind {
@@ -100,6 +135,16 @@ impl JobKind {
             JobKind::Scf { system, .. } => format!("scf:{}", system.name()),
             JobKind::Md { n_waters, .. } => format!("md:w{n_waters}"),
             JobKind::Screening { system, seed, .. } => format!("screen:{system}#{seed}"),
+            JobKind::Reaction {
+                solvent,
+                functional,
+            } => format!("reaction:{}:{}", solvent.key(), functional.name()),
+            JobKind::Solvation {
+                solvent,
+                box_n,
+                seed,
+                ..
+            } => format!("solvation:{}:n{box_n}#{seed}", solvent.key()),
         }
     }
 }
@@ -133,6 +178,35 @@ impl Disruption {
     }
 }
 
+/// Why a [`JobBuilder`] refused to produce a spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// Tenant names are quota keys; an empty one would alias every
+    /// anonymous submitter onto one budget.
+    EmptyTenant,
+    /// A size/step parameter that must be ≥ 1 was 0.
+    ZeroParam(&'static str),
+    /// A physical parameter outside its sane range.
+    BadParam {
+        /// Which field.
+        field: &'static str,
+        /// What went wrong.
+        why: &'static str,
+    },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::EmptyTenant => write!(f, "tenant must be non-empty"),
+            SpecError::ZeroParam(field) => write!(f, "{field} must be at least 1"),
+            SpecError::BadParam { field, why } => write!(f, "{field}: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
 /// One submitted job.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
@@ -151,8 +225,69 @@ pub struct JobSpec {
 }
 
 impl JobSpec {
+    /// Typed entry point: an RHF SCF job on a named small molecule.
+    pub fn scf(system: ScfSystem) -> JobBuilder {
+        JobBuilder::new(JobKind::Scf {
+            system,
+            incremental_fock: false,
+        })
+    }
+
+    /// Typed entry point: an MTS MD job on a seeded water box.
+    pub fn md(n_waters: usize, n_outer: usize, n_inner: usize) -> JobBuilder {
+        JobBuilder::new(JobKind::Md {
+            n_waters,
+            n_outer,
+            n_inner,
+            temperature: 300.0,
+        })
+    }
+
+    /// Typed entry point: a grid-exchange screening job on a synthetic
+    /// solvent snapshot.
+    pub fn screening(system: &str, extent: usize, norb: usize, seed: u64) -> JobBuilder {
+        JobBuilder::new(JobKind::Screening {
+            system: system.to_string(),
+            extent,
+            norb,
+            seed,
+        })
+    }
+
+    /// Typed entry point: a reaction-energy job on a solvent·Li₂O₂
+    /// complex.
+    pub fn reaction(solvent: Solvent, functional: Functional) -> JobBuilder {
+        JobBuilder::new(JobKind::Reaction {
+            solvent,
+            functional,
+        })
+    }
+
+    /// Typed entry point: a solvation-shell MD job on an electrolyte
+    /// box.
+    pub fn solvation(solvent: Solvent, box_n: usize, seed: u64) -> JobBuilder {
+        JobBuilder::new(JobKind::Solvation {
+            solvent,
+            box_n,
+            seed,
+            n_outer: 4,
+            n_inner: 2,
+            temperature: 400.0,
+        })
+    }
+
+    /// Generic entry point when the kind is already in hand.
+    pub fn builder(kind: JobKind) -> JobBuilder {
+        JobBuilder::new(kind)
+    }
+
     /// A minimal spec: priority 0, one rank, default seeds, no
     /// disruption.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use the typed builders (`JobSpec::scf`, `JobSpec::md`, \
+                `JobSpec::screening`, …) or `JobSpec::builder(kind)`"
+    )]
     pub fn new(tenant: &str, kind: JobKind) -> JobSpec {
         JobSpec {
             tenant: tenant.to_string(),
@@ -165,27 +300,214 @@ impl JobSpec {
     }
 
     /// Builder-style priority override.
+    #[deprecated(since = "0.10.0", note = "use `JobBuilder::priority`")]
     pub fn with_priority(mut self, priority: u32) -> JobSpec {
         self.priority = priority;
         self
     }
 
     /// Builder-style rank-request override.
+    #[deprecated(since = "0.10.0", note = "use `JobBuilder::nranks`")]
     pub fn with_nranks(mut self, nranks: usize) -> JobSpec {
         self.nranks = nranks;
         self
     }
 
     /// Builder-style seed-config override.
+    #[deprecated(since = "0.10.0", note = "use `JobBuilder::seeds`")]
     pub fn with_seeds(mut self, seeds: SeedConfig) -> JobSpec {
         self.seeds = seeds;
         self
     }
 
     /// Builder-style disruption override.
+    #[deprecated(since = "0.10.0", note = "use `JobBuilder::disruption`")]
     pub fn with_disruption(mut self, disruption: Disruption) -> JobSpec {
         self.disruption = disruption;
         self
+    }
+}
+
+/// Validating builder behind the typed [`JobSpec`] entry points.
+///
+/// Every knob has a sane default (tenant `"default"`, priority 0, one
+/// rank, [`SeedConfig::default`], no disruption); [`JobBuilder::build`]
+/// checks the accumulated spec and is the only way out, so an invalid
+/// spec (empty tenant, zero-sized box, non-finite temperature, …) is
+/// unrepresentable downstream of it.
+#[derive(Debug, Clone)]
+pub struct JobBuilder {
+    kind: JobKind,
+    tenant: String,
+    priority: u32,
+    nranks: usize,
+    seeds: SeedConfig,
+    disruption: Disruption,
+}
+
+impl JobBuilder {
+    fn new(kind: JobKind) -> JobBuilder {
+        JobBuilder {
+            kind,
+            tenant: "default".to_string(),
+            priority: 0,
+            nranks: 1,
+            seeds: SeedConfig::default(),
+            disruption: Disruption::None,
+        }
+    }
+
+    /// Billing/quota identity (default `"default"`).
+    pub fn tenant(mut self, tenant: &str) -> JobBuilder {
+        self.tenant = tenant.to_string();
+        self
+    }
+
+    /// Base scheduling priority (default 0; higher runs sooner).
+    pub fn priority(mut self, priority: u32) -> JobBuilder {
+        self.priority = priority;
+        self
+    }
+
+    /// Ranks requested from the shared pool (default 1).
+    pub fn nranks(mut self, nranks: usize) -> JobBuilder {
+        self.nranks = nranks;
+        self
+    }
+
+    /// Full per-job seed configuration.
+    pub fn seeds(mut self, seeds: SeedConfig) -> JobBuilder {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Shorthand: override only the MD seed of the job's seed config.
+    pub fn md_seed(mut self, seed: u64) -> JobBuilder {
+        self.seeds = self.seeds.with_md_seed(seed);
+        self
+    }
+
+    /// Toggle incremental (difference-density) Fock builds; no-op for
+    /// non-SCF kinds.
+    pub fn incremental_fock(mut self, on: bool) -> JobBuilder {
+        if let JobKind::Scf {
+            incremental_fock, ..
+        } = &mut self.kind
+        {
+            *incremental_fock = on;
+        }
+        self
+    }
+
+    /// Thermalization temperature in K; no-op for non-MD kinds.
+    pub fn temperature(mut self, t: f64) -> JobBuilder {
+        match &mut self.kind {
+            JobKind::Md { temperature, .. } | JobKind::Solvation { temperature, .. } => {
+                *temperature = t;
+            }
+            _ => {}
+        }
+        self
+    }
+
+    /// MTS step counts; no-op for non-MD kinds.
+    pub fn steps(mut self, outer: usize, inner: usize) -> JobBuilder {
+        match &mut self.kind {
+            JobKind::Md {
+                n_outer, n_inner, ..
+            }
+            | JobKind::Solvation {
+                n_outer, n_inner, ..
+            } => {
+                *n_outer = outer;
+                *n_inner = inner;
+            }
+            _ => {}
+        }
+        self
+    }
+
+    /// Deterministic failure injection (default none).
+    pub fn disruption(mut self, disruption: Disruption) -> JobBuilder {
+        self.disruption = disruption;
+        self
+    }
+
+    /// Validate and produce the spec.
+    pub fn build(self) -> Result<JobSpec, SpecError> {
+        if self.tenant.is_empty() {
+            return Err(SpecError::EmptyTenant);
+        }
+        if self.nranks == 0 {
+            return Err(SpecError::ZeroParam("nranks"));
+        }
+        match &self.kind {
+            JobKind::Scf { .. } | JobKind::Reaction { .. } => {}
+            JobKind::Md {
+                n_waters,
+                n_outer,
+                n_inner,
+                temperature,
+            } => {
+                if *n_waters == 0 {
+                    return Err(SpecError::ZeroParam("n_waters"));
+                }
+                if *n_outer == 0 {
+                    return Err(SpecError::ZeroParam("n_outer"));
+                }
+                if *n_inner == 0 {
+                    return Err(SpecError::ZeroParam("n_inner"));
+                }
+                if !temperature.is_finite() || *temperature <= 0.0 {
+                    return Err(SpecError::BadParam {
+                        field: "temperature",
+                        why: "must be finite and positive",
+                    });
+                }
+            }
+            JobKind::Screening { extent, norb, .. } => {
+                if *extent == 0 {
+                    return Err(SpecError::ZeroParam("extent"));
+                }
+                if *norb == 0 {
+                    return Err(SpecError::ZeroParam("norb"));
+                }
+            }
+            JobKind::Solvation {
+                box_n,
+                n_outer,
+                n_inner,
+                temperature,
+                ..
+            } => {
+                if *box_n < 2 {
+                    return Err(SpecError::BadParam {
+                        field: "box_n",
+                        why: "electrolyte box needs box_n >= 2 (box_n^3 - 1 solvent molecules)",
+                    });
+                }
+                if *n_outer == 0 {
+                    return Err(SpecError::ZeroParam("n_outer"));
+                }
+                if *n_inner == 0 {
+                    return Err(SpecError::ZeroParam("n_inner"));
+                }
+                if !temperature.is_finite() || *temperature <= 0.0 {
+                    return Err(SpecError::BadParam {
+                        field: "temperature",
+                        why: "must be finite and positive",
+                    });
+                }
+            }
+        }
+        Ok(JobSpec {
+            tenant: self.tenant,
+            kind: self.kind,
+            priority: self.priority,
+            nranks: self.nranks,
+            seeds: self.seeds,
+            disruption: self.disruption,
+        })
     }
 }
 
@@ -195,14 +517,9 @@ mod tests {
 
     #[test]
     fn labels_are_stable() {
-        let s = JobSpec::new(
-            "acme",
-            JobKind::Scf {
-                system: ScfSystem::LiH,
-                incremental_fock: false,
-            },
-        );
+        let s = JobSpec::scf(ScfSystem::LiH).tenant("acme").build().unwrap();
         assert_eq!(s.kind.label(), "scf:lih");
+        assert_eq!(s.tenant, "acme");
         assert_eq!(
             JobKind::Screening {
                 system: "pc".into(),
@@ -213,25 +530,148 @@ mod tests {
             .label(),
             "screen:pc#3"
         );
+        assert_eq!(
+            JobKind::Reaction {
+                solvent: Solvent::Dmso,
+                functional: Functional::Pbe0
+            }
+            .label(),
+            "reaction:dmso:PBE0"
+        );
+        assert_eq!(
+            JobKind::Solvation {
+                solvent: Solvent::Dme,
+                box_n: 2,
+                seed: 5,
+                n_outer: 4,
+                n_inner: 2,
+                temperature: 400.0
+            }
+            .label(),
+            "solvation:dme:n2#5"
+        );
     }
 
     #[test]
     fn builders_compose() {
-        let s = JobSpec::new(
-            "a",
-            JobKind::Md {
-                n_waters: 2,
-                n_outer: 3,
-                n_inner: 2,
-                temperature: 300.0,
-            },
-        )
-        .with_priority(7)
-        .with_nranks(4)
-        .with_disruption(Disruption::Preempt { at_step: 2 });
+        let s = JobSpec::md(2, 3, 2)
+            .tenant("a")
+            .priority(7)
+            .nranks(4)
+            .disruption(Disruption::Preempt { at_step: 2 })
+            .build()
+            .unwrap();
         assert_eq!(s.priority, 7);
         assert_eq!(s.nranks, 4);
         assert!(s.disruption.is_disruptive());
+        match s.kind {
+            JobKind::Md {
+                n_waters,
+                n_outer,
+                n_inner,
+                temperature,
+            } => {
+                assert_eq!((n_waters, n_outer, n_inner), (2, 3, 2));
+                assert_eq!(temperature, 300.0);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert_eq!(
+            JobSpec::scf(ScfSystem::H2).tenant("").build().unwrap_err(),
+            SpecError::EmptyTenant
+        );
+        assert_eq!(
+            JobSpec::md(0, 3, 2).build().unwrap_err(),
+            SpecError::ZeroParam("n_waters")
+        );
+        assert_eq!(
+            JobSpec::screening("pc", 8, 0, 1).build().unwrap_err(),
+            SpecError::ZeroParam("norb")
+        );
+        assert!(matches!(
+            JobSpec::solvation(Solvent::Dmso, 1, 0).build().unwrap_err(),
+            SpecError::BadParam { field: "box_n", .. }
+        ));
+        assert!(matches!(
+            JobSpec::md(2, 3, 2)
+                .temperature(f64::NAN)
+                .build()
+                .unwrap_err(),
+            SpecError::BadParam {
+                field: "temperature",
+                ..
+            }
+        ));
+        assert_eq!(
+            JobSpec::scf(ScfSystem::H2).nranks(0).build().unwrap_err(),
+            SpecError::ZeroParam("nranks")
+        );
+    }
+
+    #[test]
+    fn builder_knobs_reach_the_kind() {
+        let s = JobSpec::scf(ScfSystem::Water)
+            .incremental_fock(true)
+            .md_seed(99)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            s.kind,
+            JobKind::Scf {
+                incremental_fock: true,
+                ..
+            }
+        ));
+        assert_eq!(s.seeds.resolve_md_seed(None), 99);
+
+        let s = JobSpec::solvation(Solvent::EthyleneCarbonate, 2, 1)
+            .steps(6, 3)
+            .temperature(500.0)
+            .build()
+            .unwrap();
+        match s.kind {
+            JobKind::Solvation {
+                n_outer,
+                n_inner,
+                temperature,
+                ..
+            } => {
+                assert_eq!((n_outer, n_inner), (6, 3));
+                assert_eq!(temperature, 500.0);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    /// The deprecated constructors must keep producing specs identical
+    /// to the builder's for one release.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_builder() {
+        let old = JobSpec::new(
+            "acme",
+            JobKind::Scf {
+                system: ScfSystem::LiH,
+                incremental_fock: false,
+            },
+        )
+        .with_priority(3)
+        .with_nranks(2)
+        .with_seeds(SeedConfig::default().with_md_seed(7))
+        .with_disruption(Disruption::Fault { at_step: 1 });
+        let new = JobSpec::scf(ScfSystem::LiH)
+            .tenant("acme")
+            .priority(3)
+            .nranks(2)
+            .seeds(SeedConfig::default().with_md_seed(7))
+            .disruption(Disruption::Fault { at_step: 1 })
+            .build()
+            .unwrap();
+        assert_eq!(old, new);
     }
 
     #[test]

@@ -20,19 +20,28 @@
 //! * [`service`] — the scheduler loop: admission → queue → rank-pool
 //!   lease → worker threads, with the shared cross-job
 //!   [`ExchangeCachePool`](liair_core::ExchangeCachePool) and the final
-//!   [`ServiceReport`](service::ServiceReport).
+//!   [`ServiceReport`](service::ServiceReport);
+//! * [`campaign`] — the solvent-screening campaign driver: a
+//!   [`CampaignSpec`](campaign::CampaignSpec) grid (solvents ×
+//!   concentrations × seeds × functionals) fanned across the service,
+//!   aggregated into a deterministic ranked stability report.
 //!
-//! See DESIGN.md ("The serve layer") for the architecture and the cache
-//! keying/eviction policy.
+//! See DESIGN.md ("The serve layer" and "The campaign layer") for the
+//! architecture and the cache keying/eviction policy.
 
+pub mod campaign;
 pub mod job;
 pub mod quota;
 pub mod runner;
 pub mod sched;
 pub mod service;
 
-pub use job::{Disruption, JobKind, JobSpec, ScfSystem};
+pub use campaign::{run_campaign, CampaignReport, CampaignSpec, MemberRecord, SolventVerdict};
+pub use job::{Disruption, JobBuilder, JobKind, JobSpec, ScfSystem, SpecError};
 pub use quota::{Admission, RejectReason, TenantQuota};
-pub use runner::{run_job, run_reference, Attempt, JobCheckpoint, JobOutput};
+pub use runner::{run_job, run_reference, Attempt, JobCheckpoint, JobOutput, Observables};
 pub use sched::AgedQueue;
-pub use service::{run_and_verify, JobReport, Service, ServiceConfig, ServiceReport};
+pub use service::{
+    run_and_verify, DisruptionRecord, JobOutcome, JobReport, ProfileSummary, Service,
+    ServiceConfig, ServiceReport,
+};

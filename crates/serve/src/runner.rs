@@ -20,7 +20,8 @@
 //! told whether it is resuming, and a resumed attempt runs undisturbed.
 
 use crate::job::{Disruption, JobKind, JobSpec};
-use liair_basis::{systems, Basis, Cell, Molecule};
+use liair_basis::systems::Solvent;
+use liair_basis::{systems, Basis, Cell, Element, Molecule};
 use liair_core::screening::{source_pairs, OrbitalInfo};
 use liair_core::{
     BalanceStrategy, BuildProfile, ExchangeCachePool, ExecBackend, IncStats, SystemKey,
@@ -28,12 +29,28 @@ use liair_core::{
 use liair_grid::{PoissonSolver, RealGrid};
 use liair_math::rng::SplitMix64;
 use liair_math::Vec3;
+use liair_md::analysis::{rdf_peak, BondEvents, RdfAccumulator};
 use liair_md::mts::SplitForceProvider;
 use liair_md::{ForceField, MdCheckpoint, MdOptions, MdState, MtsOptions, Thermostat};
-use liair_scf::{Method, ScfCheckpoint, ScfOptions, ScfSession};
+use liair_scf::{functional_energy, rhf, Method, ScfCheckpoint, ScfOptions, ScfSession};
+use liair_xc::Functional;
 
 /// Steps between the periodic checkpoints a fault falls back on.
 pub const CHECKPOINT_EVERY: usize = 2;
+
+/// Li–O attack distance (Bohr) of the reaction jobs' contact complexes —
+/// the geometry `tab-battery` established for the degradation study.
+pub const COMPLEX_LI_O_DIST: f64 = 3.6;
+
+/// Li–O RDF extent (Bohr) of the solvation jobs.
+const RDF_R_MAX: f64 = 12.0;
+/// Li–O RDF bin count of the solvation jobs.
+const RDF_NBINS: usize = 48;
+/// First-shell cutoff (Bohr) for the reported Li–O coordination number.
+const RDF_COORD_CUT: f64 = 5.0;
+/// Bond-scission stretch criterion (relative to r₀) of the solvation
+/// jobs — the Morse bonds are > 95 % dissociated past it.
+const BOND_STRETCH: f64 = 1.5;
 
 /// Fixed cubic cell edge (Bohr) of the screening snapshots.
 const SCREEN_CELL_EDGE: f64 = 12.0;
@@ -46,13 +63,33 @@ const SCREEN_EPS: f64 = 1e-6;
 /// inherits).
 const SCREEN_EPS_INC: f64 = 1e-9;
 
+/// Resume state of an interrupted solvation trajectory: the MD state
+/// plus the analysis accumulators, so a resumed attempt continues the
+/// RDF histogram and bond-event ledger bit-exactly rather than
+/// restarting them.
+#[derive(Debug, Clone)]
+pub struct SolvationCheckpoint {
+    /// Serialized [`MdCheckpoint`].
+    pub md: Vec<u8>,
+    /// Li–O RDF histogram bins at the checkpoint.
+    pub rdf_bins: Vec<f64>,
+    /// RDF frames accumulated at the checkpoint.
+    pub rdf_frames: usize,
+    /// Distinct solvent-internal bonds broken so far (first-broken
+    /// order, the [`BondEvents`] ledger).
+    pub broken: Vec<usize>,
+}
+
 /// Serialized resume state of a suspended job.
 #[derive(Debug, Clone)]
 pub enum JobCheckpoint {
-    /// An SCF session mid-convergence.
+    /// An SCF session mid-convergence (SCF and reaction jobs — a
+    /// reaction job checkpoints its dominant stage, the complex SCF).
     Scf(ScfCheckpoint),
     /// An MD trajectory mid-flight (serialized [`MdCheckpoint`]).
     Md(Vec<u8>),
+    /// A solvation trajectory mid-flight: MD state + analysis state.
+    Solvation(SolvationCheckpoint),
 }
 
 impl JobCheckpoint {
@@ -62,7 +99,59 @@ impl JobCheckpoint {
         match self {
             JobCheckpoint::Scf(ck) => ck.bytes.len(),
             JobCheckpoint::Md(b) => b.len(),
+            JobCheckpoint::Solvation(ck) => {
+                ck.md.len() + 8 * ck.rdf_bins.len() + 8 + 8 * ck.broken.len()
+            }
         }
+    }
+}
+
+/// Physical observables a job extracted, beyond its headline energy.
+/// Every field is `None` unless the job kind computes it; all are
+/// deterministic functions of the spec, so the soak and campaign layers
+/// bit-compare them the same way they compare `final_energy`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Observables {
+    /// Reaction jobs: `E(complex) − E(solvent) − E(Li₂O₂)` at RHF (Ha).
+    pub e_int_rhf: Option<f64>,
+    /// Reaction jobs: the same interaction energy under the requested
+    /// post-SCF functional (Ha). Equals `e_int_rhf` for `Hf`.
+    pub e_int_functional: Option<f64>,
+    /// Reaction jobs: HOMO–LUMO gap of the contact complex (Ha).
+    pub gap_complex: Option<f64>,
+    /// Reaction jobs: HOMO–LUMO gap of the isolated solvent (Ha).
+    pub gap_solvent: Option<f64>,
+    /// Solvation jobs: radius (Bohr) of the first Li–O RDF peak.
+    pub rdf_li_o_peak_r: Option<f64>,
+    /// Solvation jobs: height of the first Li–O RDF peak.
+    pub rdf_li_o_peak_g: Option<f64>,
+    /// Solvation jobs: mean Li–O coordination number within
+    /// [`RDF_COORD_CUT`] Bohr.
+    pub li_o_coordination: Option<f64>,
+    /// Solvation jobs: distinct solvent-internal bonds broken.
+    pub bonds_broken: Option<usize>,
+}
+
+impl Observables {
+    /// Bitwise equality across every field — `to_bits`, not float `==`,
+    /// so `-0.0 ≠ 0.0` and NaN equals itself. The comparison the
+    /// verification layers use.
+    pub fn bits_eq(&self, other: &Observables) -> bool {
+        fn beq(a: Option<f64>, b: Option<f64>) -> bool {
+            match (a, b) {
+                (None, None) => true,
+                (Some(x), Some(y)) => x.to_bits() == y.to_bits(),
+                _ => false,
+            }
+        }
+        beq(self.e_int_rhf, other.e_int_rhf)
+            && beq(self.e_int_functional, other.e_int_functional)
+            && beq(self.gap_complex, other.gap_complex)
+            && beq(self.gap_solvent, other.gap_solvent)
+            && beq(self.rdf_li_o_peak_r, other.rdf_li_o_peak_r)
+            && beq(self.rdf_li_o_peak_g, other.rdf_li_o_peak_g)
+            && beq(self.li_o_coordination, other.li_o_coordination)
+            && self.bonds_broken == other.bonds_broken
     }
 }
 
@@ -70,13 +159,16 @@ impl JobCheckpoint {
 #[derive(Debug, Clone)]
 pub struct JobOutput {
     /// The job's headline number: converged SCF energy, final MD
-    /// potential, or total screening exchange energy. Bit-compared
-    /// against the uninterrupted reference by the soak tests.
+    /// potential, total screening exchange energy, or reaction
+    /// interaction energy. Bit-compared against the uninterrupted
+    /// reference by the soak tests.
     pub final_energy: f64,
     /// SCF iterations / MD inner steps / screening pairs evaluated.
     pub steps: usize,
     /// SCF convergence flag (`true` for the other kinds).
     pub converged: bool,
+    /// Kind-specific physical observables (campaign jobs).
+    pub observables: Observables,
     /// Incremental-exchange reuse counters (screening jobs).
     pub inc: IncStats,
     /// Build instrumentation of the job's last exchange build (screening
@@ -158,6 +250,27 @@ pub fn run_job(
             norb,
             seed,
         } => run_screening(system, *extent, *norb, *seed, nranks, cache),
+        JobKind::Reaction {
+            solvent,
+            functional,
+        } => run_reaction(*solvent, *functional, resume, disruption),
+        JobKind::Solvation {
+            solvent,
+            box_n,
+            seed,
+            n_outer,
+            n_inner,
+            temperature,
+        } => run_solvation(
+            *solvent,
+            *box_n,
+            *seed,
+            *n_outer,
+            *n_inner,
+            *temperature,
+            resume,
+            disruption,
+        ),
     }
 }
 
@@ -181,6 +294,36 @@ fn scf_options(incremental_fock: bool) -> ScfOptions {
     }
 }
 
+/// Step an SCF session to convergence under the checkpoint/disruption
+/// protocol shared by SCF and reaction jobs: `Err` is the interrupted
+/// attempt (checkpoint attached), `Ok` the converged session.
+#[allow(clippy::result_large_err)] // the Err is the attempt itself, moved straight out
+fn drive_scf<'a>(
+    mut session: ScfSession<'a>,
+    disruption: Disruption,
+) -> Result<ScfSession<'a>, Attempt> {
+    let mut periodic: Option<ScfCheckpoint> = Some(session.checkpoint());
+    while session.step() {
+        let it = session.iterations();
+        match disruption {
+            Disruption::Preempt { at_step } if it == at_step && !session.done() => {
+                return Err(Attempt::Preempted(JobCheckpoint::Scf(session.checkpoint())));
+            }
+            Disruption::Fault { at_step } if it == at_step && !session.done() => {
+                let ck = periodic
+                    .take()
+                    .expect("an initial checkpoint always exists");
+                return Err(Attempt::Faulted(JobCheckpoint::Scf(ck)));
+            }
+            _ => {}
+        }
+        if it.is_multiple_of(CHECKPOINT_EVERY) {
+            periodic = Some(session.checkpoint());
+        }
+    }
+    Ok(session)
+}
+
 fn run_scf(
     _spec: &JobSpec,
     system: crate::job::ScfSystem,
@@ -191,35 +334,91 @@ fn run_scf(
     let mol = system.molecule();
     let basis = Basis::sto3g(&mol);
     let opts = scf_options(incremental_fock);
-    let mut session = match resume {
+    let session = match resume {
         Some(JobCheckpoint::Scf(ck)) => ScfSession::resume(&mol, &basis, ck)
             .expect("a checkpoint taken by this runner resumes against the same basis"),
-        Some(JobCheckpoint::Md(_)) => unreachable!("SCF job resumed with an MD checkpoint"),
+        Some(_) => unreachable!("SCF job resumed with a non-SCF checkpoint"),
         None => ScfSession::new(&mol, &basis, &opts, Method::Rhf),
     };
-    let mut periodic: Option<ScfCheckpoint> = Some(session.checkpoint());
-    while session.step() {
-        let it = session.iterations();
-        match disruption {
-            Disruption::Preempt { at_step } if it == at_step && !session.done() => {
-                return Attempt::Preempted(JobCheckpoint::Scf(session.checkpoint()));
-            }
-            Disruption::Fault { at_step } if it == at_step && !session.done() => {
-                let ck = periodic
-                    .take()
-                    .expect("an initial checkpoint always exists");
-                return Attempt::Faulted(JobCheckpoint::Scf(ck));
-            }
-            _ => {}
-        }
-        if it % CHECKPOINT_EVERY == 0 {
-            periodic = Some(session.checkpoint());
-        }
-    }
+    let session = match drive_scf(session, disruption) {
+        Ok(s) => s,
+        Err(attempt) => return attempt,
+    };
     Attempt::Done(JobOutput {
         final_energy: session.energy(),
         steps: session.iterations(),
         converged: session.converged(),
+        observables: Observables::default(),
+        inc: IncStats::default(),
+        profile: BuildProfile::default(),
+        cache_warm: false,
+    })
+}
+
+/// SCF options of the reaction jobs — the `tab-battery` settings (the
+/// bigger complexes need the headroom).
+fn reaction_scf_options() -> ScfOptions {
+    ScfOptions {
+        energy_tol: 1e-7,
+        max_iter: 150,
+        ..Default::default()
+    }
+}
+
+/// A reaction job: converge the solvent·Li₂O₂ complex (disruptable, the
+/// dominant stage), then its isolated fragments (cheap, never
+/// disrupted — rerun deterministically on resume), and report the
+/// interaction energy plus frontier-orbital gaps.
+fn run_reaction(
+    solvent: Solvent,
+    functional: Functional,
+    resume: Option<&JobCheckpoint>,
+    disruption: Disruption,
+) -> Attempt {
+    let complex = systems::li2o2_complex(solvent, COMPLEX_LI_O_DIST);
+    let basis_c = Basis::sto3g(&complex);
+    let opts = reaction_scf_options();
+    let session = match resume {
+        Some(JobCheckpoint::Scf(ck)) => ScfSession::resume(&complex, &basis_c, ck)
+            .expect("a checkpoint taken by this runner resumes against the same basis"),
+        Some(_) => unreachable!("reaction job resumed with a non-SCF checkpoint"),
+        None => ScfSession::new(&complex, &basis_c, &opts, Method::Rhf),
+    };
+    let session = match drive_scf(session, disruption) {
+        Ok(s) => s,
+        Err(attempt) => return attempt,
+    };
+    let steps = session.iterations();
+    let res_c = session.into_result();
+
+    let solv_mol = solvent.molecule();
+    let basis_s = Basis::sto3g(&solv_mol);
+    let res_s = rhf(&solv_mol, &basis_s, &opts);
+    let cluster = systems::li2o2();
+    let basis_x = Basis::sto3g(&cluster);
+    let res_x = rhf(&cluster, &basis_x, &opts);
+
+    let e_int_rhf = res_c.energy - res_s.energy - res_x.energy;
+    // `Hf` is the RHF energy expression itself — skip the recompute so
+    // the two columns are bitwise equal, not merely close.
+    let e_int_fn = if functional == Functional::Hf {
+        e_int_rhf
+    } else {
+        functional_energy(&complex, &basis_c, &res_c, functional, &opts)
+            - functional_energy(&solv_mol, &basis_s, &res_s, functional, &opts)
+            - functional_energy(&cluster, &basis_x, &res_x, functional, &opts)
+    };
+    Attempt::Done(JobOutput {
+        final_energy: e_int_fn,
+        steps,
+        converged: res_c.converged && res_s.converged && res_x.converged,
+        observables: Observables {
+            e_int_rhf: Some(e_int_rhf),
+            e_int_functional: Some(e_int_fn),
+            gap_complex: res_c.homo_lumo_gap(),
+            gap_solvent: res_s.homo_lumo_gap(),
+            ..Default::default()
+        },
         inc: IncStats::default(),
         profile: BuildProfile::default(),
         cache_warm: false,
@@ -245,6 +444,12 @@ impl TetherSplit {
             anchors: mol.atoms.iter().map(|a| a.pos).collect(),
             k,
         }
+    }
+
+    /// The classical force field of the fast part (bond-scission
+    /// detection reuses its bond list).
+    pub fn force_field(&self) -> &ForceField {
+        &self.ff
     }
 }
 
@@ -302,7 +507,7 @@ fn run_md(
         Some(JobCheckpoint::Md(bytes)) => MdCheckpoint::from_bytes(bytes)
             .expect("a checkpoint taken by this runner round-trips")
             .restore(),
-        Some(JobCheckpoint::Scf(_)) => unreachable!("MD job resumed with an SCF checkpoint"),
+        Some(_) => unreachable!("MD job resumed with a non-MD checkpoint"),
         None => {
             let mut st = MdState::new_split(mol0, Some(cell), &split);
             st.thermalize_seeded(temperature, Some(seed));
@@ -338,6 +543,127 @@ fn run_md(
         final_energy: state.potential,
         steps: state.step_count,
         converged: true,
+        observables: Observables::default(),
+        inc: IncStats::default(),
+        profile: BuildProfile::default(),
+        cache_warm: false,
+    })
+}
+
+/// A solvation job: MTS-integrate an electrolyte box, accumulating the
+/// Li–O RDF and solvent-internal bond scissions once per outer step.
+/// The analysis accumulators checkpoint *with* the MD state
+/// ([`SolvationCheckpoint`]), so a resumed trajectory's histogram is
+/// bit-identical to an uninterrupted one.
+#[allow(clippy::too_many_arguments)]
+fn run_solvation(
+    solvent: Solvent,
+    box_n: usize,
+    seed: u64,
+    n_outer: usize,
+    n_inner: usize,
+    temperature: f64,
+    resume: Option<&JobCheckpoint>,
+    disruption: Disruption,
+) -> Attempt {
+    // Spec-reconstructable, like the MD jobs' provider: geometry, force
+    // field, and bond filter are pure functions of the job spec.
+    let (mol0, cell) = systems::electrolyte_box(solvent, box_n, seed);
+    let split = TetherSplit::new(&mol0, Some(&cell), 1e-4);
+    // Solvent-internal bonds only: the cluster's Li–O/O–O bonds stretch
+    // and reform as solvation forces act on it, and counting those would
+    // charge the solvent for the peroxide's breathing. No solvent in the
+    // candidate set has an O–O bond, and only the cluster has Li.
+    let solvent_bonds: Vec<usize> = split
+        .force_field()
+        .bonds
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| {
+            let (ei, ej) = (mol0.atoms[b.i].element, mol0.atoms[b.j].element);
+            ei != Element::Li && ej != Element::Li && !(ei == Element::O && ej == Element::O)
+        })
+        .map(|(idx, _)| idx)
+        .collect();
+    let opts = MdOptions {
+        dt: 10.0,
+        thermostat: Thermostat::NoseHoover {
+            t_target: temperature,
+            tau: 300.0,
+        },
+        mts: MtsOptions { n_inner },
+    };
+    let mut rdf = RdfAccumulator::new(Element::Li, Element::O, RDF_R_MAX, RDF_NBINS);
+    let mut events = BondEvents::default();
+    let mut state = match resume {
+        Some(JobCheckpoint::Solvation(ck)) => {
+            rdf.set_state(ck.rdf_bins.clone(), ck.rdf_frames);
+            events.broken = ck.broken.clone();
+            MdCheckpoint::from_bytes(&ck.md)
+                .expect("a checkpoint taken by this runner round-trips")
+                .restore()
+        }
+        Some(_) => unreachable!("solvation job resumed with a non-solvation checkpoint"),
+        None => {
+            let mut st = MdState::new_split(mol0, Some(cell), &split);
+            st.thermalize_seeded(temperature, Some(seed));
+            st
+        }
+    };
+    let capture = |state: &MdState, rdf: &RdfAccumulator, events: &BondEvents| {
+        JobCheckpoint::Solvation(SolvationCheckpoint {
+            md: MdCheckpoint::capture(state).to_bytes(),
+            rdf_bins: rdf.bins.clone(),
+            rdf_frames: rdf.frames(),
+            broken: events.broken.clone(),
+        })
+    };
+    let mut periodic = capture(&state, &rdf, &events);
+    loop {
+        if state.step_count / n_inner >= n_outer {
+            break;
+        }
+        state.step_mts(&split, &opts);
+        let outer_done = state.step_count / n_inner;
+        // One analysis frame per completed outer step, *before* any
+        // checkpoint of that step — the accumulators travel with it.
+        rdf.add_frame(&state.mol, &cell);
+        let broken_now: Vec<usize> = split
+            .force_field()
+            .broken_bonds(&state.mol, Some(&cell), BOND_STRETCH)
+            .into_iter()
+            .filter(|b| solvent_bonds.contains(b))
+            .collect();
+        events.record(&broken_now);
+        if outer_done >= n_outer {
+            break;
+        }
+        match disruption {
+            Disruption::Preempt { at_step } if outer_done == at_step => {
+                return Attempt::Preempted(capture(&state, &rdf, &events));
+            }
+            Disruption::Fault { at_step } if outer_done == at_step => {
+                return Attempt::Faulted(periodic);
+            }
+            _ => {}
+        }
+        if outer_done.is_multiple_of(CHECKPOINT_EVERY) {
+            periodic = capture(&state, &rdf, &events);
+        }
+    }
+    let g = rdf.finish(&state.mol, &cell);
+    let (peak_r, peak_g) = rdf_peak(&g);
+    Attempt::Done(JobOutput {
+        final_energy: state.potential,
+        steps: state.step_count,
+        converged: true,
+        observables: Observables {
+            rdf_li_o_peak_r: Some(peak_r),
+            rdf_li_o_peak_g: Some(peak_g),
+            li_o_coordination: Some(rdf.coordination_number(&state.mol, RDF_COORD_CUT)),
+            bonds_broken: Some(events.count()),
+            ..Default::default()
+        },
         inc: IncStats::default(),
         profile: BuildProfile::default(),
         cache_warm: false,
@@ -418,6 +744,7 @@ fn run_screening(
         final_energy: result.energy,
         steps: result.pairs_evaluated + totals.pairs_reused,
         converged: true,
+        observables: Observables::default(),
         inc: totals,
         profile,
         cache_warm: warm,
@@ -431,28 +758,29 @@ mod tests {
     use liair_runtime::SeedConfig;
 
     fn scf_spec(disruption: Disruption) -> JobSpec {
-        JobSpec::new(
-            "t",
-            JobKind::Scf {
-                system: ScfSystem::LiH,
-                incremental_fock: false,
-            },
-        )
-        .with_disruption(disruption)
+        JobSpec::scf(ScfSystem::LiH)
+            .tenant("t")
+            .disruption(disruption)
+            .build()
+            .unwrap()
     }
 
     fn md_spec(disruption: Disruption) -> JobSpec {
-        JobSpec::new(
-            "t",
-            JobKind::Md {
-                n_waters: 2,
-                n_outer: 5,
-                n_inner: 2,
-                temperature: 300.0,
-            },
-        )
-        .with_seeds(SeedConfig::default().with_md_seed(11))
-        .with_disruption(disruption)
+        JobSpec::md(2, 5, 2)
+            .tenant("t")
+            .seeds(SeedConfig::default().with_md_seed(11))
+            .disruption(disruption)
+            .build()
+            .unwrap()
+    }
+
+    fn solvation_spec(disruption: Disruption) -> JobSpec {
+        JobSpec::solvation(Solvent::EthyleneCarbonate, 2, 3)
+            .tenant("t")
+            .steps(5, 2)
+            .disruption(disruption)
+            .build()
+            .unwrap()
     }
 
     fn resume_to_done(spec: &JobSpec, first: Attempt) -> JobOutput {
@@ -513,17 +841,49 @@ mod tests {
     }
 
     #[test]
+    fn disrupted_solvation_resumes_bit_identical() {
+        let reference = run_reference(&solvation_spec(Disruption::None));
+        let obs_ref = &reference.observables;
+        assert!(obs_ref.rdf_li_o_peak_g.is_some());
+        assert!(obs_ref.bonds_broken.is_some());
+        for disruption in [
+            Disruption::Preempt { at_step: 2 },
+            Disruption::Fault { at_step: 3 },
+        ] {
+            let spec = solvation_spec(disruption);
+            let first = run_job(&spec, None, 1, None);
+            let resumed = resume_to_done(&spec, first);
+            assert_eq!(
+                resumed.final_energy.to_bits(),
+                reference.final_energy.to_bits(),
+                "under {disruption:?}"
+            );
+            assert_eq!(resumed.steps, reference.steps);
+            // The analysis accumulators resumed too: every observable is
+            // bitwise equal, not merely close.
+            let obs = &resumed.observables;
+            for (got, want) in [
+                (obs.rdf_li_o_peak_r, obs_ref.rdf_li_o_peak_r),
+                (obs.rdf_li_o_peak_g, obs_ref.rdf_li_o_peak_g),
+                (obs.li_o_coordination, obs_ref.li_o_coordination),
+            ] {
+                assert_eq!(
+                    got.unwrap().to_bits(),
+                    want.unwrap().to_bits(),
+                    "under {disruption:?}"
+                );
+            }
+            assert_eq!(obs.bonds_broken, obs_ref.bonds_broken);
+        }
+    }
+
+    #[test]
     fn warm_screening_matches_cold_bitwise() {
         let pool = ExchangeCachePool::new(4);
-        let spec = JobSpec::new(
-            "t",
-            JobKind::Screening {
-                system: "pc".into(),
-                extent: 16,
-                norb: 3,
-                seed: 5,
-            },
-        );
+        let spec = JobSpec::screening("pc", 16, 3, 5)
+            .tenant("t")
+            .build()
+            .unwrap();
         let cold = match run_job(&spec, None, 1, Some(&pool)) {
             Attempt::Done(out) => out,
             _ => unreachable!(),
@@ -545,15 +905,10 @@ mod tests {
 
     #[test]
     fn multirank_lease_screening_is_bit_identical_to_single() {
-        let spec = JobSpec::new(
-            "t",
-            JobKind::Screening {
-                system: "dmso".into(),
-                extent: 16,
-                norb: 3,
-                seed: 9,
-            },
-        );
+        let spec = JobSpec::screening("dmso", 16, 3, 9)
+            .tenant("t")
+            .build()
+            .unwrap();
         let single = match run_job(&spec, None, 1, None) {
             Attempt::Done(out) => out,
             _ => unreachable!(),

@@ -22,9 +22,9 @@
 
 use crate::job::{Disruption, JobSpec};
 use crate::quota::{Admission, RejectReason, TenantQuota};
-use crate::runner::{run_job, Attempt, JobCheckpoint, JobOutput};
+use crate::runner::{run_job, Attempt, JobCheckpoint, JobOutput, Observables};
 use crate::sched::AgedQueue;
-use liair_core::{CachePoolStats, ExchangeCachePool};
+use liair_core::{BuildProfile, CachePoolStats, ExchangeCachePool, IncStats};
 use liair_runtime::{PoolStats, RankPool};
 use std::sync::mpsc;
 use std::sync::Mutex;
@@ -57,19 +57,67 @@ impl Default for ServiceConfig {
     }
 }
 
-/// Per-job accounting in the final report.
-#[derive(Debug)]
-pub struct JobReport {
-    /// The spec as submitted.
-    pub spec: JobSpec,
+/// The physics a completed job produced — the stable, headline part of
+/// a [`JobReport`]. Every field is a deterministic function of the spec
+/// and is bit-compared by the verification layers.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The job's headline energy (converged SCF energy, final MD
+    /// potential, screening exchange energy, reaction interaction
+    /// energy).
+    pub final_energy: f64,
+    /// SCF iterations / MD inner steps / screening pairs evaluated.
+    pub steps: usize,
+    /// SCF convergence flag (`true` for non-SCF kinds).
+    pub converged: bool,
+}
+
+/// Execution instrumentation of a completed job: cache-reuse counters
+/// and the build profile of its last exchange build. Informational —
+/// *not* part of the deterministic surface (the FFT plan-cache window is
+/// process-wide state, and scheduling decides which job warms a cache).
+#[derive(Debug, Clone, Default)]
+pub struct ProfileSummary {
+    /// Incremental-exchange reuse counters (screening jobs).
+    pub inc: IncStats,
+    /// Build instrumentation of the job's last exchange build.
+    pub build: BuildProfile,
+    /// Whether the job's cross-job cache came warm out of the pool.
+    pub cache_warm: bool,
+}
+
+/// What failure injection did to a job, and whether the resumed result
+/// was verified against an uninterrupted reference.
+#[derive(Debug, Clone, Default)]
+pub struct DisruptionRecord {
+    /// Whether the spec injected a disruption.
+    pub injected: bool,
     /// Attempts it took (1 = never disrupted).
     pub attempts: usize,
     /// Whether the job came back from a checkpoint at least once.
     pub resumed: bool,
     /// Largest checkpoint this job shipped between attempts (bytes).
     pub checkpoint_bytes: usize,
-    /// The completed run's numbers.
-    pub output: JobOutput,
+    /// `Some(true)` when [`run_and_verify`] bit-compared this resumed
+    /// job against an uninterrupted reference and it matched;
+    /// `Some(false)` on mismatch; `None` when no verification ran.
+    pub bit_verified: Option<bool>,
+}
+
+/// Per-job accounting in the final report: the public result surface of
+/// [`Service::run`] (re-exported through the `liair` facade).
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// The spec as submitted.
+    pub spec: JobSpec,
+    /// The completed run's headline numbers.
+    pub outcome: JobOutcome,
+    /// Kind-specific physical observables.
+    pub observables: Observables,
+    /// Execution instrumentation (informational, non-deterministic).
+    pub profile: ProfileSummary,
+    /// Failure injection and resume accounting.
+    pub disruption: DisruptionRecord,
     /// Submit → completion wall time (seconds).
     pub latency_s: f64,
 }
@@ -113,15 +161,33 @@ impl ServiceReport {
     /// Jobs that were disrupted on their first attempt and later
     /// completed via a checkpoint resume.
     pub fn resumed_jobs(&self) -> usize {
-        self.completed.iter().filter(|r| r.resumed).count()
+        self.completed
+            .iter()
+            .filter(|r| r.disruption.resumed)
+            .count()
     }
 
     /// Jobs whose spec injected a disruption (the resume denominator).
     pub fn disrupted_jobs(&self) -> usize {
         self.completed
             .iter()
-            .filter(|r| r.spec.disruption.is_disruptive())
+            .filter(|r| r.disruption.injected)
             .count()
+    }
+
+    /// Fraction of bit-verified jobs that matched their uninterrupted
+    /// reference (1.0 when nothing was verified — vacuous truth). Only
+    /// meaningful after [`run_and_verify`].
+    pub fn bit_identical_fraction(&self) -> f64 {
+        let verified: Vec<bool> = self
+            .completed
+            .iter()
+            .filter_map(|r| r.disruption.bit_verified)
+            .collect();
+        if verified.is_empty() {
+            return 1.0;
+        }
+        verified.iter().filter(|&&ok| ok).count() as f64 / verified.len() as f64
     }
 }
 
@@ -267,12 +333,35 @@ impl Service {
                 match done.attempt {
                     Attempt::Done(output) => {
                         admission.release(&t.spec.tenant);
+                        let JobOutput {
+                            final_energy,
+                            steps,
+                            converged,
+                            observables,
+                            inc,
+                            profile,
+                            cache_warm,
+                        } = output;
                         completed.push(JobReport {
                             spec: t.spec.clone(),
-                            attempts: t.attempts,
-                            resumed: t.resumed,
-                            checkpoint_bytes: t.checkpoint_bytes,
-                            output,
+                            outcome: JobOutcome {
+                                final_energy,
+                                steps,
+                                converged,
+                            },
+                            observables,
+                            profile: ProfileSummary {
+                                inc,
+                                build: profile,
+                                cache_warm,
+                            },
+                            disruption: DisruptionRecord {
+                                injected: t.spec.disruption.is_disruptive(),
+                                attempts: t.attempts,
+                                resumed: t.resumed,
+                                checkpoint_bytes: t.checkpoint_bytes,
+                                bit_verified: None,
+                            },
                             latency_s: t.submitted.elapsed().as_secs_f64(),
                         });
                     }
@@ -298,16 +387,17 @@ impl Service {
     }
 }
 
-/// Convenience: run `jobs` under `cfg` and verify every resumed job's
-/// final energy bitwise against an uninterrupted reference run
-/// (references are memoized per distinct `(kind, seeds)`). Returns the
-/// report plus the fraction of resumed jobs that matched.
-pub fn run_and_verify(cfg: ServiceConfig, jobs: Vec<JobSpec>) -> (ServiceReport, f64) {
-    let report = Service::new(cfg).run(jobs);
-    let mut references: Vec<(JobSpec, f64)> = Vec::new();
-    let mut checked = 0usize;
-    let mut matched = 0usize;
-    for job in report.completed.iter().filter(|r| r.resumed) {
+/// Convenience: run `jobs` under `cfg` and verify every resumed job
+/// bitwise — headline energy *and* observables — against an
+/// uninterrupted reference run (references are memoized per distinct
+/// `(kind, seeds)`). Each resumed job's
+/// [`DisruptionRecord::bit_verified`] is stamped with the result; read
+/// the batch-level answer off
+/// [`ServiceReport::bit_identical_fraction`].
+pub fn run_and_verify(cfg: ServiceConfig, jobs: Vec<JobSpec>) -> ServiceReport {
+    let mut report = Service::new(cfg).run(jobs);
+    let mut references: Vec<(JobSpec, JobOutput)> = Vec::new();
+    for job in report.completed.iter_mut().filter(|r| r.disruption.resumed) {
         let probe = JobSpec {
             disruption: Disruption::None,
             priority: 0,
@@ -315,70 +405,43 @@ pub fn run_and_verify(cfg: ServiceConfig, jobs: Vec<JobSpec>) -> (ServiceReport,
             ..job.spec.clone()
         };
         let reference = match references.iter().find(|(s, _)| *s == probe) {
-            Some((_, e)) => *e,
+            Some((_, out)) => out.clone(),
             None => {
-                let e = crate::runner::run_reference(&probe).final_energy;
-                references.push((probe, e));
-                e
+                let out = crate::runner::run_reference(&probe);
+                references.push((probe, out.clone()));
+                out
             }
         };
-        checked += 1;
-        if job.output.final_energy.to_bits() == reference.to_bits() {
-            matched += 1;
-        }
+        let ok = job.outcome.final_energy.to_bits() == reference.final_energy.to_bits()
+            && job.observables.bits_eq(&reference.observables);
+        job.disruption.bit_verified = Some(ok);
     }
-    let fraction = if checked == 0 {
-        1.0
-    } else {
-        matched as f64 / checked as f64
-    };
-    (report, fraction)
+    report
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::job::{JobKind, ScfSystem};
+    use crate::job::ScfSystem;
     use liair_runtime::SeedConfig;
 
     fn small_batch() -> Vec<JobSpec> {
         vec![
-            JobSpec::new(
-                "a",
-                JobKind::Scf {
-                    system: ScfSystem::H2,
-                    incremental_fock: false,
-                },
-            ),
-            JobSpec::new(
-                "a",
-                JobKind::Screening {
-                    system: "pc".into(),
-                    extent: 16,
-                    norb: 3,
-                    seed: 1,
-                },
-            ),
-            JobSpec::new(
-                "b",
-                JobKind::Screening {
-                    system: "pc".into(),
-                    extent: 16,
-                    norb: 3,
-                    seed: 1,
-                },
-            )
-            .with_priority(2),
-            JobSpec::new(
-                "b",
-                JobKind::Md {
-                    n_waters: 2,
-                    n_outer: 4,
-                    n_inner: 2,
-                    temperature: 300.0,
-                },
-            )
-            .with_seeds(SeedConfig::default().with_md_seed(5)),
+            JobSpec::scf(ScfSystem::H2).tenant("a").build().unwrap(),
+            JobSpec::screening("pc", 16, 3, 1)
+                .tenant("a")
+                .build()
+                .unwrap(),
+            JobSpec::screening("pc", 16, 3, 1)
+                .tenant("b")
+                .priority(2)
+                .build()
+                .unwrap(),
+            JobSpec::md(2, 4, 2)
+                .tenant("b")
+                .seeds(SeedConfig::default().with_md_seed(5))
+                .build()
+                .unwrap(),
         ]
     }
 
@@ -412,30 +475,15 @@ mod tests {
             ..ServiceConfig::default()
         };
         let jobs = vec![
-            JobSpec::new(
-                "a",
-                JobKind::Scf {
-                    system: ScfSystem::Helium,
-                    incremental_fock: false,
-                },
-            ),
+            JobSpec::scf(ScfSystem::Helium).tenant("a").build().unwrap(),
             // Second job for the same tenant: over max_jobs.
-            JobSpec::new(
-                "a",
-                JobKind::Scf {
-                    system: ScfSystem::H2,
-                    incremental_fock: false,
-                },
-            ),
+            JobSpec::scf(ScfSystem::H2).tenant("a").build().unwrap(),
             // Over the per-job rank cap.
-            JobSpec::new(
-                "b",
-                JobKind::Scf {
-                    system: ScfSystem::H2,
-                    incremental_fock: false,
-                },
-            )
-            .with_nranks(4),
+            JobSpec::scf(ScfSystem::H2)
+                .tenant("b")
+                .nranks(4)
+                .build()
+                .unwrap(),
         ];
         let report = Service::new(cfg).run(jobs);
         assert_eq!(report.completed.len(), 1);
@@ -453,27 +501,19 @@ mod tests {
     #[test]
     fn disrupted_jobs_resume_and_verify_bit_identical() {
         let jobs = vec![
-            JobSpec::new(
-                "a",
-                JobKind::Scf {
-                    system: ScfSystem::LiH,
-                    incremental_fock: false,
-                },
-            )
-            .with_disruption(crate::job::Disruption::Preempt { at_step: 3 }),
-            JobSpec::new(
-                "b",
-                JobKind::Md {
-                    n_waters: 2,
-                    n_outer: 5,
-                    n_inner: 2,
-                    temperature: 300.0,
-                },
-            )
-            .with_seeds(SeedConfig::default().with_md_seed(23))
-            .with_disruption(crate::job::Disruption::Fault { at_step: 3 }),
+            JobSpec::scf(ScfSystem::LiH)
+                .tenant("a")
+                .disruption(crate::job::Disruption::Preempt { at_step: 3 })
+                .build()
+                .unwrap(),
+            JobSpec::md(2, 5, 2)
+                .tenant("b")
+                .seeds(SeedConfig::default().with_md_seed(23))
+                .disruption(crate::job::Disruption::Fault { at_step: 3 })
+                .build()
+                .unwrap(),
         ];
-        let (report, fraction) = run_and_verify(
+        let report = run_and_verify(
             ServiceConfig {
                 max_workers: 2,
                 ..ServiceConfig::default()
@@ -485,8 +525,16 @@ mod tests {
         assert!(report
             .completed
             .iter()
-            .all(|r| r.attempts == 2 && r.checkpoint_bytes > 0));
-        assert_eq!(fraction, 1.0, "every resumed job must match bitwise");
+            .all(|r| r.disruption.attempts == 2 && r.disruption.checkpoint_bytes > 0));
+        assert!(report
+            .completed
+            .iter()
+            .all(|r| r.disruption.bit_verified == Some(true)));
+        assert_eq!(
+            report.bit_identical_fraction(),
+            1.0,
+            "every resumed job must match bitwise"
+        );
     }
 
     #[test]
@@ -495,16 +543,11 @@ mod tests {
         // time even with 4 workers — peak_leased never exceeds the pool.
         let jobs: Vec<JobSpec> = (0..4)
             .map(|i| {
-                JobSpec::new(
-                    "a",
-                    JobKind::Screening {
-                        system: "dme".into(),
-                        extent: 16,
-                        norb: 3,
-                        seed: i,
-                    },
-                )
-                .with_nranks(2)
+                JobSpec::screening("dme", 16, 3, i)
+                    .tenant("a")
+                    .nranks(2)
+                    .build()
+                    .unwrap()
             })
             .collect();
         let report = Service::new(ServiceConfig {

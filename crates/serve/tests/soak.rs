@@ -75,11 +75,14 @@ fn mixed_jobs(n: usize) -> Vec<JobSpec> {
                 },
                 (kind, _) => kind,
             };
-            JobSpec::new(tenant, kind)
-                .with_priority((i % 5) as u32)
-                .with_nranks(1 + i % 3)
-                .with_seeds(SeedConfig::default().with_md_seed(100 + (i / 3) as u64 % 4))
-                .with_disruption(disruption)
+            JobSpec::builder(kind)
+                .tenant(tenant)
+                .priority((i % 5) as u32)
+                .nranks(1 + i % 3)
+                .seeds(SeedConfig::default().with_md_seed(100 + (i / 3) as u64 % 4))
+                .disruption(disruption)
+                .build()
+                .expect("soak specs are valid")
         })
         .collect()
 }
@@ -97,7 +100,7 @@ fn short_soak_completes_hits_cache_and_resumes_bitwise() {
         quota: TenantQuota::default(),
         aging_rate: 1,
     };
-    let (report, bit_identical_fraction) = run_and_verify(cfg, jobs);
+    let report = run_and_verify(cfg, jobs);
 
     assert_eq!(report.completed.len(), n, "every admitted job completes");
     assert!(report.rejected.is_empty());
@@ -117,7 +120,7 @@ fn short_soak_completes_hits_cache_and_resumes_bitwise() {
     // and reproduced the uninterrupted final energy bitwise.
     assert_eq!(report.disrupted_jobs(), n_disrupted);
     assert_eq!(report.resumed_jobs(), n_disrupted);
-    assert_eq!(bit_identical_fraction, 1.0);
+    assert_eq!(report.bit_identical_fraction(), 1.0);
 
     // Leasing: ranks all came back, the pool was never oversubscribed.
     assert_eq!(report.pool.reclaimed, report.pool.granted);
@@ -134,22 +137,17 @@ fn repeated_batches_warm_start_nothing_across_services() {
     // Each Service::run owns its caches: a fresh service starts cold
     // (cross-job, not cross-service — state is explicit, not ambient).
     let jobs = |_: usize| {
-        vec![JobSpec::new(
-            "a",
-            JobKind::Screening {
-                system: "pc".to_string(),
-                extent: 16,
-                norb: 3,
-                seed: 3,
-            },
-        )]
+        vec![JobSpec::screening("pc", 16, 3, 3)
+            .tenant("a")
+            .build()
+            .unwrap()]
     };
     let first = liair_serve::Service::new(ServiceConfig::default()).run(jobs(0));
     let second = liair_serve::Service::new(ServiceConfig::default()).run(jobs(1));
     assert_eq!(first.cache.misses, 1);
     assert_eq!(second.cache.misses, 1, "no ambient cross-service state");
     assert_eq!(
-        first.completed[0].output.final_energy.to_bits(),
-        second.completed[0].output.final_energy.to_bits()
+        first.completed[0].outcome.final_energy.to_bits(),
+        second.completed[0].outcome.final_energy.to_bits()
     );
 }

@@ -22,7 +22,10 @@
 //! * [`md`] — molecular dynamics for the electrolyte application;
 //! * [`serve`] — the multi-tenant batch job service: admission quotas,
 //!   priority-aged scheduling, rank-pool leasing, checkpoint/restart
-//!   with bit-identical resume, and keyed cross-job exchange caches.
+//!   with bit-identical resume, keyed cross-job exchange caches, and
+//!   the solvent-screening **campaign driver** that fans a solvents ×
+//!   concentrations × seeds × functionals grid across the service into
+//!   a deterministic ranked stability report.
 //!
 //! ## Quickstart
 //!
@@ -98,6 +101,9 @@ pub mod prelude {
         fci_two_electron, functional_energy, harmonic_frequencies, mp2_correlation, optimize_rhf,
         rhf, rks_lda, uhf, ScfOptions, ScfResult, UhfOptions,
     };
-    pub use liair_serve::{JobKind, JobSpec, Service, ServiceConfig};
+    pub use liair_serve::{
+        run_and_verify, run_campaign, CampaignReport, CampaignSpec, Disruption, JobKind, JobReport,
+        JobSpec, Observables, Service, ServiceConfig, ServiceReport,
+    };
     pub use liair_xc::Functional;
 }
